@@ -1,0 +1,86 @@
+"""Ablations A1-A3: the influence of each specialized unit.
+
+The paper's future-work section promises exactly this study.  Each
+test switches one KCM mechanism off, reruns representative suite
+programs, and asserts the unit actually pays for itself.
+"""
+
+import pytest
+
+from repro.bench.ablations import run_ablation
+
+#: A representative, fast subset: a deterministic kernel, a guard-
+#: selection workload, a backtracking search and an arithmetic scan.
+PROGRAMS = ["nrev1", "pri2", "queens", "query"]
+
+
+def _mean_slowdown(rows):
+    return sum(r.slowdown for r in rows) / len(rows)
+
+
+def test_ablation_shallow_backtracking(benchmark):
+    """A1: delayed choice-point creation off -> eager WAM choice
+    points.  pri2's guard-driven clause selection suffers most."""
+    rows = benchmark.pedantic(run_ablation, args=("shallow", PROGRAMS),
+                              rounds=1, iterations=1)
+    by_name = {r.program: r for r in rows}
+    for r in rows:
+        print(f"\n  {r.program:8s} slowdown {r.slowdown:.3f}")
+        assert r.slowdown >= 1.0, r.program
+    assert _mean_slowdown(rows) > 1.01
+    assert by_name["pri2"].slowdown > 1.05
+    benchmark.extra_info["mean_slowdown"] = round(_mean_slowdown(rows), 3)
+
+
+def test_ablation_parallel_trail(benchmark):
+    """A2: trail comparators serialised (2 cycles per conditional
+    binding check)."""
+    rows = benchmark.pedantic(run_ablation, args=("trail", PROGRAMS),
+                              rounds=1, iterations=1)
+    for r in rows:
+        print(f"\n  {r.program:8s} slowdown {r.slowdown:.3f}")
+        assert r.slowdown >= 1.0, r.program
+    assert _mean_slowdown(rows) > 1.0
+    benchmark.extra_info["mean_slowdown"] = round(_mean_slowdown(rows), 3)
+
+
+def test_ablation_mwac(benchmark):
+    """MWAC multi-way dispatch off: serial type tests on switches and
+    unification instructions."""
+    rows = benchmark.pedantic(run_ablation, args=("mwac", PROGRAMS),
+                              rounds=1, iterations=1)
+    for r in rows:
+        print(f"\n  {r.program:8s} slowdown {r.slowdown:.3f}")
+        assert r.slowdown >= 1.0, r.program
+    # Every Prolog program leans on dispatch: a solid mean effect.
+    assert _mean_slowdown(rows) > 1.05
+    benchmark.extra_info["mean_slowdown"] = round(_mean_slowdown(rows), 3)
+
+
+def test_ablation_sectioned_cache(benchmark):
+    """A3: plain direct-mapped data cache instead of zone sections.
+    Timing-only effect (misses), so assert on cycles not semantics."""
+    rows = benchmark.pedantic(run_ablation, args=("cache", PROGRAMS),
+                              rounds=1, iterations=1)
+    for r in rows:
+        print(f"\n  {r.program:8s} slowdown {r.slowdown:.3f}")
+        # A plain cache can only add conflict misses, never remove any.
+        assert r.slowdown >= 0.999, r.program
+    benchmark.extra_info["mean_slowdown"] = round(_mean_slowdown(rows), 3)
+
+
+def test_units_compose():
+    """Stacking ablations must not change any answer, only cycles."""
+    from repro.bench.runner import SuiteRunner
+    from repro.core.costs import Features
+    from repro.core.machine import Machine
+    everything_off = SuiteRunner(machine_factory=lambda s: Machine(
+        symbols=s, features=Features(
+            shallow_backtracking=False, mwac=False, parallel_trail=False,
+            sectioned_cache=False)))
+    reference = SuiteRunner()
+    for program in PROGRAMS:
+        fast = reference.run(program, "pure")
+        slow = everything_off.run(program, "pure")
+        assert fast.inferences == slow.inferences, program
+        assert slow.stats.cycles > fast.stats.cycles, program

@@ -1,0 +1,54 @@
+"""Section 4.2's arithmetic claim, measured.
+
+"Actually, some programs, e.g. query, will even be speeded up with
+generic arithmetic (floating arithmetic is significantly faster than
+integer arithmetic on multiplications and divisions)."
+
+The TTL ALU multiplies/divides in microcode loops; the FPU does not.
+This bench runs the query benchmark's density computation in both
+integer and floating arithmetic and checks the paradox: floats win.
+"""
+
+import pytest
+
+from repro.api import run_query
+from repro.bench.programs import QUERY
+
+#: the same database and join, but density computed in floating point.
+QUERY_FLOAT = QUERY.replace("D is P * 100 // A", "D is P * 100.0 / A")
+
+
+def _run(source):
+    return run_query(source, "query(C1, D1, C2, D2), fail",
+                     max_cycles=2_000_000_000)
+
+
+def test_float_query_beats_integer_query(benchmark):
+    def measure():
+        return _run(QUERY), _run(QUERY_FLOAT)
+
+    integer, floating = benchmark.pedantic(measure, rounds=1,
+                                           iterations=1)
+    print(f"\n  integer density: {integer.milliseconds:8.3f} ms")
+    print(f"  float   density: {floating.milliseconds:8.3f} ms "
+          f"({integer.milliseconds / floating.milliseconds:.2f}x faster)")
+    # The paper's claim: the float version is *faster*.
+    assert floating.stats.cycles < integer.stats.cycles
+    benchmark.extra_info["int_ms"] = round(integer.milliseconds, 3)
+    benchmark.extra_info["float_ms"] = round(floating.milliseconds, 3)
+
+
+def test_multiplication_cost_gap():
+    """Microbenchmark of the raw gap: N multiplications each way."""
+    program_int = """
+    mul(0, _) :- !.
+    mul(N, X) :- _ is X * X, M is N - 1, mul(M, X).
+    """
+    int_run = run_query(program_int, "mul(100, 1234)",
+                        max_cycles=10_000_000)
+    float_run = run_query(program_int, "mul(100, 1234.5)",
+                          max_cycles=10_000_000)
+    assert float_run.stats.cycles < int_run.stats.cycles
+    # The gap per multiplication is the cost-table gap (30 vs 5).
+    gap = (int_run.stats.cycles - float_run.stats.cycles) / 100
+    assert 15 <= gap <= 40

@@ -1,0 +1,69 @@
+"""Demand-paging sensitivity (sections 2.1 and 3.2.5).
+
+KCM has no disk: "It uses the host with its operating system (UNIX) as
+server for I/O including ... paging".  A page fault is therefore a
+round trip over the VME interface, costing orders of magnitude more
+than a cache miss.  This bench measures how the host's paging service
+cost bleeds into cold-start execution time, and that a warm working
+set insulates the machine completely — the paper's design bet behind
+the big 16K-word pages and the RAM-resident page table.
+"""
+
+import pytest
+
+from repro.api import compile_and_load
+from repro.core.machine import Machine
+from repro.core.symbols import SymbolTable
+from repro.memory.memory_system import MemorySystem
+
+NREV = """
+concat([], L, L).
+concat([H|T], L, [H|R]) :- concat(T, L, R).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), concat(RT, [H], R).
+"""
+QUERY = ("nrev([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20], R)")
+
+
+def run_with_fault_cost(page_fault_cycles: int):
+    memory = MemorySystem(page_fault_cycles=page_fault_cycles)
+    machine = Machine(symbols=SymbolTable(), memory=memory)
+    machine = compile_and_load(NREV, QUERY, machine=machine)
+    cold = machine.run(machine.image.entry, answer_names=["R"])
+    cold_cycles = cold.cycles
+    machine.memory.reset_statistics()
+    warm = machine.run(machine.image.entry, answer_names=["R"])
+    return cold_cycles, warm.cycles, machine.memory.mmu.faults
+
+
+def test_page_fault_cost_sweep(benchmark):
+    def sweep():
+        return {cost: run_with_fault_cost(cost)
+                for cost in (0, 500, 2000, 10000)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    free_cold = results[0][0]
+    for cost, (cold, warm, faults) in results.items():
+        print(f"\n  fault={cost:6d} cycles: cold {cold:8d} "
+              f"warm {warm:8d} (faults {faults})")
+        benchmark.extra_info[f"cold_at_{cost}"] = cold
+
+    # Cold time grows linearly with the host service cost...
+    costs = sorted(results)
+    colds = [results[c][0] for c in costs]
+    assert colds == sorted(colds)
+    assert colds[-1] > colds[0]
+    # ...by exactly faults * cost.
+    faults = results[10000][2]
+    assert results[10000][0] - free_cold == faults * 10000
+
+    # The warm run never faults: identical cycles at any service cost.
+    warms = {results[c][1] for c in costs}
+    assert len(warms) == 1
+
+
+def test_big_pages_keep_fault_counts_low():
+    """16K-word pages mean the whole benchmark working set is a
+    handful of pages (the paper: 'pages can be quite large')."""
+    _, _, faults = run_with_fault_cost(2000)
+    assert faults <= 8

@@ -1,0 +1,65 @@
+"""Real-size programs on KCM vs the baselines (paper section 5's
+promised evaluation "on real-size programs")."""
+
+import pytest
+
+from repro.api import run_query
+from repro.baselines.plm import plm_machine
+from repro.bench.real_programs import REAL_PROGRAMS
+from repro.core.symbols import SymbolTable
+
+
+@pytest.mark.parametrize("name", sorted(REAL_PROGRAMS))
+def test_real_program_on_kcm(benchmark, name):
+    program = REAL_PROGRAMS[name]
+
+    def once():
+        return run_query(program.source, program.query,
+                         all_solutions=program.all_solutions,
+                         max_cycles=2_000_000_000)
+
+    result = benchmark.pedantic(once, rounds=1, iterations=1)
+    assert result.succeeded, name
+    if program.check_binding:
+        assert result.bindings_text() == program.check_binding
+    benchmark.extra_info["inferences"] = result.stats.inferences
+    benchmark.extra_info["sim_cycles"] = result.stats.cycles
+    benchmark.extra_info["sim_ms_at_80ns"] = round(result.milliseconds, 2)
+    benchmark.extra_info["klips"] = round(result.klips, 1)
+    benchmark.extra_info["shallow_fails"] = result.stats.shallow_fails
+    benchmark.extra_info["deep_fails"] = result.stats.deep_fails
+    print(f"\n  {name}: {result.stats.inferences} inferences, "
+          f"{result.milliseconds:.2f} ms, {result.klips:.0f} Klips, "
+          f"{result.stats.shallow_fails} shallow / "
+          f"{result.stats.deep_fails} deep fails")
+
+
+def test_kcm_beats_plm_on_search(benchmark):
+    """The comparison shape carries over from the micro-suite to a
+    real search workload."""
+    program = REAL_PROGRAMS["send_more_money"]
+
+    def measure():
+        kcm = run_query(program.source, program.query,
+                        max_cycles=2_000_000_000)
+        plm = run_query(program.source, program.query,
+                        machine=plm_machine(SymbolTable()),
+                        max_cycles=4_000_000_000)
+        return kcm, plm
+
+    kcm, plm = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert kcm.solutions == plm.solutions
+    ratio = plm.milliseconds / kcm.milliseconds
+    print(f"\n  PLM/KCM on send+more=money: {ratio:.2f}x")
+    assert 1.5 <= ratio <= 5.5         # the Table 2 band holds
+    benchmark.extra_info["plm_kcm_ratio"] = round(ratio, 2)
+
+
+def test_expert_system_is_index_friendly():
+    """Rule chaining over an attribute database: KCM-style dispatch
+    keeps the whole identification nearly choice-point-free."""
+    program = REAL_PROGRAMS["animals"]
+    result = run_query(program.source, program.query)
+    assert result.bindings_text() == "Animal = cheetah"
+    assert result.stats.choice_points_created \
+        < result.stats.inferences / 2

@@ -1,0 +1,31 @@
+"""The PLM suite on the calibrated KCM: per-program simulated figures.
+
+One pytest-benchmark entry per program (measuring simulator wall time)
+with the simulated cycles/ms/Klips attached as extra_info -- the raw
+material behind Tables 2 and 3's KCM columns.
+"""
+
+import pytest
+
+from repro.bench.programs import SUITE_ORDER
+from repro.bench import paper_data
+
+
+@pytest.mark.parametrize("name", SUITE_ORDER)
+def test_program(benchmark, kcm_runner, name):
+    machine = kcm_runner.load(name, "pure")
+
+    def once():
+        return kcm_runner.run(name, "pure", warm=False)
+
+    result = benchmark.pedantic(once, rounds=1, iterations=1,
+                                warmup_rounds=1)
+    benchmark.extra_info["inferences"] = result.inferences
+    benchmark.extra_info["sim_cycles"] = result.stats.cycles
+    benchmark.extra_info["sim_ms_at_80ns"] = round(result.milliseconds, 4)
+    benchmark.extra_info["sim_klips"] = round(result.klips, 1)
+    benchmark.extra_info["paper_klips"] = \
+        paper_data.TABLE3[name].kcm_klips
+
+    assert result.stats.cycles > 0
+    assert result.inferences > 0

@@ -1,0 +1,73 @@
+"""Table 1 — static code size: PLM vs SPUR vs KCM.
+
+Regenerates every row of the paper's Table 1 and asserts the headline
+averages: KCM/PLM instructions ~1.1, KCM/PLM bytes ~3, SPUR/KCM
+instructions ~13.6, SPUR/KCM bytes ~6.4.
+"""
+
+import pytest
+
+from repro.bench import paper_data
+from repro.bench.programs import SUITE, SUITE_ORDER
+from repro.api import compile_and_load
+from repro.baselines.plm import PLMCodeModel
+from repro.baselines.spur import SPURCodeModel
+
+
+def test_table1_full(benchmark):
+    from repro.bench.tables import table1
+    result = benchmark.pedantic(table1, rounds=1, iterations=1)
+    print("\n" + result.render())
+
+    instr_ratios = [row["kcm_plm_instr_ratio"]
+                    for row in result.data.values()]
+    byte_ratios = [row["kcm_plm_byte_ratio"]
+                   for row in result.data.values()]
+    spur_instr = [row["spur_kcm_instr_ratio"]
+                  for row in result.data.values()]
+    spur_bytes = [row["spur_kcm_byte_ratio"]
+                  for row in result.data.values()]
+
+    avg = lambda xs: sum(xs) / len(xs)
+    # Paper: 1.10 / 2.96 / 13.61 / 6.43.
+    assert avg(instr_ratios) == pytest.approx(
+        paper_data.TABLE1_AVG_KCM_PLM_INSTR, abs=0.25)
+    assert avg(byte_ratios) == pytest.approx(
+        paper_data.TABLE1_AVG_KCM_PLM_BYTES, abs=0.8)
+    assert avg(spur_instr) == pytest.approx(
+        paper_data.TABLE1_AVG_SPUR_KCM_INSTR, rel=0.25)
+    assert avg(spur_bytes) == pytest.approx(
+        paper_data.TABLE1_AVG_SPUR_KCM_BYTES, rel=0.25)
+
+    benchmark.extra_info["avg_kcm_plm_instr"] = round(avg(instr_ratios), 2)
+    benchmark.extra_info["avg_kcm_plm_bytes"] = round(avg(byte_ratios), 2)
+    benchmark.extra_info["avg_spur_kcm_instr"] = round(avg(spur_instr), 2)
+    benchmark.extra_info["avg_spur_kcm_bytes"] = round(avg(spur_bytes), 2)
+
+
+@pytest.mark.parametrize("name", ["nrev1", "qs4"])
+def test_cdr_coding_hurts_kcm_on_long_static_lists(name):
+    """Section 4.1: 'high ratios for nrev1 and qs4 which include long
+    input lists' — cdr-coding lets the PLM compile a static list cell
+    in one instruction vs two on KCM."""
+    benchmark_def = SUITE[name]
+    image = compile_and_load(benchmark_def.source_timed,
+                             benchmark_def.query_timed).image
+    plm = PLMCodeModel().measure(image, benchmark_def.source_timed,
+                                 benchmark_def.query_timed)
+    ratio = image.program_instructions / plm.instructions
+    assert ratio > 1.15                  # clearly above the 1.10 average
+
+
+def test_compile_throughput(benchmark):
+    """How fast the toolchain itself compiles the whole suite."""
+    def compile_suite():
+        total = 0
+        for name in SUITE_ORDER:
+            b = SUITE[name]
+            total += compile_and_load(
+                b.source_timed, b.query_timed).image.program_words
+        return total
+    words = benchmark.pedantic(compile_suite, rounds=1, iterations=1)
+    assert words > 1000
+    benchmark.extra_info["total_code_words"] = words

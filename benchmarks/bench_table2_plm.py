@@ -1,0 +1,57 @@
+"""Table 2 — execution time vs the PLM (timed variants).
+
+Runs the full PLM suite on the KCM and PLM configurations and asserts
+the paper's shape: KCM wins on every program, average ratio about 3,
+every ratio within the paper's 1.4-4.2 band (plus slack), query the
+weakest win, the differentiation family among the strongest.
+"""
+
+import pytest
+
+from repro.bench import paper_data
+from repro.bench.programs import SUITE_ORDER
+
+
+def test_table2_full(benchmark, kcm_runner, plm_runner):
+    def measure():
+        rows = {}
+        for name in SUITE_ORDER:
+            kcm = kcm_runner.run(name, "timed")
+            plm = plm_runner.run(name, "timed")
+            rows[name] = (plm.milliseconds / kcm.milliseconds,
+                          kcm.klips, plm.klips)
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    print(f"\n{'program':10s} {'PLM/KCM':>8s} {'paper':>7s} "
+          f"{'KCM Klips':>10s} {'PLM Klips':>10s}")
+    for name, (ratio, kcm_klips, plm_klips) in rows.items():
+        paper = paper_data.TABLE2[name].ratio
+        print(f"{name:10s} {ratio:8.2f} {paper:7.2f} "
+              f"{kcm_klips:10.1f} {plm_klips:10.1f}")
+
+    ratios = {name: row[0] for name, row in rows.items()}
+    average = sum(ratios.values()) / len(ratios)
+
+    # KCM wins everywhere.
+    assert all(r > 1.0 for r in ratios.values())
+    # Average ratio ~3 (paper 3.05).
+    assert average == pytest.approx(paper_data.TABLE2_AVG_RATIO, rel=0.25)
+    # Every program inside a widened version of the paper's band.
+    assert all(1.2 <= r <= 5.5 for r in ratios.values()), ratios
+    # query is the weakest win (paper: 1.38, the minimum row).
+    assert ratios["query"] == min(ratios.values())
+    # The differentiation family sits above average (paper: 4.18/4.02).
+    assert ratios["divide10"] > average
+
+    benchmark.extra_info["average_ratio"] = round(average, 2)
+    benchmark.extra_info["paper_average"] = paper_data.TABLE2_AVG_RATIO
+
+
+@pytest.mark.parametrize("name", ["nrev1", "hanoi", "query"])
+def test_kcm_klips_magnitude(kcm_runner, name):
+    """KCM's own Table 2 Klips stay in the paper's order of magnitude."""
+    result = kcm_runner.run(name, "timed")
+    paper = paper_data.TABLE2[name].kcm_klips
+    assert 0.4 * paper <= result.klips <= 2.2 * paper

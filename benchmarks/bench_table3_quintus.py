@@ -1,0 +1,65 @@
+"""Table 3 — execution time vs Quintus 2.0 on a SUN-3/280 (I/O removed).
+
+Asserts the reproduced shape: KCM beats the emulated commercial system
+everywhere, by mid-single-digit to 10x factors; deterministic list
+kernels (nrev1) show the *lowest* ratios exactly as the paper reports
+("the lower ratios are obtained for intrinsically deterministic
+programs").  Known residual: the paper's query row (10.17) is only
+partially reached; see EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.bench import paper_data
+from repro.bench.programs import SUITE_ORDER
+
+#: programs with published Quintus rows (the paper leaves holes for
+#: those "too small to get significant results").
+PAPER_ROWS = [name for name in SUITE_ORDER
+              if paper_data.TABLE3[name].ratio is not None]
+
+
+def test_table3_full(benchmark, kcm_runner, quintus_runner):
+    def measure():
+        rows = {}
+        for name in SUITE_ORDER:
+            kcm = kcm_runner.run(name, "pure")
+            quintus = quintus_runner.run(name, "pure")
+            rows[name] = (quintus.milliseconds / kcm.milliseconds,
+                          kcm.klips, quintus.klips)
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    print(f"\n{'program':10s} {'Q/KCM':>7s} {'paper':>7s} "
+          f"{'KCM Klips':>10s} {'Q Klips':>9s}")
+    for name, (ratio, kcm_klips, q_klips) in rows.items():
+        paper = paper_data.TABLE3[name].ratio
+        print(f"{name:10s} {ratio:7.2f} "
+              f"{paper if paper else float('nan'):7.2f} "
+              f"{kcm_klips:10.1f} {q_klips:9.1f}")
+
+    ratios = {name: rows[name][0] for name in PAPER_ROWS}
+    average = sum(ratios.values()) / len(ratios)
+
+    # KCM wins everywhere, by a clear margin.
+    assert all(r > 2.5 for r in ratios.values()), ratios
+    # Average in the high single digits (paper 7.85; model reaches ~6).
+    assert 5.0 <= average <= 9.5
+    # Deterministic nrev1 has the lowest ratio among the paper's
+    # deterministic rows -- and matches its published 5.08 closely.
+    assert ratios["nrev1"] == pytest.approx(5.08, rel=0.15)
+    # Backtracking-heavy rows beat the deterministic kernel.
+    assert ratios["queens"] > ratios["nrev1"]
+    assert ratios["hanoi"] > ratios["nrev1"]
+
+    benchmark.extra_info["average_ratio"] = round(average, 2)
+    benchmark.extra_info["paper_average"] = paper_data.TABLE3_AVG_RATIO
+
+
+def test_quintus_klips_magnitude(quintus_runner):
+    """The emulated Quintus lands in the tens-to-150 Klips band the
+    paper's Table 3 reports (33-151)."""
+    for name in ("nrev1", "mutest", "queens"):
+        result = quintus_runner.run(name, "pure")
+        assert 25 <= result.klips <= 220, (name, result.klips)

@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench file regenerates one table or figure of the paper (see
+DESIGN.md's experiment index).  pytest-benchmark measures the
+simulator's wall-clock; the *simulated* figures (cycles, ms at 80 ns,
+Klips) are attached as extra_info and asserted against the paper's
+bands.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def kcm_runner():
+    from repro.bench.runner import SuiteRunner
+    return SuiteRunner()
+
+
+@pytest.fixture(scope="session")
+def plm_runner():
+    from repro.baselines.plm import plm_machine
+    from repro.bench.runner import SuiteRunner
+    return SuiteRunner(machine_factory=lambda s: plm_machine(s))
+
+
+@pytest.fixture(scope="session")
+def quintus_runner():
+    from repro.baselines.quintus import quintus_machine
+    from repro.bench.runner import SuiteRunner
+    return SuiteRunner(machine_factory=lambda s: quintus_machine(s))

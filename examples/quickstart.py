@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: compile and run Prolog on the simulated KCM.
+
+Covers the one-call API (`run_query`), solutions, and the performance
+counters the paper's evaluation is built on (cycles at 80 ns,
+inferences, Klips).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import run_query, term_to_text
+
+PROGRAM = """
+% The classic list library.
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+% A little family database.
+parent(tom, bob).      parent(tom, liz).
+parent(bob, ann).      parent(bob, pat).
+grandparent(G, C) :- parent(G, P), parent(P, C).
+"""
+
+
+def main() -> None:
+    # First solution of a deterministic query.
+    result = run_query(PROGRAM, "append([1,2,3], [4,5], Xs)")
+    print("append([1,2,3], [4,5], Xs)  ->", result.bindings_text())
+
+    # All solutions through backtracking.
+    result = run_query(PROGRAM, "grandparent(tom, Who)",
+                       all_solutions=True)
+    print("grandchildren of tom       ->",
+          [term_to_text(s["Who"]) for s in result.solutions])
+
+    # Running a list split backwards: the same append, used to generate.
+    result = run_query(PROGRAM, "append(A, B, [x, y, z])",
+                       all_solutions=True)
+    for solution in result.solutions:
+        print("   split:", term_to_text(solution["A"]), "+",
+              term_to_text(solution["B"]))
+
+    # The machine's performance counters (the paper's metrics).
+    result = run_query(PROGRAM, "append([1,2,3,4,5,6,7,8,9,10], [], R)")
+    stats = result.stats
+    print(f"\nperformance: {stats.inferences} inferences in "
+          f"{stats.cycles} cycles "
+          f"({result.milliseconds * 1000:.1f} microseconds at 80 ns)")
+    print(f"  = {result.klips:.0f} Klips "
+          f"(kilo logical inferences per second)")
+    print(f"  shallow fails {stats.shallow_fails}, "
+          f"deep fails {stats.deep_fails}, "
+          f"choice points created {stats.choice_points_created}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim so `python setup.py develop` works in offline
+environments lacking the `wheel` package (pip editable installs need it).
+All real metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro: a full reproduction of "KCM: A Knowledge Crunching Machine"
+(Benker et al., ISCA 1989).
+
+A cycle-level simulator of the ECRC KCM Prolog back-end processor —
+64-bit tagged architecture, shallow backtracking, zone-checked memory
+system with split logical caches — together with the WAM/KCM compiler
+toolchain, the PLM benchmark suite, baseline machine models (PLM, SPUR,
+Quintus/SUN-3) and harnesses regenerating every table and figure of the
+paper's evaluation.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.api import QueryResult, compile_and_load, run_query
+from repro.core import (
+    CostModel, Features, Machine, RunStats, SymbolTable, Type, Word, Zone,
+    kcm_cost_model, kcm_features,
+)
+from repro.compiler import Linker, link_program
+from repro.compiler.incremental import IncrementalLoader
+from repro.core.gc import HeapMarker, should_collect
+from repro.core.monitor import (
+    CycleProfiler, MacrocodeTracer, PortTracer, attach,
+)
+from repro.prolog import parse_program, parse_term, term_to_text
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QueryResult", "compile_and_load", "run_query",
+    "CostModel", "Features", "Machine", "RunStats", "SymbolTable",
+    "Type", "Word", "Zone", "kcm_cost_model", "kcm_features",
+    "Linker", "link_program", "IncrementalLoader",
+    "HeapMarker", "should_collect",
+    "CycleProfiler", "MacrocodeTracer", "PortTracer", "attach",
+    "parse_program", "parse_term", "term_to_text",
+    "__version__",
+]

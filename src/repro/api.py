@@ -1,0 +1,105 @@
+"""High-level convenience API.
+
+Most users want exactly this::
+
+    from repro import run_query
+    result = run_query("append([],L,L). append([H|T],L,[H|R]) :- "
+                       "append(T,L,R).",
+                       "append([1,2],[3],X)")
+    result.solutions[0]["X"]      # the term [1, 2, 3]
+    result.stats.cycles           # KCM cycles
+    result.klips                  # the paper's performance metric
+
+Lower-level control (feature ablations, baseline cost models, memory
+configuration) is available by constructing :class:`repro.Machine` and
+:class:`repro.compiler.Linker` directly; see the examples directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.compiler.linker import LinkedImage, Linker
+from repro.core.costs import CostModel, Features
+from repro.core.machine import Machine
+from repro.core.statistics import RunStats
+from repro.core.symbols import SymbolTable
+from repro.prolog.terms import Term
+from repro.prolog.writer import term_to_text
+
+
+@dataclass
+class QueryResult:
+    """Everything one query execution produced."""
+
+    solutions: List[Dict[str, Term]]
+    stats: RunStats
+    machine: Machine
+    image: LinkedImage
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether at least one solution was found."""
+        return bool(self.solutions)
+
+    @property
+    def milliseconds(self) -> float:
+        """Wall-clock time at the machine's cycle time."""
+        return self.stats.milliseconds(self.machine.costs.cycle_seconds)
+
+    @property
+    def klips(self) -> float:
+        """Kilo logical inferences per second (section 4.2 definition)."""
+        return self.stats.klips(self.machine.costs.cycle_seconds)
+
+    @property
+    def output(self) -> str:
+        """Text produced by write/1 and friends (real-I/O mode only)."""
+        return "".join(self.machine.output)
+
+    def bindings_text(self, index: int = 0) -> str:
+        """Readable rendering of one solution's bindings."""
+        solution = self.solutions[index]
+        return ", ".join(f"{name} = {term_to_text(term)}"
+                         for name, term in solution.items())
+
+
+def compile_and_load(program: str, query: str,
+                     machine: Optional[Machine] = None,
+                     io_mode: str = "stub",
+                     costs: Optional[CostModel] = None,
+                     features: Optional[Features] = None) -> Machine:
+    """Compile, link and install; returns the loaded machine with the
+    image stashed at ``machine.image``."""
+    symbols = machine.symbols if machine is not None else SymbolTable()
+    image = Linker(symbols=symbols, io_mode=io_mode).link(program, query)
+    if machine is None:
+        machine = Machine(symbols=symbols, costs=costs, features=features)
+    image.install(machine)
+    machine.image = image
+    return machine
+
+
+def run_query(program: str, query: str,
+              all_solutions: bool = False,
+              machine: Optional[Machine] = None,
+              io_mode: str = "stub",
+              costs: Optional[CostModel] = None,
+              features: Optional[Features] = None,
+              max_cycles: Optional[int] = None) -> QueryResult:
+    """Compile ``program``, run ``query``, return solutions and stats.
+
+    ``all_solutions=True`` backtracks through the whole search space;
+    the default stops at the first solution, like the benchmark runs.
+    """
+    machine = compile_and_load(program, query, machine=machine,
+                               io_mode=io_mode, costs=costs,
+                               features=features)
+    if max_cycles is not None:
+        machine.max_cycles = max_cycles
+    image: LinkedImage = machine.image
+    stats = machine.run(image.entry, collect_all=all_solutions,
+                        answer_names=image.query_variable_names)
+    return QueryResult(solutions=machine.solutions, stats=stats,
+                       machine=machine, image=image)

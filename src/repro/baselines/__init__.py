@@ -1,0 +1,26 @@
+"""Baseline machine models for the paper's comparisons (Tables 1-4).
+
+- :mod:`repro.baselines.plm` — the Berkeley PLM: execution config
+  (Table 2) and static code-size model with cdr-coding (Table 1);
+- :mod:`repro.baselines.spur` — SPUR RISC expansion model (Table 1);
+- :mod:`repro.baselines.quintus` — Quintus 2.0 on a SUN-3/280
+  (Table 3).
+
+All execution baselines reuse the same functional simulator with
+different cost models and feature switches, so wins and losses come
+out of real runs of identical compiled programs.
+"""
+
+from repro.baselines.plm import (
+    CodeSize, PLMCodeModel, plm_cost_model, plm_features, plm_machine,
+)
+from repro.baselines.quintus import (
+    quintus_cost_model, quintus_features, quintus_machine,
+)
+from repro.baselines.spur import SPURCodeModel
+
+__all__ = [
+    "CodeSize", "PLMCodeModel", "plm_cost_model", "plm_features",
+    "plm_machine", "quintus_cost_model", "quintus_features",
+    "quintus_machine", "SPURCodeModel",
+]

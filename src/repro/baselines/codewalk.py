@@ -1,0 +1,34 @@
+"""Shared helper: compiled item streams for a benchmark program.
+
+The three static-size models (KCM itself, PLM, SPUR) must count the
+same code: every program predicate plus the driver (query) clause,
+excluding the runtime library.  This walks the same compiler pipeline
+the linker uses and yields the instruction items per predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.compiler.indexing import compile_predicate
+from repro.compiler.linker import Linker
+from repro.compiler.normalize import group_program, normalize_program
+from repro.core.instruction import Instruction
+from repro.core.symbols import SymbolTable
+from repro.prolog.parser import parse_program
+
+
+def program_instruction_streams(source: str, query: str
+                                ) -> Iterator[List[Instruction]]:
+    """Yield the instruction list of each program predicate (program
+    clauses, generated control predicates, and the driver clause)."""
+    symbols = SymbolTable()
+    program = normalize_program(parse_program(source))
+    query_clause, _ = Linker(symbols=symbols)._query_clause(query, program)
+    groups = group_program(program)
+    for (name, arity), clauses in groups.items():
+        code = compile_predicate(name, arity, clauses, symbols)
+        yield [item for item in code.items if isinstance(item, Instruction)]
+    query_code = compile_predicate("$query", 0, [query_clause], symbols)
+    yield [item for item in query_code.items
+           if isinstance(item, Instruction)]

@@ -1,0 +1,11 @@
+"""Benchmark suite, runner, paper data and table/figure harness.
+
+``python -m repro.bench all`` regenerates every table and figure of
+the paper's evaluation section; see DESIGN.md for the experiment index.
+"""
+
+from repro.bench.programs import SUITE, SUITE_ORDER, Benchmark
+from repro.bench.runner import BenchResult, SuiteRunner
+
+__all__ = ["SUITE", "SUITE_ORDER", "Benchmark", "BenchResult",
+           "SuiteRunner"]

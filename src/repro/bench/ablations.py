@@ -1,0 +1,93 @@
+"""Ablations: "the influence of each specialized unit".
+
+The paper's future-work section promises evaluation studies "to get
+proper figures on the influence of each specialized unit (trail,
+dereferencing, RAC, double port register file ...) on the overall
+performance".  These harnesses deliver that study on the simulator:
+each ablation switches one KCM mechanism off (with the honest serial-
+hardware cost in its place) and reruns the suite.
+
+- ``shallow``  — A1: delayed choice-point creation off (eager WAM CPs);
+- ``trail``    — A2: parallel trail comparators off (2 serial-compare
+  cycles per conditional binding);
+- ``mwac``     — the MWAC multi-way dispatch off (serial type tests on
+  switches and unification instructions);
+- ``cache``    — A3: zone-sectioned data cache replaced by a plain
+  direct-mapped cache of the same total size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.bench.programs import SUITE_ORDER
+from repro.bench.runner import SuiteRunner
+from repro.core.costs import Features
+from repro.core.machine import Machine
+from repro.core.symbols import SymbolTable
+
+#: ablation name -> Features overrides.
+ABLATIONS: Dict[str, dict] = {
+    "shallow": {"shallow_backtracking": False},
+    "trail": {"parallel_trail": False},
+    "mwac": {"mwac": False},
+    "cache": {"sectioned_cache": False},
+}
+
+
+@dataclass
+class AblationRow:
+    """One program's baseline-vs-ablated cycles."""
+
+    program: str
+    baseline_cycles: int
+    ablated_cycles: int
+
+    @property
+    def slowdown(self) -> float:
+        """Ablated / baseline cycles (>= 1 means the unit helps)."""
+        if not self.baseline_cycles:
+            return 1.0
+        return self.ablated_cycles / self.baseline_cycles
+
+
+def _ablated_factory(name: str):
+    overrides = ABLATIONS[name]
+    def factory(symbols: SymbolTable) -> Machine:
+        return Machine(symbols=symbols, features=Features(**overrides))
+    return factory
+
+
+def run_ablation(name: str, programs: Optional[List[str]] = None,
+                 variant: str = "pure") -> List[AblationRow]:
+    """Run the suite with one unit disabled; returns per-program rows."""
+    if name not in ABLATIONS:
+        raise ValueError(f"unknown ablation {name!r}; "
+                         f"one of {sorted(ABLATIONS)}")
+    programs = programs if programs is not None else SUITE_ORDER
+    baseline = SuiteRunner()
+    ablated = SuiteRunner(machine_factory=_ablated_factory(name))
+    rows = []
+    for program in programs:
+        base = baseline.run(program, variant)
+        abl = ablated.run(program, variant)
+        rows.append(AblationRow(program=program,
+                                baseline_cycles=base.stats.cycles,
+                                ablated_cycles=abl.stats.cycles))
+    return rows
+
+
+def render_ablation(name: str,
+                    programs: Optional[List[str]] = None) -> str:
+    """Text table for one ablation."""
+    rows = run_ablation(name, programs)
+    lines = [f"Ablation '{name}': KCM vs KCM-without-{name}",
+             f"{'program':10s} {'KCM cycles':>11s} {'ablated':>11s} "
+             f"{'slowdown':>9s}"]
+    for row in rows:
+        lines.append(f"{row.program:10s} {row.baseline_cycles:11d} "
+                     f"{row.ablated_cycles:11d} {row.slowdown:9.3f}")
+    mean = sum(r.slowdown for r in rows) / len(rows)
+    lines.append(f"{'mean':10s} {'':11s} {'':11s} {mean:9.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Command-line harness: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro.bench table1|table2|table3|table4
+    python -m repro.bench figures
+    python -m repro.bench cache-experiment
+    python -m repro.bench suite [--variant pure|timed] [--cold]
+    python -m repro.bench all
+
+(Also installed as the ``kcm-bench`` console script.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _suite(variant: str, warm: bool) -> str:
+    from repro.bench.programs import SUITE_ORDER
+    from repro.bench.runner import SuiteRunner
+    runner = SuiteRunner()
+    lines = [f"PLM suite on KCM ({variant} variants, "
+             f"{'warm' if warm else 'cold'} caches)",
+             f"{'program':10s} {'inferences':>10s} {'cycles':>10s} "
+             f"{'ms':>9s} {'Klips':>8s}"]
+    for name in SUITE_ORDER:
+        result = runner.run(name, variant, warm=warm)
+        lines.append(f"{name:10s} {result.inferences:10d} "
+                     f"{result.stats.cycles:10d} "
+                     f"{result.milliseconds:9.3f} {result.klips:8.1f}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="kcm-bench",
+        description="Regenerate the tables and figures of 'KCM: A "
+                    "Knowledge Crunching Machine' (ISCA 1989).")
+    parser.add_argument("target",
+                        choices=["table1", "table2", "table3", "table4",
+                                 "figures", "cache-experiment", "suite",
+                                 "all"],
+                        help="what to regenerate")
+    parser.add_argument("--variant", choices=["pure", "timed"],
+                        default="pure",
+                        help="suite variant (pure = I/O removed)")
+    parser.add_argument("--cold", action="store_true",
+                        help="measure cold-cache first runs")
+    args = parser.parse_args(argv)
+
+    out: List[str] = []
+    if args.target in ("table1", "all"):
+        from repro.bench.tables import table1
+        out.append(table1().render())
+    if args.target in ("table2", "all"):
+        from repro.bench.tables import table2
+        out.append(table2().render())
+    if args.target in ("table3", "all"):
+        from repro.bench.tables import table3
+        out.append(table3().render())
+    if args.target in ("table4", "all"):
+        from repro.bench.tables import table4
+        out.append(table4().render())
+    if args.target in ("figures", "all"):
+        from repro.bench.figures import all_figures
+        out.append(all_figures())
+    if args.target in ("cache-experiment", "all"):
+        from repro.bench.figures import render_cache_experiment
+        out.append(render_cache_experiment())
+    if args.target == "suite":
+        out.append(_suite(args.variant, warm=not args.cold))
+
+    print("\n\n".join(out))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

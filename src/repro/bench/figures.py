@@ -1,0 +1,309 @@
+"""Regeneration of the paper's figures.
+
+Figures 1–7 are architecture diagrams, not data plots; for a software
+artefact the faithful reproduction is a rendering **derived from the
+live configuration objects** — the word-format figures read the bit
+positions from :mod:`repro.core.tags`, the instruction-format figure
+reads :mod:`repro.core.opcodes` metadata, the architecture block
+diagrams enumerate the actual component objects of a constructed
+machine.  If the code changes, the figures change with it.
+
+``cache_collision_experiment`` reproduces the *measured* experiment of
+section 3.2.4: hit ratios of a direct-mapped data cache under two
+top-of-stack initialisations, with and without KCM's zone-sectioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core import tags
+from repro.core.machine import Machine
+from repro.core.opcodes import OP_INFO, Format
+from repro.core.symbols import SymbolTable
+from repro.api import compile_and_load
+
+
+def figure1() -> str:
+    """Figure 1: KCM system environment."""
+    return "\n".join([
+        "Figure 1: KCM System Environment",
+        "",
+        "  +--------------------+       +---------------------------+",
+        "  |  UNIX workstation  | VME   |            KCM            |",
+        "  |  (host: I/O, file  |<----->| +-----+  +--------------+ |",
+        "  |  system, paging,   | comm. | | CPU |--| comm. memory | |",
+        "  |  user interaction) | memory| +-----+  +--------------+ |",
+        "  |                    |       |    |     +--------------+ |",
+        "  |    diskless desk-  |       |    +-----| main memory  | |",
+        "  |    top cabinet     |       |          |  32 MB board | |",
+        "  +--------------------+       +---------------------------+",
+        "",
+        "  Back-end processor with private memory; the host serves I/O",
+        "  and paging (paper section 2.1).",
+    ])
+
+
+def _bit_ruler(fields: List[tuple]) -> List[str]:
+    """Render a 64-bit word as labelled fields.
+
+    ``fields`` is a list of (high_bit, low_bit, label).
+    """
+    top = []
+    mid = []
+    for high, low, label in fields:
+        width = max(len(label) + 2, 2 * (high - low + 1) // 3 + 2)
+        top.append(f"{high:>3}..{low:<3}".center(width))
+        mid.append(label.center(width))
+    line = "+" + "+".join("-" * len(c) for c in mid) + "+"
+    return [" " + " ".join(top), line,
+            "|" + "|".join(mid) + "|", line]
+
+
+def figure2() -> str:
+    """Figure 2: KCM data word format (from the live tag layout)."""
+    fields = [
+        (63, 62, "GC"),
+        (61, 56, "unused"),
+        (tags.ZONE_SHIFT + tags.ZONE_BITS - 1, tags.ZONE_SHIFT, "zone"),
+        (tags.TYPE_SHIFT + tags.TYPE_BITS - 1, tags.TYPE_SHIFT, "type"),
+        (47, 32, "unused"),
+        (31, 0, "value (32-bit)"),
+    ]
+    lines = ["Figure 2: KCM Data Word Format (64 bits)", ""]
+    lines += _bit_ruler(fields)
+    lines += ["", "types: " + ", ".join(t.name for t in tags.Type),
+              "zones: " + ", ".join(z.name for z in tags.Zone)]
+    return "\n".join(lines)
+
+
+def figure3() -> str:
+    """Figure 3: the two instruction word formats, with the opcodes
+    that use each (from the live opcode metadata)."""
+    by_format: Dict[Format, List[str]] = {Format.R4: [], Format.ADDR: []}
+    for op, info in OP_INFO.items():
+        by_format[info.format].append(op.name.lower())
+    lines = ["Figure 3: KCM Instruction Word Formats (64 bits)", ""]
+    lines += _bit_ruler([(63, 48, "opcode+modes"), (47, 36, "reg s1"),
+                         (35, 24, "reg s2"), (23, 12, "reg d1"),
+                         (11, 0, "reg d2")])
+    lines += ["  R4 (register) format: "
+              + ", ".join(sorted(by_format[Format.R4])), ""]
+    lines += _bit_ruler([(63, 48, "opcode+modes"), (47, 42, "reg"),
+                         (41, 26, "offset/aux"), (25, 0, "address")])
+    lines += ["  ADDR (address) format: "
+              + ", ".join(sorted(by_format[Format.ADDR]))]
+    lines += ["", "All branch targets are absolute (section 3.1.3); the "
+              "switch instructions are the only multi-word instructions."]
+    return "\n".join(lines)
+
+
+def figure4() -> str:
+    """Figure 4: top-level architecture, enumerated from a machine."""
+    machine = Machine()
+    mem = machine.memory
+    return "\n".join([
+        "Figure 4: KCM Top Level Architecture",
+        "",
+        "   +----------------+        +-----------------+",
+        "   | prefetch unit  |        | execution unit  |",
+        "   | (3-stage pipe) |        | (64x64 regfile, |",
+        "   +-------+--------+        |  ALUs, FPU,     |",
+        "           |                 |  MWAC, trail)   |",
+        "           | IBUS            +--------+--------+",
+        "   +-------+--------+                 | DBUS",
+        f"   |  code cache    |        +--------+--------+",
+        f"   |  {mem.code_cache.TOTAL_WORDS // 1024}K x 64 words |"
+        f"        |   data cache    |",
+        "   |  write-through |        | "
+        f"{mem.data_cache.TOTAL_WORDS // 1024}K x 64, copy-back|",
+        f"   +-------+--------+        |  {mem.data_cache.SECTIONS}"
+        " zone sections |",
+        "           |                 +--------+--------+",
+        "           +---------+----------------+",
+        "                     | (logical caches: MMU below)",
+        "           +---------+---------+",
+        "           | memory management |",
+        "           |  page-table RAM   |",
+        "           +---------+---------+",
+        "                     |",
+        "           +---------+---------+",
+        f"           |   main memory     |",
+        f"           |   {mem.main_memory.words * 8 // (1 << 20)} MB board  "
+        "   |",
+        "           +-------------------+",
+        "",
+        "   control unit: single central microsequencer (synchronous, "
+        "4-phase clock, 80 ns)",
+    ])
+
+
+def figure5() -> str:
+    """Figure 5: the execution unit's buses and ports."""
+    return "\n".join([
+        "Figure 5: The Execution Unit",
+        "",
+        "        ABUS ====================================",
+        "        BBUS ====================================",
+        "          |         |        |         |        |",
+        "      +---+---+ +---+---+ +--+--+ +----+---+ +--+--+",
+        "      | 64x64 | | ALU_C | |ALU_D| |  FPU   | | TVM |",
+        "      | 4-port| |address| |data | |32b IEEE| | tag |",
+        "      |regfile| +---+---+ +--+--+ +----+---+ +--+--+",
+        "      | + RAC |     |        |         |        |",
+        "      +---+---+  CBUS ===================================",
+        "          |      DBUS ===================================",
+        "          |                  |",
+        "          |             +----+------+   +-------+",
+        "          +-------------+ data cache+---+ Trail |",
+        "                        +-----------+   +-------+",
+        "",
+        "  Four-address format: two sources (ABUS/BBUS), two",
+        "  destinations (CBUS/DBUS) -> a double register move per cycle.",
+        "  The trail comparators watch addresses in parallel with",
+        "  dereferencing (section 3.1.5).",
+    ])
+
+
+def figure6() -> str:
+    """Figure 6: the instruction prefetch unit."""
+    return "\n".join([
+        "Figure 6: The Prefetch Unit (3-stage pipeline)",
+        "",
+        "     +-----+    +------------+     +------------+",
+        "  +->|  P  |--->| code cache |---->|  IB  | SP   |",
+        "  |  +-----+    +------------+     +---+--------+",
+        "  | (+1 each cycle)                    |",
+        "  |        branch predecode -----------+",
+        "  |                                    v",
+        "  |                                +---+--------+",
+        "  +--------------------------------|  IR  | TP  |",
+        "        (branch target from IB)    +------------+",
+        "",
+        "  P  : address of instruction n+2     IB/SP: instr n+1 + address",
+        "  IR/TP: executing instr n + address",
+        "  1 instruction/cycle; immediate jumps and calls 2 cycles;",
+        "  conditional branches 1 (not taken) / 4 (taken).",
+    ])
+
+
+def figure7() -> str:
+    """Figure 7: address format (from the live layout constants)."""
+    fields = [
+        (63, 62, "GC"),
+        (tags.ZONE_SHIFT + tags.ZONE_BITS - 1, tags.ZONE_SHIFT, "zone"),
+        (tags.TYPE_SHIFT + tags.TYPE_BITS - 1, tags.TYPE_SHIFT, "type"),
+        (47, 32, "unused"),
+        (31, tags.ADDRESS_BITS, "0000"),
+        (tags.ADDRESS_BITS - 1, tags.PAGE_OFFSET_BITS, "virtual page"),
+        (tags.PAGE_OFFSET_BITS - 1, 0, "page offset"),
+    ]
+    lines = ["Figure 7: KCM Address Format", ""]
+    lines += _bit_ruler(fields)
+    lines += [
+        "",
+        f"word addresses; page size {tags.PAGE_SIZE_WORDS} words (16K); "
+        f"{1 << tags.PAGE_NUMBER_BITS} virtual pages per space",
+        f"zone check granularity: {tags.ZONE_GRANULE_WORDS} words (4K), "
+        "bits 27..12 against the limit RAM",
+    ]
+    return "\n".join(lines)
+
+
+def all_figures() -> str:
+    """Every figure, concatenated."""
+    parts = [figure1(), figure2(), figure3(), figure4(), figure5(),
+             figure6(), figure7()]
+    return "\n\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# The section 3.2.4 cache experiment
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CacheExperimentResult:
+    """Hit ratios for one configuration of the collision experiment."""
+
+    sectioned: bool
+    staggered: bool
+    hit_ratio: float
+    accesses: int
+    misses: int
+
+
+#: A small stack-busy program (the paper ran "a number of small
+#: programs"); nrev exercises global, local, control and trail stacks.
+_EXPERIMENT_PROGRAM = """
+concat([], L, L).
+concat([H|T], L, [H|R]) :- concat(T, L, R).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), concat(RT, [H], R).
+"""
+_EXPERIMENT_QUERY = "nrev([1,2,3,4,5,6,7,8,9,10,11,12], R)"
+
+
+def run_cache_configuration(sectioned: bool, staggered: bool
+                            ) -> CacheExperimentResult:
+    """Run the experiment program under one cache/stack configuration."""
+    from repro.core.costs import Features
+    from repro.memory.memory_system import MemorySystem
+
+    features = Features(sectioned_cache=sectioned)
+    memory = MemorySystem(sectioned_cache=sectioned)
+    machine = Machine(symbols=SymbolTable(), features=features,
+                      memory=memory, stagger_stacks=staggered)
+    machine = compile_and_load(_EXPERIMENT_PROGRAM, _EXPERIMENT_QUERY,
+                               machine=machine)
+    # Warm measurement: compulsory misses must not mask the conflict
+    # effect the paper describes (their figures come from repeated
+    # runs of resident programs).
+    machine.run(machine.image.entry,
+                answer_names=machine.image.query_variable_names)
+    machine.memory.reset_statistics()
+    machine.run(machine.image.entry,
+                answer_names=machine.image.query_variable_names)
+    stats = machine.memory.data_cache.stats
+    return CacheExperimentResult(
+        sectioned=sectioned, staggered=staggered,
+        hit_ratio=stats.hit_ratio, accesses=stats.accesses,
+        misses=stats.misses)
+
+
+def cache_collision_experiment() -> Dict[str, CacheExperimentResult]:
+    """The four-way experiment of section 3.2.4.
+
+    Plain direct-mapped cache: "hit ratios were very good in the first
+    run [staggered pointers] and dropped quite dramatically in the
+    second [colliding pointers]".  KCM's zone-sectioned cache is immune
+    to the initialisation because stacks can never evict each other.
+    """
+    return {
+        "plain/staggered": run_cache_configuration(False, True),
+        "plain/colliding": run_cache_configuration(False, False),
+        "sectioned/staggered": run_cache_configuration(True, True),
+        "sectioned/colliding": run_cache_configuration(True, False),
+    }
+
+
+def render_cache_experiment() -> str:
+    """Text table of the experiment."""
+    results = cache_collision_experiment()
+    lines = [
+        "Section 3.2.4 experiment: direct-mapped data cache vs",
+        "top-of-stack initialisation (warm caches, nrev(12))",
+        "",
+        f"{'configuration':24s} {'hit ratio':>10s} {'accesses':>9s} "
+        f"{'misses':>7s}",
+    ]
+    for name, r in results.items():
+        lines.append(f"{name:24s} {r.hit_ratio:10.4f} {r.accesses:9d} "
+                     f"{r.misses:7d}")
+    lines += [
+        "",
+        "paper: plain cache hit ratio 'very good' when staggered,",
+        "'dropped quite dramatically' when colliding; the zone-",
+        "sectioned cache removes the sensitivity entirely.",
+    ]
+    return "\n".join(lines)

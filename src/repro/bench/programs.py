@@ -1,0 +1,341 @@
+"""The PLM benchmark suite (paper section 4).
+
+The suite "gathered by the PLM team at U.C. Berkeley in order to
+evaluate the performance of the PLM", an extension of D.H.D. Warren's
+original benchmark set.  The original sources are not in the paper, so
+each program below is reconstructed from the classical Warren/Berkeley
+benchmark descriptions; where the paper's published inference counts
+pin the program down (its Klips definition makes counts reproducible),
+the reconstruction matches them *exactly* — validated by
+``tests/test_suite_counts.py``:
+
+===========  =====================  =====================
+program      Table 2 inferences     Table 3 inferences
+             (timed variant)        (pure variant, I/O removed)
+===========  =====================  =====================
+con1         6                      4
+con6         42                     12
+divide10     22                     20
+hanoi        1787                   767
+log10        14                     12
+nrev1        499                    497
+ops8         20                     18
+times10      22                     20
+===========  =====================  =====================
+
+For mutest, palin25, pri2, qs4, queens and query the sources are the
+standard benchmark formulations; measured counts are reported next to
+the paper's in EXPERIMENTS.md.
+
+Each benchmark comes in two variants matching the paper's two tables:
+
+- ``timed``  — write/nl calls present, compiled as 5-cycle unit
+  clauses (Table 2 methodology);
+- ``pure``   — "All the I/O predicates ... have been removed"
+  (Table 3 methodology, the starred program names).
+
+The assert/retract program of the original suite is omitted — the
+paper itself could not run it ("this library did not include any
+assert/retract facilities which made it impossible to run one of the
+programs of the suite").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One suite program in both variants."""
+
+    name: str
+    description: str
+    source_timed: str
+    query_timed: str
+    source_pure: str
+    query_pure: str
+    #: run the query to exhaustion (fail-driven loop), not first answer.
+    all_solutions: bool = False
+    #: exact paper counts where the reconstruction is pinned, else None.
+    paper_inferences_timed: Optional[int] = None
+    paper_inferences_pure: Optional[int] = None
+
+
+CONCAT = """
+concat([], L, L).
+concat([H|T], L, [H|R]) :- concat(T, L, R).
+"""
+
+CON6_SOURCE = CONCAT + """
+out([]) :- nl.
+out([H|T]) :- write(H), out(T).
+"""
+
+DERIV = """
+d(U + V, X, DU + DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U - V, X, DU - DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U * V, X, DU * V + U * DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U / V, X, (DU * V - U * DV) / (V * V)) :- !, d(U, X, DU), d(V, X, DV).
+d(U ^ N, X, DU * N * U ^ N1) :- !, integer(N), N1 is N - 1, d(U, X, DU).
+d(- U, X, - DU) :- !, d(U, X, DU).
+d(exp(U), X, exp(U) * DU) :- !, d(U, X, DU).
+d(log(U), X, DU / U) :- !, d(U, X, DU).
+d(X, X, 1) :- !.
+d(_, _, 0).
+"""
+
+TIMES10_EXPR = "((((((((x*x)*x)*x)*x)*x)*x)*x)*x)*x"
+DIVIDE10_EXPR = "((((((((x/x)/x)/x)/x)/x)/x)/x)/x)/x"
+LOG10_EXPR = "log(log(log(log(log(log(log(log(log(log(x))))))))))"
+OPS8_EXPR = "(x + 1) * ((x ^ 2 + 2) * (x ^ 3 + 3))"
+
+DERIV_TIMES10 = DERIV + f"\ntimes10(D) :- d({TIMES10_EXPR}, x, D).\n"
+DERIV_DIVIDE10 = DERIV + f"\ndivide10(D) :- d({DIVIDE10_EXPR}, x, D).\n"
+DERIV_LOG10 = DERIV + f"\nlog10(D) :- d({LOG10_EXPR}, x, D).\n"
+DERIV_OPS8 = DERIV + f"\nops8(D) :- d({OPS8_EXPR}, x, D).\n"
+
+HANOI_TIMED = """
+hanoi(N) :- move(N, left, centre, right).
+move(0, _, _, _) :- !.
+move(N, A, B, C) :-
+    M is N - 1, move(M, A, C, B), inform(A, B), move(M, C, B, A).
+inform(A, B) :- write(A), write(B), nl.
+"""
+
+HANOI_PURE = """
+hanoi(N) :- move(N, left, centre, right).
+move(0, _, _, _) :- !.
+move(N, A, B, C) :-
+    M is N - 1, move(M, A, C, B), move(M, C, B, A).
+"""
+
+NREV_LIST = "[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20," \
+    "21,22,23,24,25,26,27,28,29,30]"
+
+NREV = CONCAT + f"""
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), concat(RT, [H], R).
+nrev1(R) :- nrev({NREV_LIST}, R).
+"""
+
+MUTEST = """
+/* Derive the MU-puzzle string 'muiiu' forward from the axiom 'mi'
+   within a depth bound (Hofstadter's MIU system). */
+mutest :- derive(6, [m, i], [m, u, i, i, u]).
+
+derive(_, T, T).
+derive(Depth, S, T) :-
+    Depth > 0, D is Depth - 1, rules(S, R), derive(D, R, T).
+
+rules(S, R) :-
+    ( rule1(S, R) ; rule2(S, R) ; rule3(S, R) ; rule4(S, R) ).
+
+/* Xi -> Xiu */
+rule1(S, R) :- append(X, [i], S), append(X, [i, u], R).
+/* mX -> mXX */
+rule2([m|T], [m|R]) :- append(T, T, R).
+/* XiiiY -> XuY */
+rule3(S, R) :- append(X, [i, i, i|Y], S), append(X, [u|Y], R).
+/* XuuY -> XY */
+rule4(S, R) :- append(X, [u, u|Y], S), append(X, Y, R).
+
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+"""
+
+PALIN25_LIST = "[a,b,c,d,e,f,g,h,i,j,k,l,m,l,k,j,i,h,g,f,e,d,c,b,a]"
+
+PALIN25 = CONCAT + """
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), concat(RT, [H], R).
+palin(L) :- nrev(L, L).
+palin25 :- palin(%s).
+""" % PALIN25_LIST
+
+PRI2 = """
+primes(Limit, Ps) :- integers(2, Limit, Is), sift(Is, Ps).
+integers(Low, High, [Low|Rest]) :-
+    Low =< High, !, M is Low + 1, integers(M, High, Rest).
+integers(_, _, []).
+sift([], []).
+sift([I|Is], [I|Ps]) :- remove(I, Is, New), sift(New, Ps).
+remove(_, [], []).
+remove(P, [I|Is], Nis) :- IModP is I mod P, IModP =:= 0, !,
+    remove(P, Is, Nis).
+remove(P, [I|Is], [I|Nis]) :- remove(P, Is, Nis).
+pri2(Ps) :- primes(80, Ps).
+"""
+
+QS4_LIST = "[27,74,17,33,94,18,46,83,65,2,32,53,28,85,99,47,28,82,6,11," \
+    "55,29,39,81,90,37,10,0,66,51,7,21,85,27,31,63,75,4,95,99,11,28,61," \
+    "74,18,92,40,53,59,8]"
+
+QS4 = f"""
+qsort([X|L], R, R0) :-
+    partition(L, X, L1, L2),
+    qsort(L2, R1, R0),
+    qsort(L1, R, [X|R1]).
+qsort([], R, R).
+partition([X|L], Y, [X|L1], L2) :- X =< Y, !, partition(L, Y, L1, L2).
+partition([X|L], Y, L1, [X|L2]) :- partition(L, Y, L1, L2).
+partition([], _, [], []).
+qs4(R) :- qsort({QS4_LIST}, R, []).
+"""
+
+QUEENS = """
+queens6(Qs) :- queens([1, 2, 3, 4, 5, 6], [], Qs).
+queens([], Qs, Qs).
+queens(Unplaced, Safe, Qs) :-
+    selectq(Q, Unplaced, Rest),
+    noattack(Q, Safe, 1),
+    queens(Rest, [Q|Safe], Qs).
+noattack(_, [], _).
+noattack(Y, [Y1|Ys], D) :-
+    Y =\\= Y1 + D, Y =\\= Y1 - D, D1 is D + 1, noattack(Y, Ys, D1).
+selectq(X, [X|Xs], Xs).
+selectq(X, [Y|Ys], [Y|Zs]) :- selectq(X, Ys, Zs).
+"""
+
+QUERY = """
+query(C1, D1, C2, D2) :-
+    density(C1, D1),
+    density(C2, D2),
+    D1 > D2,
+    T1 is 20 * D1,
+    T2 is 21 * D2,
+    T1 < T2.
+density(C, D) :- pop(C, P), area(C, A), D is P * 100 // A.
+
+pop(china, 8250).       area(china, 3380).
+pop(india, 5863).       area(india, 1139).
+pop(ussr, 2521).        area(ussr, 8708).
+pop(usa, 2119).         area(usa, 3609).
+pop(indonesia, 1276).   area(indonesia, 570).
+pop(japan, 1097).       area(japan, 148).
+pop(brazil, 1042).      area(brazil, 3288).
+pop(bangladesh, 750).   area(bangladesh, 55).
+pop(pakistan, 682).     area(pakistan, 311).
+pop(w_germany, 620).    area(w_germany, 96).
+pop(nigeria, 613).      area(nigeria, 373).
+pop(mexico, 581).       area(mexico, 764).
+pop(uk, 559).           area(uk, 86).
+pop(italy, 554).        area(italy, 116).
+pop(france, 525).       area(france, 213).
+pop(philippines, 415).  area(philippines, 90).
+pop(thailand, 410).     area(thailand, 200).
+pop(turkey, 383).       area(turkey, 296).
+pop(egypt, 364).        area(egypt, 386).
+pop(spain, 352).        area(spain, 190).
+pop(poland, 337).       area(poland, 121).
+pop(s_korea, 335).      area(s_korea, 37).
+pop(iran, 320).         area(iran, 628).
+pop(ethiopia, 272).     area(ethiopia, 350).
+pop(argentina, 251).    area(argentina, 1080).
+"""
+
+
+def _benchmark(name: str, description: str, source: str, timed_query: str,
+               pure_query: str, source_pure: Optional[str] = None,
+               all_solutions: bool = False,
+               paper_timed: Optional[int] = None,
+               paper_pure: Optional[int] = None) -> Benchmark:
+    return Benchmark(
+        name=name, description=description,
+        source_timed=source, query_timed=timed_query,
+        source_pure=source_pure if source_pure is not None else source,
+        query_pure=pure_query, all_solutions=all_solutions,
+        paper_inferences_timed=paper_timed, paper_inferences_pure=paper_pure)
+
+
+#: The suite, in the paper's table order.
+SUITE: Dict[str, Benchmark] = {b.name: b for b in [
+    _benchmark(
+        "con1", "concatenation of two short lists",
+        CONCAT,
+        "concat([a,b,c], [d,e], L), write(L), nl",
+        "concat([a,b,c], [d,e], L)",
+        paper_timed=6, paper_pure=4),
+    _benchmark(
+        "con6", "two concatenations with element-wise output",
+        CON6_SOURCE,
+        "concat([a,b,c,d,e], [f], L1), out(L1), nl, "
+        "concat([a,b,c,d,e], [f], L2), out(L2), nl",
+        "concat([a,b,c,d,e], [f], L1), concat([a,b,c,d,e], [f], L2)",
+        paper_timed=42, paper_pure=12),
+    _benchmark(
+        "divide10", "symbolic differentiation of a 10-operand quotient",
+        DERIV_DIVIDE10,
+        "divide10(D), write(D), nl",
+        "divide10(D)",
+        paper_timed=22, paper_pure=20),
+    _benchmark(
+        "hanoi", "towers of Hanoi, 8 discs, reporting each move",
+        HANOI_TIMED,
+        "hanoi(8)",
+        "hanoi(8)",
+        source_pure=HANOI_PURE,
+        paper_timed=1787, paper_pure=767),
+    _benchmark(
+        "log10", "symbolic differentiation of 10 nested logarithms",
+        DERIV_LOG10,
+        "log10(D), write(D), nl",
+        "log10(D)",
+        paper_timed=14, paper_pure=12),
+    _benchmark(
+        "mutest", "prove the MU-puzzle theorem 'muiiu'",
+        MUTEST,
+        "mutest",
+        "mutest"),
+    _benchmark(
+        "nrev1", "naive reversal of a 30-element list",
+        NREV,
+        "nrev1(R), write(R), nl",
+        "nrev1(R)",
+        paper_timed=499, paper_pure=497),
+    _benchmark(
+        "ops8", "symbolic differentiation of an 8-operand expression",
+        DERIV_OPS8,
+        "ops8(D), write(D), nl",
+        "ops8(D)",
+        paper_timed=20, paper_pure=18),
+    _benchmark(
+        "palin25", "recognise a 25-symbol palindrome",
+        PALIN25,
+        "palin25, write(yes), nl",
+        "palin25"),
+    _benchmark(
+        "pri2", "sieve of Eratosthenes up to 80",
+        PRI2,
+        "pri2(Ps), write(Ps), nl",
+        "pri2(Ps)"),
+    _benchmark(
+        "qs4", "quicksort of Warren's 50-element list",
+        QS4,
+        "qs4(R), write(R), nl",
+        "qs4(R)"),
+    _benchmark(
+        "queens", "6 queens, first solution",
+        QUEENS,
+        "queens6(Qs), write(Qs), nl",
+        "queens6(Qs)"),
+    _benchmark(
+        "query", "database query: population-density pairs",
+        QUERY,
+        "query(C1, D1, C2, D2), write(C1), write(C2), nl, fail",
+        "query(C1, D1, C2, D2), fail",
+        all_solutions=False),
+    _benchmark(
+        "times10", "symbolic differentiation of a 10-operand product",
+        DERIV_TIMES10,
+        "times10(D), write(D), nl",
+        "times10(D)",
+        paper_timed=22, paper_pure=20),
+]}
+
+#: Order used by every table.
+SUITE_ORDER: List[str] = [
+    "con1", "con6", "divide10", "hanoi", "log10", "mutest", "nrev1",
+    "ops8", "palin25", "pri2", "qs4", "queens", "query", "times10",
+]

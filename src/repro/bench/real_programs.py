@@ -1,0 +1,130 @@
+"""Real-size programs (paper section 5).
+
+The paper's future work: evaluate "the behaviour of the system on
+real-size programs" beyond the PLM micro-suite.  Three mid-size
+workloads with very different profiles:
+
+- ``send_more_money`` — the classic cryptarithmetic puzzle, a
+  permutation search with column-wise arithmetic pruning: deep
+  backtracking, heavy trail/choice-point traffic, integer division;
+- ``knight`` — a knight's tour on a 5x5 board: structure-heavy
+  depth-first search with negation-free visited-list checks and cut;
+- ``animals`` — a small identification expert system: the
+  database/rule-chaining profile KCM's indexing was built for.
+
+Each entry mirrors :class:`repro.bench.programs.Benchmark` enough for
+the harnesses in ``benchmarks/bench_real_programs.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+SELECT = """
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+"""
+
+SEND_MORE_MONEY = SELECT + """
+/*   S E N D + M O R E = M O N E Y   (column-wise with pruning) */
+smm(S, E, N, D, M, O, R, Y) :-
+    Ds = [0,1,2,3,4,5,6,7,8,9],
+    sel(D, Ds, D1),
+    sel(E, D1, D2),
+    Y0 is D + E, Y is Y0 mod 10, C1 is Y0 // 10,
+    sel(Y, D2, D3),
+    sel(N, D3, D4),
+    sel(R, D4, D5),
+    E0 is N + R + C1, Em is E0 mod 10, Em =:= E, C2 is E0 // 10,
+    sel(O, D5, D6),
+    N0 is E + O + C2, Nm is N0 mod 10, Nm =:= N, C3 is N0 // 10,
+    sel(M, D6, D7), M =\\= 0,
+    sel(S, D7, _), S =\\= 0,
+    O0 is S + M + C3, Om is O0 mod 10, Om =:= O, C4 is O0 // 10,
+    C4 =:= M.
+"""
+
+KNIGHT_TOUR = """
+move(X, Y, X2, Y2) :- delta(DX, DY), X2 is X + DX, Y2 is Y + DY,
+    X2 >= 1, X2 =< 5, Y2 >= 1, Y2 =< 5.
+delta(1, 2). delta(2, 1). delta(2, -1). delta(1, -2).
+delta(-1, -2). delta(-2, -1). delta(-2, 1). delta(-1, 2).
+
+absent(_, []).
+absent(P, [Q|T]) :- P \\== Q, absent(P, T).
+
+tour(0, _, _, Visited, Visited) :- !.
+tour(N, X, Y, Visited, Path) :-
+    move(X, Y, X2, Y2),
+    absent(p(X2, Y2), Visited),
+    M is N - 1,
+    tour(M, X2, Y2, [p(X2, Y2)|Visited], Path).
+
+knight(Hops, Path) :- tour(Hops, 1, 1, [p(1, 1)], Path).
+"""
+
+ANIMALS = """
+/* A classic identification expert system: attribute facts about an
+   observed animal plus identification rules over them. */
+has(hair). has(claws). has(forward_eyes). eats(meat).
+has(tawny_colour). has(dark_spots).
+
+verify(has(X)) :- has(X).
+verify(eats(X)) :- eats(X).
+
+mammal :- verify(has(hair)).
+mammal :- verify(has(milk)).
+bird :- verify(has(feathers)).
+bird :- verify(has(eggs)), verify(has(flies)).
+
+carnivore :- verify(eats(meat)).
+carnivore :- verify(has(pointed_teeth)), verify(has(claws)),
+             verify(has(forward_eyes)).
+
+ungulate :- mammal, verify(has(hooves)).
+
+identify(cheetah) :- mammal, carnivore,
+    verify(has(tawny_colour)), verify(has(dark_spots)).
+identify(tiger) :- mammal, carnivore,
+    verify(has(tawny_colour)), verify(has(black_stripes)).
+identify(giraffe) :- ungulate,
+    verify(has(long_neck)), verify(has(dark_spots)).
+identify(zebra) :- ungulate, verify(has(black_stripes)).
+identify(ostrich) :- bird, verify(has(long_neck)).
+identify(penguin) :- bird, verify(has(swims)),
+    verify(has(black_and_white)).
+identify(albatross) :- bird, verify(has(flies_well)).
+"""
+
+
+@dataclass(frozen=True)
+class RealProgram:
+    """One real-size workload."""
+
+    name: str
+    description: str
+    source: str
+    query: str
+    all_solutions: bool = False
+    #: sanity bound for the expected answer, asserted by the bench.
+    check_binding: str = ""
+
+
+REAL_PROGRAMS: Dict[str, RealProgram] = {p.name: p for p in [
+    RealProgram(
+        "send_more_money",
+        "cryptarithmetic permutation search with arithmetic pruning",
+        SEND_MORE_MONEY, "smm(S, E, N, D, M, O, R, Y)",
+        check_binding="S = 9, E = 5, N = 6, D = 7, M = 1, O = 0, "
+                      "R = 8, Y = 2"),
+    RealProgram(
+        "knight_tour",
+        "16-hop knight path on a 5x5 board (DFS with visited list)",
+        KNIGHT_TOUR, "knight(16, Path)"),
+    RealProgram(
+        "animals",
+        "identification expert system (rule chaining over facts)",
+        ANIMALS, "identify(Animal)",
+        check_binding="Animal = cheetah"),
+]}

@@ -1,0 +1,279 @@
+"""Regeneration of the paper's Tables 1–4.
+
+Each ``tableN()`` function returns a :class:`TableResult` holding the
+measured rows plus formatting; ``render()`` prints the same rows the
+paper reports, with the paper's published figure next to each measured
+one.  The benchmark harness in ``benchmarks/`` and the CLI
+(``python -m repro.bench``) both go through these functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.plm import PLMCodeModel, plm_machine
+from repro.baselines.quintus import quintus_machine
+from repro.baselines.spur import SPURCodeModel
+from repro.bench import paper_data
+from repro.bench.programs import SUITE, SUITE_ORDER
+from repro.bench.runner import SuiteRunner
+from repro.api import compile_and_load
+from repro.core.costs import KCM_CYCLE_SECONDS
+
+
+@dataclass
+class TableResult:
+    """One regenerated table: header, rows, and any footer lines."""
+
+    title: str
+    header: Sequence[str]
+    rows: List[Sequence[str]]
+    footer: List[str] = field(default_factory=list)
+    #: raw per-program measurements for tests to assert on.
+    data: Dict[str, dict] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Fixed-width text rendering."""
+        widths = [len(h) for h in self.header]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def fmt(row):
+            return "  ".join(str(c).rjust(w) if i else str(c).ljust(w)
+                             for i, (c, w) in enumerate(zip(row, widths)))
+        lines = [self.title, "=" * len(self.title), fmt(self.header),
+                 "-" * (sum(widths) + 2 * (len(widths) - 1))]
+        lines += [fmt(row) for row in self.rows]
+        lines += self.footer
+        return "\n".join(lines)
+
+
+def _geo_mean(values: List[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — static code size
+# ---------------------------------------------------------------------------
+
+def table1() -> TableResult:
+    """Static code size: PLM vs SPUR vs KCM (paper Table 1)."""
+    plm_model = PLMCodeModel()
+    spur_model = SPURCodeModel()
+    rows = []
+    data = {}
+    instr_ratios, byte_ratios = [], []
+    spur_instr_ratios, spur_byte_ratios = [], []
+    for name in SUITE_ORDER:
+        benchmark = SUITE[name]
+        source, query = benchmark.source_timed, benchmark.query_timed
+        image = compile_and_load(source, query).image
+        kcm_instr = image.program_instructions
+        kcm_words = image.program_words
+        kcm_bytes = image.program_bytes
+        plm = plm_model.measure(image, source, query)
+        spur = spur_model.measure(source, query)
+        paper = paper_data.TABLE1[name]
+        ratio_instr = kcm_instr / plm.instructions
+        ratio_bytes = kcm_bytes / plm.bytes
+        spur_ratio_instr = spur.instructions / kcm_instr
+        spur_ratio_bytes = spur.bytes / kcm_bytes
+        instr_ratios.append(ratio_instr)
+        byte_ratios.append(ratio_bytes)
+        spur_instr_ratios.append(spur_ratio_instr)
+        spur_byte_ratios.append(spur_ratio_bytes)
+        rows.append((name,
+                     str(plm.instructions), str(plm.bytes),
+                     str(spur.instructions), str(spur.bytes),
+                     str(kcm_instr), str(kcm_words), str(kcm_bytes),
+                     f"{ratio_instr:.2f}", f"{ratio_bytes:.2f}",
+                     f"{spur_ratio_instr:.2f}", f"{spur_ratio_bytes:.2f}",
+                     str(paper.kcm_instructions), str(paper.kcm_words)))
+        data[name] = {
+            "kcm_instructions": kcm_instr, "kcm_words": kcm_words,
+            "kcm_bytes": kcm_bytes,
+            "plm_instructions": plm.instructions, "plm_bytes": plm.bytes,
+            "spur_instructions": spur.instructions,
+            "spur_bytes": spur.bytes,
+            "kcm_plm_instr_ratio": ratio_instr,
+            "kcm_plm_byte_ratio": ratio_bytes,
+            "spur_kcm_instr_ratio": spur_ratio_instr,
+            "spur_kcm_byte_ratio": spur_ratio_bytes,
+        }
+    avg = (sum(instr_ratios) / len(instr_ratios),
+           sum(byte_ratios) / len(byte_ratios),
+           sum(spur_instr_ratios) / len(spur_instr_ratios),
+           sum(spur_byte_ratios) / len(spur_byte_ratios))
+    footer = [
+        f"average KCM/PLM instr {avg[0]:.2f} (paper "
+        f"{paper_data.TABLE1_AVG_KCM_PLM_INSTR}), bytes {avg[1]:.2f} "
+        f"(paper {paper_data.TABLE1_AVG_KCM_PLM_BYTES})",
+        f"average SPUR/KCM instr {avg[2]:.2f} (paper "
+        f"{paper_data.TABLE1_AVG_SPUR_KCM_INSTR}), bytes {avg[3]:.2f} "
+        f"(paper {paper_data.TABLE1_AVG_SPUR_KCM_BYTES})",
+    ]
+    return TableResult(
+        title="Table 1: Static code size comparison (measured)",
+        header=("Program", "PLM.i", "PLM.B", "SPUR.i", "SPUR.B",
+                "KCM.i", "KCM.w", "KCM.B", "K/P.i", "K/P.B",
+                "S/K.i", "S/K.B", "ppr.Ki", "ppr.Kw"),
+        rows=rows, footer=footer, data=data)
+
+
+# ---------------------------------------------------------------------------
+# Tables 2 and 3 — execution time comparisons
+# ---------------------------------------------------------------------------
+
+def _execution_table(title: str, variant: str,
+                     baseline_factory: Callable,
+                     paper_rows: Dict[str, object],
+                     paper_ratio_key: str,
+                     paper_avg: float,
+                     programs: Optional[List[str]] = None) -> TableResult:
+    kcm_runner = SuiteRunner()
+    baseline_runner = SuiteRunner(machine_factory=baseline_factory)
+    rows = []
+    data = {}
+    ratios = []
+    for name in (programs if programs is not None else SUITE_ORDER):
+        kcm = kcm_runner.run(name, variant)
+        baseline = baseline_runner.run(name, variant)
+        ratio = baseline.milliseconds / kcm.milliseconds
+        ratios.append(ratio)
+        paper = paper_rows[name]
+        paper_ratio = getattr(paper, paper_ratio_key)
+        rows.append((name, str(kcm.inferences),
+                     f"{baseline.milliseconds:.3f}",
+                     f"{baseline.klips:.0f}",
+                     f"{kcm.milliseconds:.3f}", f"{kcm.klips:.0f}",
+                     f"{ratio:.2f}",
+                     f"{paper_ratio:.2f}" if paper_ratio else "--"))
+        data[name] = {
+            "inferences": kcm.inferences,
+            "baseline_ms": baseline.milliseconds,
+            "baseline_klips": baseline.klips,
+            "kcm_ms": kcm.milliseconds,
+            "kcm_klips": kcm.klips,
+            "ratio": ratio,
+            "paper_ratio": paper_ratio,
+        }
+    footer = [f"average ratio {sum(ratios)/len(ratios):.2f} "
+              f"(paper {paper_avg})"]
+    return TableResult(
+        title=title,
+        header=("Program", "Inf", "base ms", "base Klips",
+                "KCM ms", "KCM Klips", "ratio", "paper"),
+        rows=rows, footer=footer, data=data)
+
+
+def table2(programs: Optional[List[str]] = None) -> TableResult:
+    """Execution time vs the PLM (paper Table 2; timed variants)."""
+    return _execution_table(
+        "Table 2: Comparison with PLM (measured)",
+        "timed", lambda s: plm_machine(s), paper_data.TABLE2,
+        "ratio", paper_data.TABLE2_AVG_RATIO, programs=programs)
+
+
+def table3(programs: Optional[List[str]] = None) -> TableResult:
+    """Execution time vs Quintus/SUN-3 (paper Table 3; I/O removed)."""
+    return _execution_table(
+        "Table 3: Comparison with QUINTUS/SUN (measured)",
+        "pure", lambda s: quintus_machine(s), paper_data.TABLE3,
+        "ratio", paper_data.TABLE3_AVG_RATIO, programs=programs)
+
+
+# ---------------------------------------------------------------------------
+# Table 4 — peak performance of dedicated Prolog machines
+# ---------------------------------------------------------------------------
+
+CONCAT_SOURCE = """
+concat([], L, L).
+concat([H|T], L, [H|R]) :- concat(T, L, R).
+"""
+
+NREV_SOURCE = CONCAT_SOURCE + """
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), concat(RT, [H], R).
+"""
+
+
+def measure_concat_step_cycles(length: int = 120) -> float:
+    """Cycles of one concatenation step, the paper's peak metric.
+
+    Section 4.3: "only the basic inferencing step, i.e. the
+    concatenation of one more element, is taken into account".  We
+    measure it by running one query doing a single concat and one doing
+    two concats of the same (pre-built) list and dividing the
+    difference — data generation cancels out exactly.
+    """
+    elements = ",".join(f"a{i}" for i in range(length))
+    one = compile_and_load(
+        CONCAT_SOURCE, f"concat([{elements}], [end], X)")
+    two = compile_and_load(
+        CONCAT_SOURCE, f"concat([{elements}], [end], X), "
+        f"concat([{elements}], [end], Y)")
+    def warm_cycles(machine):
+        machine.run(machine.image.entry,
+                    answer_names=machine.image.query_variable_names)
+        stats = machine.run(machine.image.entry,
+                            answer_names=machine.image.query_variable_names)
+        return stats.cycles
+    c1 = warm_cycles(one)
+    c2 = warm_cycles(two)
+    # The second concat adds `length+1` inference steps plus one list
+    # rebuild; the rebuild is the query's data generation, excluded by
+    # construction since both queries build their lists identically...
+    # except the second builds the input twice.  Subtract the known
+    # 3-cycles-per-element build cost of that second copy.
+    build_cycles = 3 * (length + 1) + 2
+    return (c2 - c1 - build_cycles) / (length + 1)
+
+
+def measure_nrev_klips(length: int = 30) -> float:
+    """Warm whole-benchmark nrev Klips (the paper's second peak column)."""
+    elements = ",".join(str(i) for i in range(length))
+    machine = compile_and_load(NREV_SOURCE, f"nrev([{elements}], R)")
+    machine.run(machine.image.entry,
+                answer_names=machine.image.query_variable_names)
+    stats = machine.run(machine.image.entry,
+                        answer_names=machine.image.query_variable_names)
+    return stats.klips(KCM_CYCLE_SECONDS)
+
+
+def table4() -> TableResult:
+    """Peak Klips of dedicated Prolog machines (paper Table 4).
+
+    The other machines are literature constants (they no longer exist);
+    the KCM row is measured from this simulator.
+    """
+    step = measure_concat_step_cycles()
+    con_klips = 1.0 / (step * KCM_CYCLE_SECONDS) / 1e3
+    nrev_klips = measure_nrev_klips()
+    rows = []
+    for machine_name, row in paper_data.TABLE4.items():
+        if machine_name == "KCM":
+            con = f"{con_klips:.0f}"
+            nrev = f"{nrev_klips:.0f}"
+            comment = row.comment + " [measured]"
+        else:
+            con = str(row.con_klips) if row.con_klips else "?"
+            nrev = str(row.nrev_klips) if row.nrev_klips else "?"
+            comment = row.comment + " [published]"
+        rows.append((machine_name, row.by, f"{con} - {nrev}",
+                     str(row.word_bits), comment))
+    footer = [
+        f"measured concatenation step: {step:.1f} cycles "
+        f"(paper: {paper_data.KCM_CON1_STEP_CYCLES} cycles -> 833 Klips)"]
+    return TableResult(
+        title="Table 4: Comparison with other dedicated Prolog machines",
+        header=("Machine", "By", "Klips (con-nrev)", "Word", "Comment"),
+        rows=rows, footer=footer,
+        data={"kcm_con_step_cycles": {"value": step},
+              "kcm_con_klips": {"value": con_klips},
+              "kcm_nrev_klips": {"value": nrev_klips}})

@@ -1,0 +1,18 @@
+"""The KCM compiler toolchain: normalise, analyse, generate, index,
+assemble, link (paper section 4: "code generation tools").
+"""
+
+from repro.compiler.allocate import ClauseAnalysis, analyze_clause
+from repro.compiler.codegen import ClauseCompiler, compile_clause, peephole
+from repro.compiler.indexing import PredicateCode, compile_predicate
+from repro.compiler.linker import LinkedImage, Linker, link_program
+from repro.compiler.normalize import (
+    Clause, NormalizedProgram, group_program, normalize_program,
+)
+
+__all__ = [
+    "ClauseAnalysis", "analyze_clause", "ClauseCompiler", "compile_clause",
+    "peephole", "PredicateCode", "compile_predicate", "LinkedImage",
+    "Linker", "link_program", "Clause", "NormalizedProgram",
+    "group_program", "normalize_program",
+]

@@ -1,0 +1,167 @@
+"""Clause analysis: chunks, permanent variables, environment shape.
+
+Classical WAM analysis with the KCM twist that the environment is
+allocated *after the neck* (head and guard run on temporaries only, so
+a shallow failure has nothing to unwind but the trail — section 3.1.5).
+Head occurrences of permanent variables are therefore staged through
+temporaries and copied into their Y slots right after ALLOCATE.
+
+Definitions:
+
+chunk
+    The head plus the goals up to and including the first call goal is
+    chunk 0; each further call goal ends the next chunk.  Inline goals
+    (arithmetic, tests, ``=``, control) never end a chunk because they
+    preserve the argument registers.
+permanent variable
+    Occurs in more than one chunk; lives in a Y slot of the
+    environment.  Y indices are assigned in order of *death* (latest
+    last-occurrence first) so the environment can be trimmed: the
+    ``nperms`` operand of each CALL is the number of slots still live
+    after that call, and the callee reads it to compute the local
+    stack top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.compiler.goals import is_call, is_cut, is_guard_goal
+from repro.compiler.normalize import Clause
+from repro.prolog.terms import Struct, Term, Var, functor_indicator
+
+
+@dataclass
+class ClauseAnalysis:
+    """Everything the code generator needs to know about one clause."""
+
+    clause: Clause
+    head_arity: int
+    #: chunk index of each goal (parallel to clause.goals).
+    goal_chunks: List[int] = field(default_factory=list)
+    #: total number of chunks.
+    chunk_count: int = 1
+    #: variable name -> set of chunk indices where it occurs.
+    occurrences: Dict[str, Set[int]] = field(default_factory=dict)
+    #: number of *occurrences* (not chunks) per variable, to spot voids.
+    occurrence_counts: Dict[str, int] = field(default_factory=dict)
+    #: permanent variable name -> Y index.
+    permanent: Dict[str, int] = field(default_factory=dict)
+    #: variable name -> last chunk it occurs in.
+    last_chunk: Dict[str, int] = field(default_factory=dict)
+    #: Y slot reserved for the cut barrier, or None.
+    cut_slot: "int | None" = None
+    #: whether the clause needs an environment frame.
+    needs_environment: bool = False
+    #: indices of goals that are call goals.
+    call_goal_indices: List[int] = field(default_factory=list)
+    #: number of leading guard goals (compiled before the neck).
+    guard_length: int = 0
+
+    @property
+    def frame_slots(self) -> int:
+        """Total Y slots (permanents plus the cut slot)."""
+        return len(self.permanent) + (1 if self.cut_slot is not None else 0)
+
+    def is_permanent(self, name: str) -> bool:
+        """Whether the variable lives in the environment."""
+        return name in self.permanent
+
+    def is_void(self, name: str) -> bool:
+        """Whether the variable occurs exactly once in the clause."""
+        return self.occurrence_counts.get(name, 0) == 1
+
+    def live_permanents_after_chunk(self, chunk: int) -> int:
+        """Trimmed frame size (in Y slots) after the call ending
+        ``chunk`` — the CALL instruction's nperms operand."""
+        live = 0
+        for name, y_index in self.permanent.items():
+            if self.last_chunk[name] > chunk:
+                live = max(live, y_index + 1)
+        if self.cut_slot is not None and self._cut_live_after(chunk):
+            live = max(live, self.cut_slot + 1)
+        return live
+
+    def _cut_live_after(self, chunk: int) -> bool:
+        return self._last_cut_chunk > chunk
+
+    _last_cut_chunk: int = -1
+
+
+def _term_variable_names(term: Term) -> List[str]:
+    out: List[str] = []
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        if isinstance(t, Var):
+            out.append(t.name)
+        elif isinstance(t, Struct):
+            stack.extend(reversed(t.args))
+    return out
+
+
+def analyze_clause(clause: Clause) -> ClauseAnalysis:
+    """Run the full analysis for one clause."""
+    _, head_arity = functor_indicator(clause.head)
+    analysis = ClauseAnalysis(clause=clause, head_arity=head_arity)
+
+    # Guard: leading pure tests run before the neck.
+    guard = 0
+    for goal in clause.goals:
+        if is_guard_goal(goal):
+            guard += 1
+        else:
+            break
+    analysis.guard_length = guard
+
+    # Chunk assignment.
+    chunk = 0
+    cut_chunks: List[int] = []
+    for index, goal in enumerate(clause.goals):
+        analysis.goal_chunks.append(chunk)
+        if is_cut(goal):
+            cut_chunks.append(chunk)
+        if is_call(goal):
+            analysis.call_goal_indices.append(index)
+            chunk += 1
+    analysis.chunk_count = (max(analysis.goal_chunks) + 1
+                            if analysis.goal_chunks else 1)
+
+    # Occurrences per chunk (head counts as chunk 0).
+    def record(term: Term, in_chunk: int) -> None:
+        for name in _term_variable_names(term):
+            analysis.occurrences.setdefault(name, set()).add(in_chunk)
+            analysis.occurrence_counts[name] = \
+                analysis.occurrence_counts.get(name, 0) + 1
+            last = analysis.last_chunk.get(name, -1)
+            analysis.last_chunk[name] = max(last, in_chunk)
+
+    record(clause.head, 0)
+    for index, goal in enumerate(clause.goals):
+        record(goal, analysis.goal_chunks[index])
+
+    # Permanent variables, ordered for trimming: die-last gets Y0.
+    permanents = [name for name, chunks in analysis.occurrences.items()
+                  if len(chunks) > 1]
+    permanents.sort(key=lambda n: (-analysis.last_chunk[n], n))
+    analysis.permanent = {name: i for i, name in enumerate(permanents)}
+
+    # Cut slot: only needed when a cut occurs after the first call goal
+    # (before that, the B0 register is still valid).
+    first_call_chunk_end = 0
+    needs_cut_slot = any(c > first_call_chunk_end for c in cut_chunks)
+    if needs_cut_slot:
+        analysis.cut_slot = len(analysis.permanent)
+    analysis._last_cut_chunk = max(cut_chunks) if cut_chunks else -1
+
+    # Environment: needed for permanents, a cut slot, several calls, or
+    # a call that is not the final goal.
+    n_calls = len(analysis.call_goal_indices)
+    call_not_last = (n_calls >= 1
+                     and analysis.call_goal_indices[-1]
+                     != len(clause.goals) - 1)
+    analysis.needs_environment = bool(
+        analysis.permanent or analysis.cut_slot is not None
+        or n_calls >= 2 or call_not_last)
+    return analysis

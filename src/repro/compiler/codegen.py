@@ -1,0 +1,708 @@
+"""Clause code generation: normalised clauses to KCM instructions.
+
+Follows the WAM compilation scheme with the KCM specifics:
+
+- the **neck discipline** of section 3.1.5: the head and the guard are
+  compiled to run entirely on temporaries, never touching the argument
+  registers or allocating an environment, so a shallow failure has
+  nothing to restore beyond the shadow registers.  ALLOCATE (and the
+  staging copies of permanent head variables into their Y slots) comes
+  *after* the NECK;
+- inline arithmetic: ``is/2`` expressions are constant-folded and
+  flattened into ARITH instructions; comparisons become ARITH + TEST
+  (and, in leading guard position, run before the neck);
+- cut maps to NECK_CUT (first body goal), CUT (before the first call)
+  or GET_LEVEL/CUT_Y (after a call);
+- the four-address register file's double move: adjacent register
+  moves are merged into MOVE2 by a peephole pass.
+
+Output is a list of :class:`Item` — labels and instructions — consumed
+by :mod:`repro.compiler.indexing` and :mod:`repro.compiler.assemble`.
+Call targets stay symbolic ``("pred", name, arity)`` until link time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.compiler.allocate import ClauseAnalysis, analyze_clause
+from repro.compiler.goals import TEST_GOALS, is_cut
+from repro.compiler.normalize import Clause
+from repro.core.instruction import Instruction
+from repro.core.opcodes import ArithOp, Op
+from repro.core.registers import X_REGISTERS
+from repro.core.symbols import SymbolTable
+from repro.core.word import Word, make_float, make_int
+from repro.errors import CompileError
+from repro.prolog.terms import (
+    Atom, Float, Int, Struct, Term, Var, functor_indicator, is_list_cell,
+)
+
+
+class Label:
+    """A code label; resolved to an absolute address by the assembler."""
+
+    _counter = itertools.count()
+
+    def __init__(self, hint: str = "L"):
+        self.name = f"{hint}#{next(Label._counter)}"
+
+    def __repr__(self) -> str:
+        return f"Label({self.name})"
+
+
+Item = Union[Label, Instruction]
+
+#: Symbolic call target, resolved by the linker.
+PredRef = Tuple[str, str, int]
+
+
+def pred_ref(name: str, arity: int) -> PredRef:
+    """A symbolic reference to predicate ``name/arity``."""
+    return ("pred", name, arity)
+
+
+#: Arithmetic functors the expression compiler understands.
+ARITH_BINARY = {
+    "+": ArithOp.ADD, "-": ArithOp.SUB, "*": ArithOp.MUL, "/": ArithOp.DIV,
+    "//": ArithOp.IDIV, "mod": ArithOp.MOD, "min": ArithOp.MIN,
+    "max": ArithOp.MAX, "/\\": ArithOp.AND, "\\/": ArithOp.OR,
+    "xor": ArithOp.XOR, "<<": ArithOp.SHL, ">>": ArithOp.SHR,
+}
+ARITH_UNARY = {"-": ArithOp.NEG, "+": None, "abs": ArithOp.ABS}
+
+
+def fold_constant(term: Term) -> Optional[Union[int, float]]:
+    """Statically evaluate a ground arithmetic expression, or None."""
+    if isinstance(term, Int):
+        return term.value
+    if isinstance(term, Float):
+        return term.value
+    if isinstance(term, Struct):
+        if term.arity == 2 and term.name in ARITH_BINARY:
+            left = fold_constant(term.args[0])
+            right = fold_constant(term.args[1])
+            if left is None or right is None:
+                return None
+            try:
+                if term.name == "+":
+                    return left + right
+                if term.name == "-":
+                    return left - right
+                if term.name == "*":
+                    return left * right
+                if term.name == "/":
+                    both_int = isinstance(left, int) and isinstance(right,
+                                                                    int)
+                    return int(left / right) if both_int else left / right
+                if term.name == "//":
+                    return left // right
+                if term.name == "mod":
+                    return left % right
+                if term.name == "min":
+                    return min(left, right)
+                if term.name == "max":
+                    return max(left, right)
+                if term.name == "/\\":
+                    return int(left) & int(right)
+                if term.name == "\\/":
+                    return int(left) | int(right)
+                if term.name == "xor":
+                    return int(left) ^ int(right)
+                if term.name == "<<":
+                    return int(left) << int(right)
+                if term.name == ">>":
+                    return int(left) >> int(right)
+            except (ZeroDivisionError, ValueError):
+                return None
+        if term.arity == 1 and term.name in ("-", "+", "abs"):
+            value = fold_constant(term.args[0])
+            if value is None:
+                return None
+            if term.name == "-":
+                return -value
+            if term.name == "abs":
+                return abs(value)
+            return value
+    return None
+
+
+def number_word(value: Union[int, float]) -> Word:
+    """Tagged word for a Python number."""
+    return make_int(value) if isinstance(value, int) else make_float(value)
+
+
+class ClauseCompiler:
+    """Compiles one analysed clause to an instruction stream."""
+
+    def __init__(self, analysis: ClauseAnalysis, symbols: SymbolTable,
+                 query_mode: bool = False):
+        self.analysis = analysis
+        self.clause = analysis.clause
+        self.symbols = symbols
+        self.query_mode = query_mode
+        self.items: List[Item] = []
+        #: var name -> ('a'|'x'|'y', index).  'a' means "still sitting
+        #: in the argument register it arrived in".
+        self.loc: Dict[str, Tuple[str, int]] = {}
+        #: head permanents staged in temporaries, copied after ALLOCATE.
+        self._pending_y_copies: List[Tuple[int, int]] = []
+        arities = [analysis.head_arity]
+        for index in analysis.call_goal_indices:
+            _, goal_arity = functor_indicator(self.clause.goals[index])
+            arities.append(goal_arity)
+        self._temp_base = max(arities)
+        from repro.prolog.terms import term_variables
+        self._head_var_names = {
+            v.name for v in term_variables(self.clause.head)}
+        self._next_temp = self._temp_base
+        self._temp_free: List[int] = []
+        self._env_allocated = False
+        self.current_chunk = 0
+
+    # -- low-level helpers -----------------------------------------------------
+
+    def emit(self, op: Op, a=None, b=None, c=None, d=None,
+             infer: bool = False) -> Instruction:
+        instr = Instruction(op, a, b, c, d, infer=infer)
+        self.items.append(instr)
+        return instr
+
+    def fresh_temp(self) -> int:
+        if self._temp_free:
+            return self._temp_free.pop()
+        reg = self._next_temp
+        if reg >= X_REGISTERS:
+            raise CompileError(
+                f"clause for {self.clause.indicator} needs more than "
+                f"{X_REGISTERS} temporary registers")
+        self._next_temp = reg + 1
+        return reg
+
+    def release_temp(self, reg: int) -> None:
+        """Return a register used only for anonymous structure building
+        to the pool (long static lists reuse two registers instead of
+        one per cell)."""
+        self._temp_free.append(reg)
+
+    def _constant_word(self, term: Term) -> Word:
+        if isinstance(term, Int):
+            return make_int(term.value)
+        if isinstance(term, Float):
+            return make_float(term.value)
+        if isinstance(term, Atom):
+            return self.symbols.atom_word(term.name)
+        raise CompileError(f"not a constant: {term!r}")
+
+    def _functor_index(self, term: Struct) -> int:
+        return self.symbols.functor_index(term.name, term.arity)
+
+    def _mark_goal_start(self, start_index: int) -> None:
+        """Flag the first instruction emitted for a goal as a source-
+        level inference (the Klips accounting of section 4.2)."""
+        for item in self.items[start_index:]:
+            if isinstance(item, Instruction):
+                item.infer = True
+                return
+        # Goals like 'true' that emit nothing still count: a 1-cycle
+        # register no-op carries the mark.
+        self.emit(Op.MOVE2, 0, 0, None, None, infer=True)
+
+    # ------------------------------------------------------------------
+    # head compilation
+    # ------------------------------------------------------------------
+
+    def compile_head(self) -> None:
+        head = self.clause.head
+        if isinstance(head, Atom):
+            return
+        todo: List[Tuple[int, Term]] = []
+        for position, arg in enumerate(head.args):
+            self._head_argument(position, arg, todo)
+        # Breadth-first over nested structures (classic WAM order).
+        while todo:
+            register, term = todo.pop(0)
+            self._head_compound(register, term, todo)
+
+    def _head_argument(self, position: int, arg: Term,
+                       todo: List[Tuple[int, Term]]) -> None:
+        analysis = self.analysis
+        if isinstance(arg, Var):
+            location = self.loc.get(arg.name)
+            if location is None:
+                if analysis.is_void(arg.name):
+                    return                      # single occurrence: no code
+                if analysis.is_permanent(arg.name):
+                    temp = self.fresh_temp()
+                    self.emit(Op.GET_X_VARIABLE, temp, position)
+                    self.loc[arg.name] = ("x", temp)
+                    self._pending_y_copies.append(
+                        (analysis.permanent[arg.name], temp))
+                else:
+                    self.loc[arg.name] = ("a", position)
+            else:
+                self.emit(Op.GET_X_VALUE, self._x_of(location), position)
+            return
+        if isinstance(arg, (Atom, Int, Float)):
+            if isinstance(arg, Atom) and arg.name == "[]":
+                self.emit(Op.GET_NIL, position)
+            else:
+                self.emit(Op.GET_CONSTANT, self._constant_word(arg),
+                          position)
+            return
+        # Compound argument.
+        if is_list_cell(arg):
+            self.emit(Op.GET_LIST, position)
+        else:
+            self.emit(Op.GET_STRUCTURE, self._functor_index(arg), position)
+        self._unify_arguments(arg, todo)
+
+    def _head_compound(self, register: int, term: Term,
+                       todo: List[Tuple[int, Term]]) -> None:
+        if is_list_cell(term):
+            self.emit(Op.GET_LIST, register)
+        else:
+            self.emit(Op.GET_STRUCTURE, self._functor_index(term), register)
+        self._unify_arguments(term, todo)
+
+    def _unify_arguments(self, term: Struct, todo: List[Tuple[int, Term]],
+                         building: bool = False) -> None:
+        """UNIFY_* sequence for the arguments of one level of ``term``.
+
+        ``building`` distinguishes put-side construction (write mode is
+        certain; nested substructures were built bottom-up already and
+        arrive as register values in ``todo``-free form).
+        """
+        analysis = self.analysis
+        pending_void = 0
+
+        def flush_void() -> None:
+            nonlocal pending_void
+            if pending_void:
+                self.emit(Op.UNIFY_VOID, pending_void)
+                pending_void = 0
+
+        for arg in term.args:
+            if isinstance(arg, Var):
+                location = self.loc.get(arg.name)
+                if location is None:
+                    if analysis.is_void(arg.name):
+                        pending_void += 1
+                        continue
+                    flush_void()
+                    if analysis.is_permanent(arg.name):
+                        if self._env_allocated:
+                            y_index = analysis.permanent[arg.name]
+                            self.emit(Op.UNIFY_Y_VARIABLE, y_index)
+                            self.loc[arg.name] = ("y", y_index)
+                        else:
+                            temp = self.fresh_temp()
+                            self.emit(Op.UNIFY_X_VARIABLE, temp)
+                            self.loc[arg.name] = ("x", temp)
+                            self._pending_y_copies.append(
+                                (analysis.permanent[arg.name], temp))
+                    else:
+                        temp = self.fresh_temp()
+                        self.emit(Op.UNIFY_X_VARIABLE, temp)
+                        self.loc[arg.name] = ("x", temp)
+                else:
+                    flush_void()
+                    kind, index = location
+                    if kind == "y":
+                        self.emit(Op.UNIFY_Y_LOCAL_VALUE, index)
+                    else:
+                        self.emit(Op.UNIFY_X_LOCAL_VALUE,
+                                  self._x_of(location))
+                continue
+            flush_void()
+            if isinstance(arg, (Atom, Int, Float)):
+                if isinstance(arg, Atom) and arg.name == "[]":
+                    self.emit(Op.UNIFY_NIL)
+                else:
+                    self.emit(Op.UNIFY_CONSTANT, self._constant_word(arg))
+                continue
+            # Nested compound.
+            if building:
+                register = self._built_registers.pop(0)
+                self.emit(Op.UNIFY_X_VALUE, register)
+                self.release_temp(register)
+            else:
+                temp = self.fresh_temp()
+                self.emit(Op.UNIFY_X_VARIABLE, temp)
+                todo.append((temp, arg))
+        flush_void()
+
+    def _x_of(self, location: Tuple[str, int]) -> int:
+        kind, index = location
+        if kind in ("a", "x"):
+            return index
+        raise CompileError("expected an X-register location")
+
+    # ------------------------------------------------------------------
+    # neck, environment
+    # ------------------------------------------------------------------
+
+    def compile_neck(self, cut_in_neck: bool) -> None:
+        if cut_in_neck:
+            self.emit(Op.NECK_CUT)
+        else:
+            self.emit(Op.NECK, self.analysis.head_arity)
+        if self.analysis.needs_environment:
+            self.emit(Op.ALLOCATE, self.analysis.frame_slots)
+            self._env_allocated = True
+            for y_index, temp in self._pending_y_copies:
+                self.emit(Op.GET_Y_VARIABLE, y_index, temp)
+            for y_index, temp in self._pending_y_copies:
+                name = self._var_in_temp(temp)
+                if name is not None:
+                    self.loc[name] = ("y", y_index)
+            self._pending_y_copies = []
+            if self.analysis.cut_slot is not None:
+                self.emit(Op.GET_LEVEL, self.analysis.cut_slot)
+
+    def _var_in_temp(self, temp: int) -> Optional[str]:
+        for name, location in self.loc.items():
+            if location == ("x", temp):
+                return name
+        return None
+
+    # ------------------------------------------------------------------
+    # body compilation
+    # ------------------------------------------------------------------
+
+    def compile_body(self, skip_first_cut: bool) -> None:
+        goals = self.clause.goals
+        analysis = self.analysis
+        start = analysis.guard_length + (1 if skip_first_cut else 0)
+        emitted_control_exit = False
+        for index in range(start, len(goals)):
+            goal = goals[index]
+            self.current_chunk = analysis.goal_chunks[index]
+            is_last = index == len(goals) - 1
+            name, arity = functor_indicator(goal)
+            if is_cut(goal):
+                self._compile_cut()
+                continue
+            if (name, arity) == ("true", 0):
+                begin = len(self.items)
+                self._mark_goal_start(begin)
+                continue
+            if (name, arity) in (("fail", 0), ("false", 0)):
+                self.emit(Op.FAIL, infer=True)
+                emitted_control_exit = True
+                break
+            begin = len(self.items)
+            if arity == 2 and name in TEST_GOALS:
+                self._compile_test(goal)
+            elif (name, arity) == ("is", 2):
+                self._compile_is(goal)
+            elif (name, arity) == ("=", 2):
+                self._compile_unify_goal(goal)
+            else:
+                self._compile_call(goal, index, is_last)
+                if is_last:
+                    emitted_control_exit = True
+            # The '$answer' solution collector is harness machinery, not
+            # a source-level inference.  Generated control predicates
+            # ('$(or)N' etc.) do count: they stand for a source goal.
+            if name != "$answer":
+                self._mark_goal_start(begin)
+            if not (arity == 2 and name in TEST_GOALS) \
+                    and (name, arity) not in (("is", 2), ("=", 2)) \
+                    and not is_last:
+                # A call goal ended the chunk: temporaries are dead.
+                self._end_chunk()
+        if not emitted_control_exit:
+            if self._env_allocated:
+                self.emit(Op.DEALLOCATE)
+            self.emit(Op.PROCEED)
+
+    def _end_chunk(self) -> None:
+        self.loc = {name: location for name, location in self.loc.items()
+                    if location[0] == "y"}
+        self._next_temp = self._temp_base
+        self._temp_free = []
+
+    def _compile_cut(self) -> None:
+        # Cut is not counted as an inference (section 4.2, footnote).
+        if self.analysis.cut_slot is not None \
+                and self.current_chunk > 0:
+            self.emit(Op.CUT_Y, self.analysis.cut_slot)
+        else:
+            self.emit(Op.CUT)
+
+    # -- guard tests ------------------------------------------------------------
+
+    def compile_guard(self) -> None:
+        """Leading comparison goals, compiled before the neck."""
+        for index in range(self.analysis.guard_length):
+            begin = len(self.items)
+            self._compile_test(self.clause.goals[index])
+            self._mark_goal_start(begin)
+
+    def _compile_test(self, goal: Struct) -> None:
+        relation = TEST_GOALS[goal.name]
+        left = self._expression_register(goal.args[0])
+        right = self._expression_register(goal.args[1])
+        self.emit(Op.TEST, relation, left, right)
+
+    # -- arithmetic ---------------------------------------------------------------
+
+    def _expression_register(self, term: Term) -> int:
+        """Compile an arithmetic expression; returns the register
+        holding its (tagged numeric) value."""
+        folded = fold_constant(term)
+        if folded is not None:
+            temp = self.fresh_temp()
+            self.emit(Op.PUT_CONSTANT, number_word(folded), temp)
+            return temp
+        if isinstance(term, Var):
+            location = self.loc.get(term.name)
+            if location is None:
+                # First occurrence inside an expression: materialise an
+                # unbound variable so the ARITH instruction raises the
+                # run-time instantiation trap, as the hardware would.
+                return self._value_into_register(term)
+            kind, index = location
+            if kind == "y":
+                temp = self.fresh_temp()
+                self.emit(Op.PUT_Y_VALUE, index, temp)
+                return temp
+            return index
+        if isinstance(term, Struct):
+            if term.arity == 2 and term.name in ARITH_BINARY:
+                left = self._expression_register(term.args[0])
+                right = self._expression_register(term.args[1])
+                temp = self.fresh_temp()
+                self.emit(Op.ARITH, ARITH_BINARY[term.name], left, right,
+                          temp)
+                return temp
+            if term.arity == 1 and term.name in ARITH_UNARY:
+                operand = self._expression_register(term.args[0])
+                op = ARITH_UNARY[term.name]
+                if op is None:                      # unary plus
+                    return operand
+                temp = self.fresh_temp()
+                self.emit(Op.ARITH, op, operand, operand, temp)
+                return temp
+        raise CompileError(f"not an arithmetic expression: {term!r} in "
+                           f"{self.clause.indicator}")
+
+    def _compile_is(self, goal: Struct) -> None:
+        target, expression = goal.args
+        result = self._expression_register(expression)
+        if isinstance(target, Var) and target.name not in self.loc:
+            if self.analysis.is_permanent(target.name):
+                y_index = self.analysis.permanent[target.name]
+                self.emit(Op.GET_Y_VARIABLE, y_index, result)
+                self.loc[target.name] = ("y", y_index)
+            else:
+                self.loc[target.name] = ("x", result)
+            return
+        # Bound or non-variable target: general unification.
+        target_register = self._value_into_register(target)
+        self.emit(Op.GEN_UNIFY, target_register, result)
+
+    def _compile_unify_goal(self, goal: Struct) -> None:
+        left, right = goal.args
+        # Fresh variable on either side: just record the other side.
+        for var_side, other in ((left, right), (right, left)):
+            if isinstance(var_side, Var) and var_side.name not in self.loc \
+                    and not self.analysis.is_permanent(var_side.name):
+                register = self._value_into_register(other)
+                self.loc[var_side.name] = ("x", register)
+                return
+        left_register = self._value_into_register(left)
+        right_register = self._value_into_register(right)
+        self.emit(Op.GEN_UNIFY, left_register, right_register)
+
+    def _value_into_register(self, term: Term) -> int:
+        """Materialise any term into an X register (build if needed)."""
+        if isinstance(term, Var):
+            location = self.loc.get(term.name)
+            if location is None:
+                if self.analysis.is_permanent(term.name):
+                    y_index = self.analysis.permanent[term.name]
+                    temp = self.fresh_temp()
+                    self.emit(Op.PUT_Y_VARIABLE, y_index, temp)
+                    self.loc[term.name] = ("y", y_index)
+                    return temp
+                temp = self.fresh_temp()
+                self.emit(Op.PUT_X_VARIABLE, temp, temp)
+                self.loc[term.name] = ("x", temp)
+                return temp
+            kind, index = location
+            if kind == "y":
+                temp = self.fresh_temp()
+                self.emit(Op.PUT_Y_VALUE, index, temp)
+                return temp
+            return index
+        if isinstance(term, (Atom, Int, Float)):
+            temp = self.fresh_temp()
+            if isinstance(term, Atom) and term.name == "[]":
+                self.emit(Op.PUT_NIL, temp)
+            else:
+                self.emit(Op.PUT_CONSTANT, self._constant_word(term), temp)
+            return temp
+        return self._build_compound(term)
+
+    # -- argument loading (puts) -----------------------------------------------------
+
+    def _compile_call(self, goal: Term, goal_index: int,
+                      is_last: bool) -> None:
+        name, arity = functor_indicator(goal)
+        args = goal.args if isinstance(goal, Struct) else ()
+        self._load_arguments(list(args))
+        chunk = self.analysis.goal_chunks[goal_index]
+        nperms = self.analysis.live_permanents_after_chunk(chunk)
+        target = pred_ref(name, arity)
+        # The inference mark is applied by _mark_goal_start on the first
+        # instruction of the goal's sequence (the argument puts).
+        if is_last:
+            if self._env_allocated:
+                self.emit(Op.DEALLOCATE)
+            self.emit(Op.EXECUTE, target)
+        else:
+            self.emit(Op.CALL, target, nperms)
+
+    def _load_arguments(self, args: List[Term]) -> None:
+        m = len(args)
+        # 1. Relocate argument-register residents that would clash.
+        for name, location in list(self.loc.items()):
+            kind, k = location
+            if kind != "a" or k >= m:
+                continue
+            appears = any(isinstance(a, Var) and a.name == name
+                          or (isinstance(a, Struct)
+                              and self._var_occurs(a, name))
+                          for a in args)
+            if not appears:
+                continue
+            stays_put = (k < len(args) and isinstance(args[k], Var)
+                         and args[k].name == name)
+            if not stays_put:
+                temp = self.fresh_temp()
+                self.emit(Op.GET_X_VARIABLE, temp, k)
+                self.loc[name] = ("x", temp)
+
+        # 2. Build compound arguments bottom-up into temporaries.
+        built: Dict[int, int] = {}
+        for position, arg in enumerate(args):
+            if isinstance(arg, Struct):
+                built[position] = self._build_compound(arg)
+
+        # 3. Emit the puts.
+        for position, arg in enumerate(args):
+            if isinstance(arg, Struct):
+                register = built[position]
+                self.emit(Op.PUT_X_VALUE, register, position)
+                continue
+            if isinstance(arg, Var):
+                self._put_variable(arg, position)
+                continue
+            if isinstance(arg, Atom) and arg.name == "[]":
+                self.emit(Op.PUT_NIL, position)
+            else:
+                self.emit(Op.PUT_CONSTANT, self._constant_word(arg),
+                          position)
+
+    @staticmethod
+    def _var_occurs(term: Struct, name: str) -> bool:
+        stack: List[Term] = [term]
+        while stack:
+            t = stack.pop()
+            if isinstance(t, Var) and t.name == name:
+                return True
+            if isinstance(t, Struct):
+                stack.extend(t.args)
+        return False
+
+    def _put_variable(self, var: Var, position: int) -> None:
+        analysis = self.analysis
+        location = self.loc.get(var.name)
+        if location is None:
+            if analysis.is_permanent(var.name):
+                y_index = analysis.permanent[var.name]
+                self.emit(Op.PUT_Y_VARIABLE, y_index, position)
+                self.loc[var.name] = ("y", y_index)
+            else:
+                self.emit(Op.PUT_X_VARIABLE, position, position)
+                self.loc[var.name] = ("x", position)
+            return
+        kind, index = location
+        if kind == "y":
+            if analysis.last_chunk[var.name] == self.current_chunk \
+                    and var.name not in self._head_var_names:
+                self.emit(Op.PUT_UNSAFE_VALUE, index, position)
+            else:
+                self.emit(Op.PUT_Y_VALUE, index, position)
+            return
+        if kind == "a" and index == position:
+            return                                  # pass-through: no code
+        self.emit(Op.PUT_X_VALUE, index, position)
+
+    def _build_compound(self, term: Struct) -> int:
+        """Build ``term`` on the heap bottom-up; returns its register."""
+        self._built_registers: List[int] = []
+        sub_registers = []
+        for arg in term.args:
+            if isinstance(arg, Struct):
+                sub_registers.append(self._build_compound(arg))
+        register = self.fresh_temp()
+        if is_list_cell(term):
+            self.emit(Op.PUT_LIST, register)
+        else:
+            self.emit(Op.PUT_STRUCTURE, self._functor_index(term), register)
+        self._built_registers = sub_registers
+        self._unify_arguments(term, [], building=True)
+        return register
+
+    # ------------------------------------------------------------------
+    # whole clause
+    # ------------------------------------------------------------------
+
+    def compile(self) -> List[Item]:
+        analysis = self.analysis
+        goals = self.clause.goals
+        self.compile_head()
+        self.compile_guard()
+        neck_index = analysis.guard_length
+        cut_in_neck = (neck_index < len(goals)
+                       and is_cut(goals[neck_index]))
+        self.compile_neck(cut_in_neck)
+        self.compile_body(skip_first_cut=cut_in_neck)
+        return self.items
+
+
+def compile_clause(clause: Clause, symbols: SymbolTable) -> List[Item]:
+    """Analyse and compile one clause."""
+    analysis = analyze_clause(clause)
+    return ClauseCompiler(analysis, symbols).compile()
+
+
+def peephole(items: List[Item]) -> List[Item]:
+    """Merge adjacent independent register moves into MOVE2 (the
+    four-address format's two-moves-per-cycle capability) and drop
+    no-op moves."""
+    out: List[Item] = []
+    for item in items:
+        if (isinstance(item, Instruction)
+                and item.op is Op.GET_X_VARIABLE and item.a == item.b
+                and not item.infer):
+            continue                                 # Xn := Xn
+        previous = out[-1] if out else None
+        if (isinstance(item, Instruction)
+                and isinstance(previous, Instruction)
+                and item.op is Op.GET_X_VARIABLE
+                and previous.op is Op.GET_X_VARIABLE
+                and not item.infer
+                and previous.c is None
+                and item.b != previous.a
+                and item.a != previous.b and item.a != previous.a):
+            merged = Instruction(Op.MOVE2, previous.b, previous.a,
+                                 item.b, item.a, infer=previous.infer)
+            out[-1] = merged
+            continue
+        out.append(item)
+    return out

@@ -1,0 +1,69 @@
+"""Goal classification shared by the analysis and code-generation passes.
+
+KCM compiles arithmetic and unification *inline* (section 4.2 mentions
+integer-arithmetic compilation; the MWAC gives the machine multi-way
+branching for the generic case), so these goals produce no CALL:
+
+- ``is/2`` — expression flattened into ARITH instructions,
+- the six numeric comparisons — ARITH + TEST,
+- ``=/2`` — GEN_UNIFY,
+- ``!``, ``true``, ``fail`` — control instructions.
+
+Everything else is a *call goal* (a chunk boundary for the register
+allocator): user predicates and escape built-ins alike.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.opcodes import TestOp
+from repro.prolog.terms import Atom, Struct, Term, functor_indicator
+
+#: source operator -> TEST relation.
+TEST_GOALS = {
+    "<": TestOp.LT,
+    ">": TestOp.GT,
+    "=<": TestOp.LE,
+    ">=": TestOp.GE,
+    "=:=": TestOp.EQ,
+    "=\\=": TestOp.NE,
+}
+
+INLINE_CONTROL = {("!", 0), ("true", 0), ("fail", 0), ("false", 0)}
+
+
+def goal_indicator(goal: Term) -> Tuple[str, int]:
+    """(name, arity) of a goal term."""
+    return functor_indicator(goal)
+
+
+def is_cut(goal: Term) -> bool:
+    """True for the ``!`` goal."""
+    return isinstance(goal, Atom) and goal.name == "!"
+
+
+def is_inline(goal: Term) -> bool:
+    """True when the goal compiles to inline instructions (no CALL)."""
+    name, arity = goal_indicator(goal)
+    if (name, arity) in INLINE_CONTROL:
+        return True
+    if arity == 2 and (name in TEST_GOALS or name in ("is", "=")):
+        return True
+    return False
+
+
+def is_call(goal: Term) -> bool:
+    """True when the goal is a chunk-boundary call."""
+    return not is_inline(goal)
+
+
+def is_guard_goal(goal: Term) -> bool:
+    """True for goals allowed *before the neck* (the clause guard of
+    section 3.1.5): pure tests that do not modify the Prolog state.
+
+    Arithmetic comparisons qualify; ``is/2`` and ``=/2`` do not (they
+    bind), and calls obviously do not.
+    """
+    name, arity = goal_indicator(goal)
+    return arity == 2 and name in TEST_GOALS and isinstance(goal, Struct)

@@ -1,0 +1,181 @@
+"""Incremental compilation (paper section 3.2.1).
+
+"Prolog and other AI languages allow some kind of self modifying code
+and incremental compilation ...  Incrementally generated code is
+written directly to the code cache."  The batch path (the
+:class:`~repro.compiler.linker.Linker`) generates large blocks in the
+data space and re-zones the pages; this module is the *incremental*
+path: new predicates and new queries are compiled against a machine's
+live image, appended to its code space, and written word-by-word
+through the code cache (:meth:`MemorySystem.code_write`), paying the
+write-through cycles the paper describes.
+
+This is also how the final system's "incremental Prolog compiler"
+(section 5) consults clauses at the toplevel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.compiler.codegen import Label
+from repro.compiler.indexing import PredicateCode, compile_predicate
+from repro.compiler.linker import Linker
+from repro.compiler.normalize import (
+    NormalizedProgram, group_program, normalize_program,
+)
+from repro.core.builtins import builtin_for
+from repro.core.instruction import Instruction
+from repro.core.opcodes import BRANCHING_OPS, Op
+from repro.errors import LinkError
+from repro.prolog.parser import parse_program
+
+
+class IncrementalLoader:
+    """Consult-style loading onto a live machine."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self._query_counter = 0
+        #: cycles spent writing code through the code cache.
+        self.code_write_cycles = 0
+
+    # -- public API -------------------------------------------------------------
+
+    def add_program(self, text: str) -> List[Tuple[str, int]]:
+        """Compile and install new predicates; returns their
+        indicators.  Redefining an existing predicate is rejected
+        (assert/retract semantics are out of scope, as in the paper's
+        first environment)."""
+        program = normalize_program(parse_program(text))
+        groups = group_program(program)
+        for indicator in groups:
+            if indicator in self.machine.predicates:
+                raise LinkError(
+                    f"predicate {indicator[0]}/{indicator[1]} already "
+                    f"loaded (no redefinition in the incremental path)")
+        codes = [compile_predicate(name, arity, clauses,
+                                   self.machine.symbols)
+                 for (name, arity), clauses in groups.items()]
+        self._install(codes, list(program.clauses))
+        return [code.indicator for code in codes]
+
+    def query(self, text: str) -> Tuple[int, List[str]]:
+        """Compile one query against everything loaded so far; returns
+        ``(entry_address, variable_names)`` for :meth:`Machine.run`."""
+        self._query_counter += 1
+        name = f"$query{self._query_counter}"
+        program = NormalizedProgram()
+        linker = Linker(symbols=self.machine.symbols)
+        clause, names = linker._query_clause(text, program)
+        clause.head = type(clause.head)(name)      # Atom(name)
+        groups = group_program(program)            # aux control preds
+        codes = [compile_predicate(n, a, clauses, self.machine.symbols)
+                 for (n, a), clauses in groups.items()]
+        codes.append(compile_predicate(name, 0, [clause],
+                                       self.machine.symbols))
+        self._install(codes, list(program.clauses) + [clause])
+        return self.machine.predicates[(name, 0)], names
+
+    # -- installation -------------------------------------------------------------
+
+    def _install(self, codes: List[PredicateCode], clauses) -> None:
+        machine = self.machine
+        base = len(machine.code)
+
+        # Pass 1: addresses for the new labels.
+        addresses: Dict[str, int] = {}
+        pc = base
+        for code in codes:
+            for item in code.items:
+                if isinstance(item, Label):
+                    addresses[item.name] = pc
+                else:
+                    pc += item.size
+
+        new_predicates = {code.indicator: addresses[code.entry.name]
+                          for code in codes}
+
+        # Library stubs for newly referenced built-ins.
+        needed = self._needed_builtins(clauses, new_predicates)
+        stub_codes, handlers = self._builtin_stubs(needed, pc)
+        for code in stub_codes:
+            addresses[code.entry.name] = pc
+            new_predicates[code.indicator] = pc
+            pc += sum(i.size for i in code.items
+                      if isinstance(i, Instruction))
+
+        def resolve(value):
+            if isinstance(value, Label):
+                return addresses[value.name]
+            if isinstance(value, tuple) and len(value) == 3 \
+                    and value[0] == "pred":
+                _, name, arity = value
+                target = new_predicates.get((name, arity))
+                if target is None:
+                    target = machine.predicates.get((name, arity))
+                if target is None:
+                    raise LinkError(f"undefined predicate {name}/{arity}")
+                return target
+            return value
+
+        # Pass 2: resolve and write through the code cache.
+        machine.code.extend([None] * (pc - base))
+        write_pc = base
+        for code in codes + stub_codes:
+            for item in code.items:
+                if isinstance(item, Label):
+                    continue
+                if item.op in BRANCHING_OPS:
+                    item.a = resolve(item.a)
+                elif item.op is Op.SWITCH_ON_TERM:
+                    item.a, item.b = resolve(item.a), resolve(item.b)
+                    item.c, item.d = resolve(item.c), resolve(item.d)
+                elif item.op in (Op.SWITCH_ON_CONSTANT,
+                                 Op.SWITCH_ON_STRUCTURE):
+                    item.a = {k: resolve(v) for k, v in item.a.items()}
+                    item.b = resolve(item.b)
+                machine.code[write_pc] = item
+                # "Incrementally generated code is written directly to
+                # the code cache": one write-through per code word.
+                for offset in range(item.size):
+                    self.code_write_cycles += \
+                        machine.memory.code_write(write_pc + offset)
+                write_pc += item.size
+
+        machine.predicates.update(new_predicates)
+        machine.builtins.update(handlers)
+
+    def _needed_builtins(self, clauses, new_predicates):
+        from repro.compiler.goals import is_inline
+        from repro.prolog.terms import Var, functor_indicator
+        needed = set()
+        for clause in clauses:
+            for goal in clause.goals:
+                if isinstance(goal, Var) or is_inline(goal):
+                    continue
+                indicator = functor_indicator(goal)
+                if indicator in self.machine.predicates \
+                        or indicator in new_predicates:
+                    continue
+                needed.add(indicator)
+        return needed
+
+    def _builtin_stubs(self, needed, start_pc):
+        next_id = max(self.machine.builtins, default=-1) + 1
+        stubs: List[PredicateCode] = []
+        handlers = {}
+        for name, arity in sorted(needed):
+            implementation = builtin_for(name, arity)
+            if implementation is None:
+                raise LinkError(f"undefined predicate {name}/{arity}")
+            handlers[next_id] = implementation
+            code = PredicateCode(name, arity)
+            code.entry = Label(f"builtin+:{name}/{arity}")
+            findex = self.machine.symbols.functor_index(name, arity)
+            code.items = [code.entry,
+                          Instruction(Op.ESCAPE, next_id, arity, findex),
+                          Instruction(Op.PROCEED)]
+            stubs.append(code)
+            next_id += 1
+        return stubs, handlers

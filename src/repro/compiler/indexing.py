@@ -1,0 +1,212 @@
+"""First-argument indexing: switch instructions and try chains.
+
+Section 4.2 credits KCM's speed on database-style programs ("the
+efficiency of KCM indexing") to its dispatch hardware; this pass emits
+the classic WAM index structure over each predicate:
+
+- a SWITCH_ON_TERM on the first argument's type (MWAC-backed 4-way
+  dispatch) when the clause heads discriminate at all,
+- SWITCH_ON_CONSTANT / SWITCH_ON_STRUCTURE hash tables per bucket (the
+  only multi-word instructions, cf. Table 1's discussion),
+- TRY/RETRY/TRUST chains for buckets holding several candidates,
+- the full try_me_else / retry_me_else / trust_me chain as the variable
+  entry point.
+
+A bucket with a single candidate jumps straight at the clause code:
+that call will run with the shallow flag clear and never touch the
+choice-point machinery — the deterministic-selection payoff of
+section 3.1.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.compiler.codegen import Item, Label, compile_clause, peephole
+from repro.compiler.normalize import Clause
+from repro.core.instruction import Instruction
+from repro.core.opcodes import Op
+from repro.core.symbols import SymbolTable
+from repro.core.word import make_float, make_int
+from repro.prolog.terms import Atom, Float, Int, Var, is_list_cell
+
+
+@dataclass
+class PredicateCode:
+    """The compiled form of one predicate: a labelled item stream."""
+
+    name: str
+    arity: int
+    items: List[Item] = field(default_factory=list)
+    entry: Optional[Label] = None
+
+    @property
+    def indicator(self) -> Tuple[str, int]:
+        """(name, arity)."""
+        return (self.name, self.arity)
+
+    @property
+    def instruction_count(self) -> int:
+        """Number of instructions (switch tables count as one)."""
+        return sum(1 for i in self.items if isinstance(i, Instruction))
+
+    @property
+    def word_count(self) -> int:
+        """Code-space words including switch tables."""
+        return sum(i.size for i in self.items if isinstance(i, Instruction))
+
+
+# First-argument key kinds.
+KIND_VAR = "var"
+KIND_CONST = "const"
+KIND_LIST = "list"
+KIND_STRUCT = "struct"
+
+
+def _first_argument_key(clause: Clause, symbols: SymbolTable
+                        ) -> Tuple[str, Optional[object]]:
+    """(kind, key) of a clause's first head argument."""
+    head = clause.head
+    if isinstance(head, Atom) or not head.args:
+        return (KIND_VAR, None)
+    arg = head.args[0]
+    if isinstance(arg, Var):
+        return (KIND_VAR, None)
+    if isinstance(arg, Atom):
+        word = symbols.atom_word(arg.name)
+        return (KIND_CONST, (word.tag, word.value))
+    if isinstance(arg, Int):
+        word = make_int(arg.value)
+        return (KIND_CONST, (word.tag, word.value))
+    if isinstance(arg, Float):
+        word = make_float(arg.value)
+        return (KIND_CONST, (word.tag, word.value))
+    if is_list_cell(arg):
+        return (KIND_LIST, None)
+    return (KIND_STRUCT, symbols.functor_index(arg.name, arg.arity))
+
+
+def compile_predicate(name: str, arity: int, clauses: List[Clause],
+                      symbols: SymbolTable) -> PredicateCode:
+    """Compile all clauses of one predicate with indexing."""
+    code = PredicateCode(name, arity)
+    entry = Label(f"{name}/{arity}")
+    code.entry = entry
+    code.items.append(entry)
+
+    compiled = [peephole(compile_clause(clause, symbols))
+                for clause in clauses]
+    clause_labels = [Label(f"{name}/{arity}.c{i}")
+                     for i in range(len(clauses))]
+
+    if len(clauses) == 1:
+        code.items.append(clause_labels[0])
+        code.items.extend(compiled[0])
+        return code
+
+    keys = [_first_argument_key(clause, symbols) for clause in clauses]
+    indexable = arity >= 1 and any(kind != KIND_VAR for kind, _ in keys)
+
+    var_chain_label = Label(f"{name}/{arity}.var")
+    index_items: List[Item] = []
+
+    if indexable:
+        const_target = _bucket(index_items, name, arity, clause_labels,
+                               keys, KIND_CONST, symbols)
+        list_target = _bucket(index_items, name, arity, clause_labels,
+                              keys, KIND_LIST, symbols)
+        struct_target = _bucket(index_items, name, arity, clause_labels,
+                                keys, KIND_STRUCT, symbols)
+        code.items.append(Instruction(
+            Op.SWITCH_ON_TERM, var_chain_label, const_target, list_target,
+            struct_target))
+        code.items.extend(index_items)
+
+    # The variable entry: the full sequential chain.
+    code.items.append(var_chain_label)
+    for i, (label, items) in enumerate(zip(clause_labels, compiled)):
+        if len(clauses) > 1:
+            if i == 0:
+                next_label = Label(f"{name}/{arity}.v1")
+                code.items.append(Instruction(Op.TRY_ME_ELSE, next_label,
+                                              arity))
+            elif i < len(clauses) - 1:
+                code.items.append(next_label)
+                next_label = Label(f"{name}/{arity}.v{i + 1}")
+                code.items.append(Instruction(Op.RETRY_ME_ELSE, next_label,
+                                              arity))
+            else:
+                code.items.append(next_label)
+                code.items.append(Instruction(Op.TRUST_ME))
+        code.items.append(label)
+        code.items.extend(items)
+    return code
+
+
+def _bucket(index_items: List[Item], name: str, arity: int,
+            clause_labels: List[Label],
+            keys: List[Tuple[str, Optional[object]]], kind: str,
+            symbols: SymbolTable) -> Optional[Union[Label, object]]:
+    """Build the dispatch target for one SWITCH_ON_TERM leg.
+
+    Returns a Label (or None for guaranteed failure).  For the const
+    and struct legs this may emit a second-level switch instruction
+    plus TRY chains into ``index_items``.
+    """
+    if kind == KIND_LIST:
+        candidates = [clause_labels[i] for i, (k, _) in enumerate(keys)
+                      if k in (KIND_LIST, KIND_VAR)]
+        return _chain(index_items, name, arity, candidates, "list")
+
+    # Candidate sets per key value, preserving clause order; var-headed
+    # clauses belong to every bucket.
+    per_key: Dict[object, List[Label]] = {}
+    var_candidates: List[Label] = []
+    order: List[object] = []
+    for i, (k, key) in enumerate(keys):
+        if k == KIND_VAR:
+            var_candidates.append(clause_labels[i])
+            for lst in per_key.values():
+                lst.append(clause_labels[i])
+        elif k == kind:
+            if key not in per_key:
+                per_key[key] = list(var_candidates)
+                order.append(key)
+            per_key[key].append(clause_labels[i])
+
+    if not per_key:
+        # No clause discriminates on this kind: all candidates are the
+        # var-headed clauses.
+        return _chain(index_items, name, arity, var_candidates,
+                      kind)
+
+    default_target = _chain(index_items, name, arity, var_candidates,
+                            f"{kind}.default")
+    table: Dict[object, object] = {}
+    for key in order:
+        table[key] = _chain(index_items, name, arity, per_key[key],
+                            f"{kind}.bucket")
+    switch_label = Label(f"{name}/{arity}.{kind}switch")
+    op = Op.SWITCH_ON_CONSTANT if kind == KIND_CONST \
+        else Op.SWITCH_ON_STRUCTURE
+    index_items.insert(0, switch_label)
+    index_items.insert(1, Instruction(op, table, default_target))
+    return switch_label
+
+
+def _chain(index_items: List[Item], name: str, arity: int,
+           candidates: List[Label], hint: str) -> Optional[Label]:
+    """A TRY/RETRY/TRUST chain over candidate clause labels (or a
+    direct jump label for the deterministic single-candidate case)."""
+    if not candidates:
+        return None
+    if len(candidates) == 1:
+        return candidates[0]
+    chain_label = Label(f"{name}/{arity}.{hint}")
+    index_items.append(chain_label)
+    index_items.append(Instruction(Op.TRY, candidates[0], arity))
+    for label in candidates[1:-1]:
+        index_items.append(Instruction(Op.RETRY, label, arity))
+    index_items.append(Instruction(Op.TRUST, candidates[-1], arity))
+    return chain_label

@@ -1,0 +1,188 @@
+"""Clause normalisation: from reader terms to flat clause bodies.
+
+The code generator wants every clause as ``head + list of plain
+goals``.  This pass:
+
+- splits ``H :- B`` into head and body and flattens the ``','/2``
+  conjunction spine,
+- compiles away the control constructs — disjunction ``;/2``,
+  if-then(-else) ``->/2`` and negation-as-failure ``\\+/1`` — into
+  auxiliary predicates with cut, the classical source-to-source
+  transformation (this is also how early WAM compilers, including the
+  KCM/SEPIA toolchain, handled them),
+- leaves ``!`` as an ordinary goal for the code generator, which maps
+  it onto NECK_CUT / CUT / CUT_Y.
+
+The result is a list of :class:`Clause` grouped per predicate by
+:func:`group_program`, preserving source order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import CompileError
+from repro.prolog.terms import (
+    Atom, Struct, Term, Var, functor_indicator, is_callable, term_variables,
+)
+
+
+@dataclass
+class Clause:
+    """One normalised clause: ``head :- goals``."""
+
+    head: Term
+    goals: List[Term]
+
+    @property
+    def indicator(self) -> Tuple[str, int]:
+        """The predicate this clause belongs to."""
+        return functor_indicator(self.head)
+
+
+@dataclass
+class NormalizedProgram:
+    """All clauses of a program, plus generated auxiliary clauses."""
+
+    clauses: List[Clause] = field(default_factory=list)
+    aux_counter: int = 0
+
+    def fresh_aux_name(self, kind: str) -> str:
+        """A unique name for a generated control predicate."""
+        self.aux_counter += 1
+        return f"$({kind}){self.aux_counter}"
+
+
+def flatten_conjunction(body: Term) -> List[Term]:
+    """The goal list of a ','/2 spine (right-leaning or not)."""
+    goals: List[Term] = []
+    stack = [body]
+    while stack:
+        term = stack.pop()
+        if isinstance(term, Struct) and term.name == "," and term.arity == 2:
+            stack.append(term.args[1])
+            stack.append(term.args[0])
+        else:
+            goals.append(term)
+    return goals
+
+
+def _aux_head(name: str, variables: List[Var]) -> Term:
+    if not variables:
+        return Atom(name)
+    return Struct(name, tuple(variables))
+
+
+def _aux_call(name: str, variables: List[Var]) -> Term:
+    return _aux_head(name, variables)
+
+
+def _normalize_goal(goal: Term, program: NormalizedProgram) -> List[Term]:
+    """Rewrite one goal; may add auxiliary clauses to ``program``."""
+    if isinstance(goal, Var):
+        # Meta-call through a variable.
+        return [Struct("call", (goal,))]
+    if not is_callable(goal):
+        raise CompileError(f"goal is not callable: {goal!r}")
+
+    if isinstance(goal, Struct) and goal.name == "," and goal.arity == 2:
+        out: List[Term] = []
+        for g in flatten_conjunction(goal):
+            out.extend(_normalize_goal(g, program))
+        return out
+
+    if isinstance(goal, Struct) and goal.name == ";" and goal.arity == 2:
+        left, right = goal.args
+        variables = term_variables(goal)
+        name = program.fresh_aux_name("or")
+        if isinstance(left, Struct) and left.name == "->" \
+                and left.arity == 2:
+            condition, then_part = left.args
+            _add_clause(program, _aux_head(name, variables),
+                        flatten_conjunction(condition) + [Atom("!")]
+                        + flatten_conjunction(then_part))
+            _add_clause(program, _aux_head(name, variables),
+                        flatten_conjunction(right))
+        else:
+            _add_clause(program, _aux_head(name, variables),
+                        flatten_conjunction(left))
+            _add_clause(program, _aux_head(name, variables),
+                        flatten_conjunction(right))
+        return [_aux_call(name, variables)]
+
+    if isinstance(goal, Struct) and goal.name == "->" and goal.arity == 2:
+        # Bare if-then: (C -> T) is (C -> T ; fail).
+        condition, then_part = goal.args
+        variables = term_variables(goal)
+        name = program.fresh_aux_name("ite")
+        _add_clause(program, _aux_head(name, variables),
+                    flatten_conjunction(condition) + [Atom("!")]
+                    + flatten_conjunction(then_part))
+        return [_aux_call(name, variables)]
+
+    if isinstance(goal, Struct) and goal.name == "is" and goal.arity == 2 \
+            and isinstance(goal.args[1], Var):
+        # The expression only arrives at run time: route through the
+        # generic arithmetic escape instead of inline ARITH code.
+        return [Struct("$eval_is", goal.args)]
+
+    if isinstance(goal, Struct) and goal.name == "\\=" and goal.arity == 2:
+        # X \= Y is \+ (X = Y): lower through the same transformation.
+        return _normalize_goal(
+            Struct("\\+", (Struct("=", goal.args),)), program)
+
+    if isinstance(goal, Struct) and goal.name == "\\+" and goal.arity == 1:
+        inner = goal.args[0]
+        variables = term_variables(goal)
+        name = program.fresh_aux_name("not")
+        _add_clause(program, _aux_head(name, variables),
+                    flatten_conjunction(inner) + [Atom("!"), Atom("fail")])
+        _add_clause(program, _aux_head(name, variables), [])
+        return [_aux_call(name, variables)]
+
+    return [goal]
+
+
+def _add_clause(program: NormalizedProgram, head: Term,
+                raw_goals: List[Term]) -> None:
+    goals: List[Term] = []
+    for goal in raw_goals:
+        goals.extend(_normalize_goal(goal, program))
+    program.clauses.append(Clause(head, goals))
+
+
+def normalize_clause_term(term: Term, program: NormalizedProgram) -> None:
+    """Normalise one reader term (a fact, rule or directive) into
+    ``program``.  Directives (``:- G``) are rejected — the simulator's
+    toolchain is batch-mode (section 3.2.1) and takes queries
+    separately."""
+    if isinstance(term, Struct) and term.name == ":-" and term.arity == 2:
+        head, body = term.args
+        if not is_callable(head):
+            raise CompileError(f"clause head is not callable: {head!r}")
+        _add_clause(program, head, flatten_conjunction(body))
+        return
+    if isinstance(term, Struct) and term.name == ":-" and term.arity == 1:
+        raise CompileError("directives are not supported; pass queries "
+                           "to the linker instead")
+    if not is_callable(term):
+        raise CompileError(f"clause is not callable: {term!r}")
+    _add_clause(program, term, [])
+
+
+def normalize_program(terms: List[Term]) -> NormalizedProgram:
+    """Normalise a whole program (reader output order preserved)."""
+    program = NormalizedProgram()
+    for term in terms:
+        normalize_clause_term(term, program)
+    return program
+
+
+def group_program(program: NormalizedProgram
+                  ) -> "Dict[Tuple[str, int], List[Clause]]":
+    """Clauses grouped by predicate indicator, in first-seen order."""
+    groups: Dict[Tuple[str, int], List[Clause]] = {}
+    for clause in program.clauses:
+        groups.setdefault(clause.indicator, []).append(clause)
+    return groups

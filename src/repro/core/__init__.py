@@ -1,0 +1,25 @@
+"""KCM processor core: tagged words, instruction set, machine model.
+
+See paper section 3.  :class:`Machine` is the execution engine;
+:mod:`repro.core.costs` holds the calibrated cycle model and the
+feature switches used for baselines and ablations.
+"""
+
+from repro.core.costs import (
+    CostModel, Features, KCM_CYCLE_SECONDS, kcm_cost_model, kcm_features,
+)
+from repro.core.instruction import Instruction, disassemble_range
+from repro.core.machine import Machine
+from repro.core.opcodes import ArithOp, Op, TestOp
+from repro.core.registers import RegisterFile
+from repro.core.statistics import RunStats
+from repro.core.symbols import SymbolTable
+from repro.core.tags import Type, Zone
+from repro.core.word import Word
+
+__all__ = [
+    "CostModel", "Features", "KCM_CYCLE_SECONDS", "kcm_cost_model",
+    "kcm_features", "Instruction", "disassemble_range", "Machine",
+    "ArithOp", "Op", "TestOp", "RegisterFile", "RunStats", "SymbolTable",
+    "Type", "Zone", "Word",
+]

@@ -1,0 +1,504 @@
+"""Built-in predicates reached through the escape mechanism.
+
+On the real KCM, built-ins either run in microcode or escape to
+runtime-system routines; the benchmark methodology of section 4.2
+additionally compiles ``write/1`` and ``nl/0`` as unit clauses costing
+a minimal 5-cycle call/return.  This module implements the runtime
+routines in Python with explicit cycle charges, so escape-heavy
+programs remain cycle-accounted.
+
+A built-in is a callable ``f(machine, arity) -> bool``; arguments are
+in A1..An.  Returning False triggers backtracking.  Built-ins that
+transfer control (``call/1``) or stop the machine (``halt/0``,
+``'$answer'``) manipulate the machine directly.
+
+The linker assigns each (name, arity) used by a program a small
+integer id carried in the ESCAPE instruction (see
+:meth:`repro.compiler.linker.Linker.link`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.core.decode import decode_word
+from repro.core.opcodes import ArithOp
+from repro.core.tags import Type
+from repro.core.word import (
+    Word, make_float, make_functor, make_int, make_struct,
+    to_single_precision, wrap_int32,
+)
+from repro.errors import ArithmeticError_, ExistenceError, MachineError
+from repro.prolog.writer import term_to_text
+
+BuiltinFn = Callable[["object", int], bool]
+
+
+# ---------------------------------------------------------------------------
+# term ordering (==/2, compare/3 and friends)
+# ---------------------------------------------------------------------------
+
+#: Standard order of terms: variables < numbers < atoms < compounds.
+_ORDER_CLASS = {
+    Type.REF: 0, Type.INT: 1, Type.FLOAT: 1, Type.NIL: 2, Type.ATOM: 2,
+    Type.LIST: 3, Type.STRUCT: 3,
+}
+
+
+def compare_words(machine, left: Word, right: Word) -> int:
+    """Three-way standard-order comparison of two heap terms.
+
+    Charges one cycle per visited pair, approximating the microcode
+    loop.  Returns -1, 0 or 1.
+    """
+    worklist = [(left, right)]
+    symbols = machine.symbols
+    while worklist:
+        a, b = worklist.pop()
+        a = machine.deref(a)
+        b = machine.deref(b)
+        machine.cycles += 1
+        ca, cb = _ORDER_CLASS[a.type], _ORDER_CLASS[b.type]
+        if ca != cb:
+            return -1 if ca < cb else 1
+        if ca == 0:                       # both variables: by address
+            if a.value != b.value:
+                return -1 if a.value < b.value else 1
+            continue
+        if ca == 1:                       # numbers
+            if a.value != b.value:
+                return -1 if a.value < b.value else 1
+            continue
+        if ca == 2:                       # atoms: alphabetical
+            na = "[]" if a.type is Type.NIL else symbols.atom_name(a.value)
+            nb = "[]" if b.type is Type.NIL else symbols.atom_name(b.value)
+            if na != nb:
+                return -1 if na < nb else 1
+            continue
+        # Compounds: arity, then name, then args left to right.
+        na, aa = _functor_of(machine, a)
+        nb, ab = _functor_of(machine, b)
+        if aa != ab:
+            return -1 if aa < ab else 1
+        if na != nb:
+            return -1 if na < nb else 1
+        pairs = [(_arg_of(machine, a, i), _arg_of(machine, b, i))
+                 for i in range(aa)]
+        worklist.extend(reversed(pairs))
+    return 0
+
+
+def _functor_of(machine, word: Word) -> Tuple[str, int]:
+    if word.type is Type.LIST:
+        return ".", 2
+    functor = machine.memory.store.read(word.value)
+    return machine.symbols.functor_key(int(functor.value))
+
+
+def _arg_of(machine, word: Word, index: int) -> Word:
+    base = word.value if word.type is Type.LIST else word.value + 1
+    return machine.memory.store.read(base + index)
+
+
+# ---------------------------------------------------------------------------
+# arithmetic evaluation over heap terms (generic 'is' fallback)
+# ---------------------------------------------------------------------------
+
+_EVAL_BINARY = {
+    "+": ArithOp.ADD, "-": ArithOp.SUB, "*": ArithOp.MUL, "/": ArithOp.DIV,
+    "//": ArithOp.IDIV, "mod": ArithOp.MOD, "min": ArithOp.MIN,
+    "max": ArithOp.MAX, "/\\": ArithOp.AND, "\\/": ArithOp.OR,
+    "xor": ArithOp.XOR, "<<": ArithOp.SHL, ">>": ArithOp.SHR,
+}
+
+
+def eval_arith(machine, word: Word) -> Word:
+    """Evaluate an arithmetic expression term on the heap.
+
+    Used when the compiler could not flatten the expression statically
+    (the expression arrives in a variable).  Costs mirror the ARITH
+    instruction costs per operator node.
+    """
+    word = machine.deref(word)
+    t = word.type
+    if t is Type.INT or t is Type.FLOAT:
+        return word
+    if t is Type.REF:
+        raise ArithmeticError_("unbound variable in arithmetic")
+    if t is Type.STRUCT:
+        name, arity = _functor_of(machine, word)
+        if arity == 2 and name in _EVAL_BINARY:
+            left = eval_arith(machine, _arg_of(machine, word, 0))
+            right = eval_arith(machine, _arg_of(machine, word, 1))
+            return _apply_binary(machine, _EVAL_BINARY[name], left, right)
+        if arity == 1 and name == "-":
+            operand = eval_arith(machine, _arg_of(machine, word, 0))
+            return _apply_binary(machine, ArithOp.NEG, operand, operand)
+        if arity == 1 and name == "abs":
+            operand = eval_arith(machine, _arg_of(machine, word, 0))
+            return _apply_binary(machine, ArithOp.ABS, operand, operand)
+    raise ArithmeticError_(
+        f"not an arithmetic expression: "
+        f"{machine.symbols.describe_constant(word)}")
+
+
+def _apply_binary(machine, op: ArithOp, left: Word, right: Word) -> Word:
+    is_float = left.type is Type.FLOAT or right.type is Type.FLOAT
+    table = machine.costs.arith_float if is_float \
+        else machine.costs.arith_int
+    machine.cycles += table[op]
+    lv, rv = left.value, right.value
+    try:
+        if op is ArithOp.ADD:
+            result = lv + rv
+        elif op is ArithOp.SUB:
+            result = lv - rv
+        elif op is ArithOp.MUL:
+            result = lv * rv
+        elif op is ArithOp.DIV:
+            result = lv / rv if is_float else int(lv / rv)
+        elif op is ArithOp.IDIV:
+            result = lv // rv
+        elif op is ArithOp.MOD:
+            result = lv % rv
+        elif op is ArithOp.NEG:
+            result = -lv
+        elif op is ArithOp.ABS:
+            result = abs(lv)
+        elif op is ArithOp.MIN:
+            result = min(lv, rv)
+        elif op is ArithOp.MAX:
+            result = max(lv, rv)
+        elif op is ArithOp.AND:
+            result = int(lv) & int(rv)
+        elif op is ArithOp.OR:
+            result = int(lv) | int(rv)
+        elif op is ArithOp.XOR:
+            result = int(lv) ^ int(rv)
+        elif op is ArithOp.SHL:
+            result = int(lv) << int(rv)
+        else:
+            result = int(lv) >> int(rv)
+    except ZeroDivisionError:
+        raise ArithmeticError_("division by zero")
+    if is_float:
+        return make_float(to_single_precision(float(result)))
+    return make_int(wrap_int32(int(result)))
+
+
+# ---------------------------------------------------------------------------
+# the built-ins
+# ---------------------------------------------------------------------------
+
+def _bi_true(machine, arity: int) -> bool:
+    return True
+
+
+def _bi_fail(machine, arity: int) -> bool:
+    return False
+
+
+def _bi_halt(machine, arity: int) -> bool:
+    machine.running = False
+    machine.halted = True
+    return True
+
+
+def _bi_write(machine, arity: int) -> bool:
+    term = decode_word(machine, machine.regs.x(0))
+    machine.output.append(term_to_text(term))
+    machine.cycles += machine.costs.write_builtin
+    return True
+
+
+def _bi_writeq(machine, arity: int) -> bool:
+    term = decode_word(machine, machine.regs.x(0))
+    machine.output.append(term_to_text(term, quoted=True))
+    machine.cycles += machine.costs.write_builtin
+    return True
+
+
+def _bi_nl(machine, arity: int) -> bool:
+    machine.output.append("\n")
+    machine.cycles += machine.costs.write_builtin
+    return True
+
+
+def _bi_tab(machine, arity: int) -> bool:
+    count = machine.deref(machine.regs.x(0))
+    machine.output.append(" " * max(0, int(count.value)))
+    machine.cycles += machine.costs.write_builtin
+    return True
+
+
+def _type_test(predicate):
+    def test(machine, arity: int) -> bool:
+        return predicate(machine.deref(machine.regs.x(0)))
+    return test
+
+
+_bi_var = _type_test(lambda w: w.type is Type.REF)
+_bi_nonvar = _type_test(lambda w: w.type is not Type.REF)
+_bi_atom = _type_test(lambda w: w.type in (Type.ATOM, Type.NIL))
+_bi_number = _type_test(lambda w: w.type in (Type.INT, Type.FLOAT))
+_bi_integer = _type_test(lambda w: w.type is Type.INT)
+_bi_float = _type_test(lambda w: w.type is Type.FLOAT)
+_bi_atomic = _type_test(
+    lambda w: w.type in (Type.ATOM, Type.NIL, Type.INT, Type.FLOAT))
+_bi_compound = _type_test(lambda w: w.type in (Type.LIST, Type.STRUCT))
+
+
+def _bi_struct_eq(machine, arity: int) -> bool:
+    return compare_words(machine, machine.regs.x(0),
+                         machine.regs.x(1)) == 0
+
+
+def _bi_struct_ne(machine, arity: int) -> bool:
+    return compare_words(machine, machine.regs.x(0),
+                         machine.regs.x(1)) != 0
+
+
+def _bi_term_lt(machine, arity: int) -> bool:
+    return compare_words(machine, machine.regs.x(0),
+                         machine.regs.x(1)) < 0
+
+
+def _bi_term_gt(machine, arity: int) -> bool:
+    return compare_words(machine, machine.regs.x(0),
+                         machine.regs.x(1)) > 0
+
+
+def _bi_term_le(machine, arity: int) -> bool:
+    return compare_words(machine, machine.regs.x(0),
+                         machine.regs.x(1)) <= 0
+
+
+def _bi_term_ge(machine, arity: int) -> bool:
+    return compare_words(machine, machine.regs.x(0),
+                         machine.regs.x(1)) >= 0
+
+
+def _bi_compare(machine, arity: int) -> bool:
+    order = compare_words(machine, machine.regs.x(1), machine.regs.x(2))
+    name = "<" if order < 0 else (">" if order > 0 else "=")
+    return machine.unify(machine.regs.x(0),
+                         machine.symbols.atom_word(name))
+
+
+def _bi_functor(machine, arity: int) -> bool:
+    term = machine.deref(machine.regs.x(0))
+    symbols = machine.symbols
+    if term.type is not Type.REF:
+        if term.type in (Type.LIST, Type.STRUCT):
+            name, n = _functor_of(machine, term)
+            name_word = symbols.atom_word(name)
+        else:
+            name_word, n = term, 0
+        return (machine.unify(machine.regs.x(1), name_word)
+                and machine.unify(machine.regs.x(2), make_int(n)))
+    # Construction direction.
+    name = machine.deref(machine.regs.x(1))
+    count = machine.deref(machine.regs.x(2))
+    if count.type is not Type.INT:
+        raise MachineError("functor/3: arity must be an integer")
+    n = int(count.value)
+    if n == 0:
+        return machine.unify(machine.regs.x(0), name)
+    if name.type not in (Type.ATOM, Type.NIL):
+        raise MachineError("functor/3: name must be an atom")
+    name_text = "[]" if name.type is Type.NIL \
+        else symbols.atom_name(int(name.value))
+    findex = symbols.functor_index(name_text, n)
+    address = machine.heap_push(make_functor(findex))
+    for _ in range(n):
+        machine.new_heap_var()
+    machine.cycles += n
+    return machine.unify(machine.regs.x(0), make_struct(address))
+
+
+def _bi_arg(machine, arity: int) -> bool:
+    index = machine.deref(machine.regs.x(0))
+    term = machine.deref(machine.regs.x(1))
+    if index.type is not Type.INT or term.type not in (Type.STRUCT,
+                                                       Type.LIST):
+        return False
+    _, n = _functor_of(machine, term)
+    i = int(index.value)
+    if not 1 <= i <= n:
+        return False
+    return machine.unify(machine.regs.x(2), _arg_of(machine, term, i - 1))
+
+
+def _bi_univ(machine, arity: int) -> bool:
+    """=../2 in both directions."""
+    from repro.core.word import make_list
+    term = machine.deref(machine.regs.x(0))
+    symbols = machine.symbols
+    if term.type is not Type.REF:
+        if term.type in (Type.LIST, Type.STRUCT):
+            name, n = _functor_of(machine, term)
+            items = [symbols.atom_word(name)] + [
+                _arg_of(machine, term, i) for i in range(n)]
+        else:
+            items = [term]
+        # Build the list back to front on the heap.
+        tail = symbols.atom_word("[]")
+        for item in reversed(items):
+            address = machine.h
+            machine.heap_push(item)
+            machine.heap_push(tail)
+            tail = make_list(address)
+        machine.cycles += 2 * len(items)
+        return machine.unify(machine.regs.x(1), tail)
+    # Construction direction: walk the provided list.
+    items = []
+    current = machine.deref(machine.regs.x(1))
+    while current.type is Type.LIST:
+        items.append(machine.deref(
+            machine.memory.store.read(current.value)))
+        current = machine.deref(
+            machine.memory.store.read(current.value + 1))
+        machine.cycles += 1
+    if current.type is not Type.NIL or not items:
+        return False
+    head, args = items[0], items[1:]
+    if not args:
+        return machine.unify(machine.regs.x(0), head)
+    if head.type not in (Type.ATOM, Type.NIL):
+        return False
+    name = "[]" if head.type is Type.NIL \
+        else symbols.atom_name(int(head.value))
+    findex = symbols.functor_index(name, len(args))
+    address = machine.heap_push(make_functor(findex))
+    for arg in args:
+        machine.heap_push(arg)
+    return machine.unify(machine.regs.x(0), make_struct(address))
+
+
+def _bi_length(machine, arity: int) -> bool:
+    """length/2 in both determinate modes (list->N and N->fresh list).
+
+    The generate mode with both arguments unbound would need a
+    nondeterministic escape, which the mechanism does not support —
+    the machine traps instead of silently failing.
+    """
+    from repro.core.word import make_list
+    term = machine.deref(machine.regs.x(0))
+    if term.type in (Type.LIST, Type.NIL):
+        count = 0
+        while term.type is Type.LIST:
+            count += 1
+            term = machine.deref(
+                machine.memory.store.read(term.value + 1))
+            machine.cycles += 1
+        if term.type is not Type.NIL:
+            raise MachineError("length/2: improper list")
+        return machine.unify(machine.regs.x(1), make_int(count))
+    if term.type is Type.REF:
+        count = machine.deref(machine.regs.x(1))
+        if count.type is not Type.INT or int(count.value) < 0:
+            raise MachineError("length/2: open list needs a "
+                               "non-negative integer length")
+        tail = machine.symbols.atom_word("[]")
+        for _ in range(int(count.value)):
+            head = machine.new_heap_var()
+            address = machine.h
+            machine.heap_push(head)
+            machine.heap_push(tail)
+            tail = make_list(address)
+            machine.cycles += 2
+        return machine.unify(machine.regs.x(0), tail)
+    return False
+
+
+def _bi_call(machine, arity: int) -> bool:
+    """call/1: the fast indirect call of section 4.2 (4 cycles)."""
+    goal = machine.deref(machine.regs.x(0))
+    if goal.type in (Type.ATOM, Type.NIL):
+        name = "[]" if goal.type is Type.NIL \
+            else machine.symbols.atom_name(int(goal.value))
+        key = (name, 0)
+    elif goal.type in (Type.STRUCT, Type.LIST):
+        name, n = _functor_of(machine, goal)
+        key = (name, n)
+        for i in range(n):
+            machine.regs.set_x(i, _arg_of(machine, goal, i))
+        machine.cycles += n
+    else:
+        raise MachineError("call/1: goal must be callable")
+    target = machine.predicates.get(key)
+    if target is None:
+        raise ExistenceError(f"call/1: unknown predicate "
+                             f"{key[0]}/{key[1]}")
+    machine.cycles += machine.costs.indirect_call
+    machine.b0 = machine.b
+    machine.p = target
+    return True
+
+
+def _bi_eval_is(machine, arity: int) -> bool:
+    """Generic is/2 for expressions only known at run time."""
+    result = eval_arith(machine, machine.regs.x(1))
+    return machine.unify(machine.regs.x(0), result)
+
+
+def _bi_answer(machine, arity: int) -> bool:
+    """'$answer'/N: record one solution; fail to enumerate more when
+    the query runs in collect-all mode, otherwise stop the machine."""
+    solution = {}
+    for i, name in enumerate(machine.answer_names[:arity]):
+        solution[name] = decode_word(machine, machine.regs.x(i))
+    machine.solutions.append(solution)
+    if machine.collect_all:
+        return False
+    machine.running = False
+    machine.halted = True
+    return True
+
+
+#: The full registry: (name, arity) -> implementation.  '$answer' is
+#: registered for every arity the linker encounters.
+BUILTIN_TABLE: Dict[Tuple[str, int], BuiltinFn] = {
+    ("true", 0): _bi_true,
+    ("fail", 0): _bi_fail,
+    ("false", 0): _bi_fail,
+    ("halt", 0): _bi_halt,
+    ("write", 1): _bi_write,
+    ("writeq", 1): _bi_writeq,
+    ("print", 1): _bi_write,
+    ("nl", 0): _bi_nl,
+    ("tab", 1): _bi_tab,
+    ("var", 1): _bi_var,
+    ("nonvar", 1): _bi_nonvar,
+    ("atom", 1): _bi_atom,
+    ("number", 1): _bi_number,
+    ("integer", 1): _bi_integer,
+    ("float", 1): _bi_float,
+    ("atomic", 1): _bi_atomic,
+    ("compound", 1): _bi_compound,
+    ("==", 2): _bi_struct_eq,
+    ("\\==", 2): _bi_struct_ne,
+    ("@<", 2): _bi_term_lt,
+    ("@>", 2): _bi_term_gt,
+    ("@=<", 2): _bi_term_le,
+    ("@>=", 2): _bi_term_ge,
+    ("compare", 3): _bi_compare,
+    ("functor", 3): _bi_functor,
+    ("arg", 3): _bi_arg,
+    ("=..", 2): _bi_univ,
+    ("call", 1): _bi_call,
+    ("length", 2): _bi_length,
+    ("$eval_is", 2): _bi_eval_is,
+}
+
+
+def builtin_for(name: str, arity: int) -> "BuiltinFn | None":
+    """Look up a built-in implementation; '$answer' matches any arity."""
+    if name == "$answer":
+        return _bi_answer
+    return BUILTIN_TABLE.get((name, arity))
+
+
+def is_builtin(name: str, arity: int) -> bool:
+    """Whether (name, arity) is implemented as an escape."""
+    return builtin_for(name, arity) is not None

@@ -1,0 +1,99 @@
+"""Instruction objects and the disassembler.
+
+One :class:`Instruction` stands for one (or, for switches, several)
+64-bit code words.  Operands are kept symbolic during code generation
+(label strings, functor indices) and resolved to absolute addresses by
+the assembler/linker — all KCM branch targets are absolute (section
+3.1.3).
+
+Field usage by opcode group (see :mod:`repro.core.opcodes` for the
+operand signatures):
+
+=============  =====  =====  =====  =====
+group          a      b      c      d
+=============  =====  =====  =====  =====
+call           target nperms findex --
+execute/jump   target --     findex --
+try family     target --     --     --
+switch_o_term  lvar   lconst llist  lstruct
+switch_o_c/s   table  default --    --
+get/put x,a    reg    areg   --     --
+get/put const  const  areg   --     --
+get/put f      findex areg   --     --
+unify reg      reg    --     --     --
+move2          src1   dst1   src2   dst2
+arith          op     src1   src2   dst
+test           op     src1   src2   --
+escape         bid    arity  findex --
+=============  =====  =====  =====  =====
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.opcodes import OP_INFO, Op
+from repro.core.word import Word
+
+
+class Instruction:
+    """One decoded instruction.
+
+    ``infer`` marks instructions that begin a source-level goal, used
+    by the inference counter (the Klips definition of section 4.2:
+    every goal invocation at the source level is one inference,
+    built-ins included, cut excluded).
+    """
+
+    __slots__ = ("op", "a", "b", "c", "d", "infer", "size")
+
+    def __init__(self, op: Op, a=None, b=None, c=None, d=None,
+                 infer: bool = False, size: Optional[int] = None):
+        self.op = op
+        self.a = a
+        self.b = b
+        self.c = c
+        self.d = d
+        self.infer = infer
+        if size is None:
+            size = OP_INFO[op].base_words
+            if op in (Op.SWITCH_ON_CONSTANT, Op.SWITCH_ON_STRUCTURE):
+                size += len(a) if a else 0
+        self.size = size
+
+    def __repr__(self) -> str:
+        return f"Instruction({self.disassemble()})"
+
+    def disassemble(self) -> str:
+        """A readable one-line rendering (the paper's macrocode monitor
+        equivalent)."""
+        name = self.op.name.lower()
+        fields = []
+        for value in (self.a, self.b, self.c, self.d):
+            if value is None:
+                continue
+            if isinstance(value, Word):
+                fields.append(repr(value))
+            elif isinstance(value, dict):
+                fields.append("{" + ", ".join(
+                    f"{k}->{v}" for k, v in list(value.items())[:4])
+                    + ("..." if len(value) > 4 else "") + "}")
+            else:
+                fields.append(str(value))
+        marker = " ; goal" if self.infer else ""
+        return f"{name} {', '.join(fields)}{marker}".rstrip()
+
+
+def disassemble_range(code, start: int, end: int) -> str:
+    """Disassemble code words in [start, end); skips continuation words
+    of multi-word instructions."""
+    lines = []
+    address = start
+    while address < end:
+        instr = code[address]
+        if instr is None:
+            address += 1
+            continue
+        lines.append(f"{address:6d}: {instr.disassemble()}")
+        address += instr.size
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Generator for the instruction-set reference (docs/INSTRUCTION_SET.md).
+
+The reference is *generated* from the live opcode metadata and cost
+model so it can never drift from the implementation;
+``tests/test_isa_doc.py`` asserts the checked-in file matches this
+renderer's output.  Regenerate with::
+
+    python -m repro.core.isa_doc > docs/INSTRUCTION_SET.md
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.costs import CostModel
+from repro.core.opcodes import BRANCHING_OPS, Format, OP_INFO, Op
+
+#: One-line semantics per opcode (the human half of the reference).
+_DESCRIPTIONS: Dict[Op, str] = {
+    Op.CALL: "Call a predicate; saves the continuation in CP, sets the "
+             "cut barrier B0. Carries the caller's live-permanents "
+             "count for environment trimming.",
+    Op.EXECUTE: "Last-call jump to a predicate (no continuation saved).",
+    Op.PROCEED: "Return through CP.",
+    Op.ALLOCATE: "Push an environment frame (CE, CP, Y slots).",
+    Op.DEALLOCATE: "Pop the current environment frame.",
+    Op.HALT: "Stop the machine (bootstrap epilogue).",
+    Op.JUMP: "Unconditional jump (absolute target).",
+    Op.FAIL: "Force backtracking.",
+    Op.TRY_ME_ELSE: "First clause of a chain: save the three shadow "
+                    "registers (alternative, H, TR); no choice point "
+                    "yet (section 3.1.5).",
+    Op.RETRY_ME_ELSE: "Middle clause: update the alternative (shadow "
+                      "or choice-point field).",
+    Op.TRUST_ME: "Last clause: discard the shadow / pop the choice "
+                 "point.",
+    Op.TRY: "Indexed try: like try_me_else with the clause address as "
+            "operand and the next chain entry as alternative.",
+    Op.RETRY: "Indexed retry.",
+    Op.TRUST: "Indexed trust.",
+    Op.NECK: "Clause commit point: materialise the delayed choice "
+             "point if the clause still has alternatives. Free when "
+             "the flags are clear (decode-time folding).",
+    Op.NECK_CUT: "Cut in neck position: discard the shadow (one "
+                 "cycle, no choice point was ever built) or cut to B0.",
+    Op.GET_LEVEL: "Yn := B0 (save the cut barrier).",
+    Op.CUT: "Cut to B0 (before the first body call).",
+    Op.CUT_Y: "Cut to the barrier saved in Yn.",
+    Op.SWITCH_ON_TERM: "4-way dispatch on A1's type through the MWAC "
+                       "(variable / constant / list / structure).",
+    Op.SWITCH_ON_CONSTANT: "Hash dispatch on a constant value "
+                           "(multi-word: table follows).",
+    Op.SWITCH_ON_STRUCTURE: "Hash dispatch on a functor (multi-word).",
+    Op.GET_X_VARIABLE: "Xn := Ai.",
+    Op.GET_Y_VARIABLE: "Yn := Ai.",
+    Op.GET_X_VALUE: "Unify Xn with Ai.",
+    Op.GET_Y_VALUE: "Unify Yn with Ai.",
+    Op.GET_CONSTANT: "Unify Ai with a constant.",
+    Op.GET_NIL: "Unify Ai with [].",
+    Op.GET_LIST: "Dispatch on Ai: enter read mode on a list, bind and "
+                 "enter write mode on a variable, else fail.",
+    Op.GET_STRUCTURE: "Dispatch on Ai against a functor.",
+    Op.PUT_X_VARIABLE: "Fresh heap variable into Xn and Ai.",
+    Op.PUT_Y_VARIABLE: "Fresh local variable into Yn and Ai.",
+    Op.PUT_X_VALUE: "Ai := Xn.",
+    Op.PUT_Y_VALUE: "Ai := Yn.",
+    Op.PUT_UNSAFE_VALUE: "Ai := deref(Yn), globalising an unbound "
+                         "variable of the dying environment.",
+    Op.PUT_CONSTANT: "Ai := constant.",
+    Op.PUT_NIL: "Ai := [].",
+    Op.PUT_LIST: "Ai := list pointer to H; enter write mode.",
+    Op.PUT_STRUCTURE: "Push a functor cell; Ai := structure pointer; "
+                      "write mode.",
+    Op.UNIFY_X_VARIABLE: "Read: Xn := next cell. Write: fresh heap "
+                         "variable.",
+    Op.UNIFY_Y_VARIABLE: "Y-register variant.",
+    Op.UNIFY_X_VALUE: "Read: unify Xn with the next cell. Write: push "
+                      "Xn.",
+    Op.UNIFY_Y_VALUE: "Y-register variant.",
+    Op.UNIFY_X_LOCAL_VALUE: "Like unify_value but globalises unbound "
+                            "local variables when writing.",
+    Op.UNIFY_Y_LOCAL_VALUE: "Y-register variant.",
+    Op.UNIFY_CONSTANT: "Read: unify the next cell with a constant. "
+                       "Write: push it.",
+    Op.UNIFY_NIL: "Constant [] variant.",
+    Op.UNIFY_VOID: "Skip (read) or push (write) N anonymous cells.",
+    Op.MOVE2: "Two register-to-register moves in one cycle (the "
+              "four-address format, section 3.1.1).",
+    Op.ARITH: "dst := src1 <op> src2 over tagged numbers (generic: the "
+              "type pair selects integer ALU or FPU).",
+    Op.TEST: "Fail unless src1 <relation> src2 (numeric).",
+    Op.GEN_UNIFY: "Full unification of two registers (=/2, is/2 "
+                  "result binding).",
+    Op.ESCAPE: "Call a built-in through the escape mechanism.",
+}
+
+
+def render() -> str:
+    """The full reference as markdown."""
+    costs = CostModel()
+    lines: List[str] = [
+        "# KCM instruction set reference",
+        "",
+        "Generated from `repro.core.opcodes` and `repro.core.costs` by",
+        "`python -m repro.core.isa_doc`; do not edit by hand",
+        "(`tests/test_isa_doc.py` keeps it in sync).",
+        "",
+        "All instructions are 64-bit words in one of the two formats of",
+        "paper figure 3; the switch instructions are the only multi-word",
+        "instructions (their tables follow inline).  Base cycles are the",
+        "calibrated KCM costs (80 ns each); dynamic costs (dereference",
+        "chains, choice-point register loops, trail pushes, cache misses)",
+        "are added at run time.",
+        "",
+        "| opcode | format | words | base cycles | operands | semantics |",
+        "|---|---|---|---|---|---|",
+    ]
+    for op in Op:
+        info = OP_INFO[op]
+        fmt = "R4" if info.format is Format.R4 else "ADDR"
+        words = str(info.base_words) + ("+" if op in (
+            Op.SWITCH_ON_CONSTANT, Op.SWITCH_ON_STRUCTURE) else "")
+        base = costs.base[op]
+        operands = info.operands or "—"
+        description = _DESCRIPTIONS[op]
+        lines.append(f"| `{op.name.lower()}` | {fmt} | {words} | {base} "
+                     f"| `{operands}` | {description} |")
+    lines += [
+        "",
+        "Relocatable (absolute-target) instructions: "
+        + ", ".join(f"`{op.name.lower()}`"
+                    for op in sorted(BRANCHING_OPS, key=lambda o: o.name))
+        + ".",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render(), end="")

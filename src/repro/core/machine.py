@@ -1,0 +1,1109 @@
+"""The KCM processor model.
+
+Executes linked KCM code (see :mod:`repro.compiler`) over the simulated
+memory system, with cycle accounting per :mod:`repro.core.costs` and
+the architectural features of section 3 of the paper:
+
+- WAM-derived instruction set over 64-bit tagged words,
+- split-stack model: separate local (environment) and control (choice
+  point) stacks (section 2.4), plus global stack (heap) and trail,
+- MWAC-style type dispatch in unification instructions (section 3.1.4),
+- **shallow backtracking** (section 3.1.5): entering a clause that has
+  alternatives saves only three state registers (alternative address,
+  H, TR) into shadow registers; the choice point is materialised at the
+  clause *neck*, and a failure in the head or guard restores the shadow
+  registers instead of a full choice-point reload,
+- trail comparators running in parallel with dereferencing,
+- zone-checked memory accesses through the logical data cache.
+
+Everything dynamic is counted in :class:`repro.core.statistics.RunStats`.
+
+Choice-point frame layout (CONTROL zone, grows upward)::
+
+    B+0  arity          B+5  saved TR
+    B+1  previous B     B+6  saved B0
+    B+2  saved CP       B+7  saved LB (local barrier)
+    B+3  saved E        B+8  alternative clause address
+    B+4  saved H        B+9.. saved A1..An
+
+making the typical frame about 10 words, as section 3.1.5 says.
+
+Environment frame layout (LOCAL zone, grows upward)::
+
+    E+0  CE (continuation environment)
+    E+1  CP (continuation code address)
+    E+2.. Y1..Yn
+
+The live size of the topmost frame is not stored: as in the WAM, it is
+read from the ``nperms`` field of the call instruction just before the
+current return address — which is also how environment trimming works.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.costs import CostModel, Features, kcm_cost_model, kcm_features
+from repro.core.instruction import Instruction
+from repro.core.opcodes import ArithOp, Op, TestOp
+from repro.core.registers import RegisterFile, ShadowState
+from repro.core.statistics import RunStats
+from repro.core.symbols import SymbolTable
+from repro.core.tags import Type, Zone
+from repro.core.trail import Trail
+from repro.core.word import (
+    Word, make_code_ptr, make_data_ptr, make_float, make_functor, make_int,
+    make_list, make_struct, make_unbound, to_single_precision, wrap_int32,
+)
+from repro.errors import (
+    ArithmeticError_, CycleLimitExceeded, ExistenceError, InstructionError,
+)
+from repro.memory.layout import initial_stack_pointer
+from repro.memory.memory_system import MemorySystem
+
+# Choice-point frame field offsets.
+CP_ARITY = 0
+CP_PREV_B = 1
+CP_SAVED_CP = 2
+CP_SAVED_E = 3
+CP_SAVED_H = 4
+CP_SAVED_TR = 5
+CP_SAVED_B0 = 6
+CP_SAVED_LB = 7
+CP_ALT = 8
+CP_ARGS = 9
+
+# Environment frame field offsets.
+ENV_CE = 0
+ENV_CP = 1
+ENV_Y0 = 2
+
+
+class Machine:
+    """One KCM (or baseline-configured) processor instance."""
+
+    def __init__(self,
+                 symbols: Optional[SymbolTable] = None,
+                 costs: Optional[CostModel] = None,
+                 features: Optional[Features] = None,
+                 memory: Optional[MemorySystem] = None,
+                 stagger_stacks: bool = True,
+                 max_cycles: int = 500_000_000):
+        self.symbols = symbols if symbols is not None else SymbolTable()
+        self.costs = costs if costs is not None else kcm_cost_model()
+        self.features = features if features is not None else kcm_features()
+        if memory is None:
+            memory = MemorySystem(
+                sectioned_cache=self.features.sectioned_cache,
+                zone_check=self.features.zone_check)
+        self.memory = memory
+        self.stagger_stacks = stagger_stacks
+        self.max_cycles = max_cycles
+
+        # Code space: word-addressed list of Instruction (None for the
+        # continuation words of multi-word instructions).
+        self.code: List[Optional[Instruction]] = []
+        #: (name, arity) -> code entry address, filled by the linker.
+        self.predicates: Dict[tuple, int] = {}
+        #: builtin id -> callable(machine, arity) -> bool.
+        self.builtins: Dict[int, Callable[["Machine", int], bool]] = {}
+
+        self.regs = RegisterFile()
+        self.shadow = ShadowState()
+        self.stats = RunStats()
+
+        self._stack_base: Dict[Zone, int] = {}
+        for zone in (Zone.GLOBAL, Zone.LOCAL, Zone.CONTROL, Zone.TRAIL):
+            region = self.memory.layout[zone]
+            self._stack_base[zone] = initial_stack_pointer(
+                region, staggered=stagger_stacks)
+
+        self.trail = Trail(self._stack_base[Zone.TRAIL],
+                           self._trail_read, self._trail_write)
+
+        # Answer collection (the '$answer' escape).
+        self.solutions: List[dict] = []
+        self.answer_names: List[str] = []
+        self.collect_all = False
+
+        # Output from write/1 and friends when real I/O is linked in.
+        self.output: List[str] = []
+
+        #: optional execution monitor (see repro.core.monitor).
+        self.tracer = None
+
+        self._dispatch = self._build_dispatch()
+        self._stubs: Dict[int, int] = {}
+        self._reset_state()
+
+    # ------------------------------------------------------------------
+    # state management
+    # ------------------------------------------------------------------
+
+    def _reset_state(self) -> None:
+        self.p = 0                  # program counter
+        self.cp = 0                 # continuation code address
+        self.e = 0                  # current environment
+        self.b = 0                  # current choice point (0 = none)
+        self.b0 = 0                 # cut barrier
+        self.h = self._stack_base[Zone.GLOBAL]
+        self.hb = self.h            # heap barrier
+        self.s = 0                  # structure pointer
+        self.lb = self._stack_base[Zone.LOCAL]   # local barrier
+        self.mode_write = False
+        self.shallow_flag = False
+        self.cp_flag = False
+        self.trail.top = self.trail.base
+        self.cycles = 0
+        self.running = False
+        self.halted = False
+        self.exhausted = False
+
+    def reset(self) -> None:
+        """Full reset of machine state and statistics (keeps code)."""
+        self._reset_state()
+        self.stats = RunStats()
+        self.solutions = []
+        self.output = []
+        self.trail.pushes = 0
+        self.trail.checks = 0
+
+    # ------------------------------------------------------------------
+    # memory access helpers (all cycle-accounted)
+    # ------------------------------------------------------------------
+
+    def _read(self, address: int, zone: Zone,
+              word_type: Type = Type.DATA_PTR) -> Word:
+        word, cycles = self.memory.data_read(address, zone, word_type)
+        self.cycles += cycles - 1   # base cycle is in the instruction cost
+        self.stats.data_reads += 1
+        return word
+
+    def _write(self, address: int, word: Word, zone: Zone,
+               word_type: Type = Type.DATA_PTR) -> None:
+        cycles = self.memory.data_write(address, word, zone, word_type)
+        self.cycles += cycles - 1
+        self.stats.data_writes += 1
+
+    def _trail_read(self, address: int, zone: Zone) -> Word:
+        return self._read(address, zone)
+
+    def _trail_write(self, address: int, word: Word, zone: Zone) -> None:
+        self._write(address, word, zone)
+
+    # ------------------------------------------------------------------
+    # dereferencing, binding, trailing
+    # ------------------------------------------------------------------
+
+    def deref(self, word: Word) -> Word:
+        """Follow the reference chain at one reference per cycle.
+
+        Returns either a non-REF word or an unbound REF (a cell whose
+        contents point to itself).
+        """
+        while word.type is Type.REF:
+            address = word.value
+            cell = self._read(address, word.zone, Type.REF)
+            self.cycles += self.costs.deref_per_link
+            self.stats.dereference_links += 1
+            if cell.type is Type.REF and cell.value == address:
+                return cell         # unbound variable
+            word = cell
+        return word
+
+    def bind(self, address: int, zone: Zone, value: Word) -> None:
+        """Bind the (unbound) cell at ``address`` to ``value``,
+        trailing when the cell is older than the relevant barrier."""
+        self.stats.trail_checks += 1
+        if not self.features.parallel_trail:
+            # The three address comparisons run serially before the
+            # decision (the hardware does them alongside dereferencing
+            # for free, section 3.1.5).
+            self.cycles += max(self.costs.trail_check,
+                               self.features.serial_trail_cycles)
+        if self.trail.needs_trailing(address, zone, self.hb, self.lb):
+            self.trail.push(address, zone)
+            self.cycles += self.costs.trail_push
+            self.stats.trail_pushes += 1
+        self._write(address, value, zone)
+        self.cycles += self.costs.bind - 1
+
+    def _bind_or_compare(self, target: Word, value: Word) -> bool:
+        """Unify a dereferenced ``target`` with a *constant* ``value``."""
+        if target.type is Type.REF:
+            self.bind(target.value, target.zone, value)
+            return True
+        return target.tag == value.tag and target.value == value.value
+
+    # ------------------------------------------------------------------
+    # heap construction
+    # ------------------------------------------------------------------
+
+    def heap_push(self, word: Word) -> int:
+        """Append one word to the global stack; returns its address."""
+        address = self.h
+        self._write(address, word, Zone.GLOBAL)
+        self.h = address + 1
+        return address
+
+    def new_heap_var(self) -> Word:
+        """A fresh unbound variable on the global stack."""
+        address = self.h
+        self._write(address, make_unbound(address, Zone.GLOBAL), Zone.GLOBAL)
+        self.h = address + 1
+        return make_unbound(address, Zone.GLOBAL)
+
+    # ------------------------------------------------------------------
+    # general unification (the microcoded unifier behind the MWAC)
+    # ------------------------------------------------------------------
+
+    def unify(self, left: Word, right: Word) -> bool:
+        """Full unification of two words; returns success.
+
+        Iterative with an explicit work list (the hardware uses a push
+        -down list in the system zone).  Cost: ``unify_per_cell`` per
+        visited pair beyond the dereferences and binds it performs.
+        """
+        self.stats.general_unifications += 1
+        worklist = [(left, right)]
+        while worklist:
+            a, b = worklist.pop()
+            a = self.deref(a)
+            b = self.deref(b)
+            self.cycles += self.costs.unify_per_cell
+            if a.type is Type.REF and b.type is Type.REF:
+                if a.value == b.value:
+                    continue
+                # Bind the younger to the older: locals bind to heap
+                # cells; within one zone higher addresses are younger.
+                if a.zone == b.zone:
+                    young, old = (a, b) if a.value > b.value else (b, a)
+                elif a.zone is Zone.LOCAL:
+                    young, old = a, b
+                else:
+                    young, old = b, a
+                self.bind(young.value, young.zone, old)
+            elif a.type is Type.REF:
+                self.bind(a.value, a.zone, b)
+            elif b.type is Type.REF:
+                self.bind(b.value, b.zone, a)
+            elif a.type is Type.LIST and b.type is Type.LIST:
+                ah, bh = a.value, b.value
+                worklist.append((self._read(ah + 1, a.zone),
+                                 self._read(bh + 1, b.zone)))
+                worklist.append((self._read(ah, a.zone),
+                                 self._read(bh, b.zone)))
+            elif a.type is Type.STRUCT and b.type is Type.STRUCT:
+                fa = self._read(a.value, a.zone)
+                fb = self._read(b.value, b.zone)
+                if fa.value != fb.value:
+                    return False
+                _, arity = self.symbols.functor_key(int(fa.value))
+                for i in range(arity, 0, -1):
+                    worklist.append((self._read(a.value + i, a.zone),
+                                     self._read(b.value + i, b.zone)))
+            elif a.type is Type.FLOAT and b.type is Type.FLOAT:
+                if a.value != b.value:
+                    return False
+            else:
+                if a.tag != b.tag or a.value != b.value:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # stack geometry
+    # ------------------------------------------------------------------
+
+    def _caller_frame_size(self) -> int:
+        """Live size of the current environment frame, read from the
+        nperms field of the call instruction before the return address
+        (the WAM environment-trimming convention)."""
+        call_instr = self.code[self.cp - 1] if self.cp >= 1 else None
+        if call_instr is not None and call_instr.op is Op.CALL:
+            return ENV_Y0 + call_instr.b
+        return ENV_Y0
+
+    def local_top(self) -> int:
+        """First free word of the local stack."""
+        e_top = self.e + self._caller_frame_size() if self.e else \
+            self._stack_base[Zone.LOCAL]
+        return max(e_top, self.lb)
+
+    def control_top(self) -> int:
+        """First free word of the control stack."""
+        if not self.b:
+            return self._stack_base[Zone.CONTROL]
+        arity = int(self._read(self.b + CP_ARITY, Zone.CONTROL).value)
+        return self.b + CP_ARGS + arity
+
+    # ------------------------------------------------------------------
+    # choice points
+    # ------------------------------------------------------------------
+
+    def _create_choice_point(self, alt: int, arity: int,
+                             h: int, tr: int, lb: int) -> None:
+        base = self.control_top()
+        write = self._write
+        write(base + CP_ARITY, make_int(arity), Zone.CONTROL)
+        write(base + CP_PREV_B, make_data_ptr(self.b, Zone.CONTROL),
+              Zone.CONTROL)
+        write(base + CP_SAVED_CP, make_code_ptr(self.cp), Zone.CONTROL)
+        write(base + CP_SAVED_E, make_data_ptr(self.e, Zone.LOCAL),
+              Zone.CONTROL)
+        write(base + CP_SAVED_H, make_data_ptr(h, Zone.GLOBAL), Zone.CONTROL)
+        write(base + CP_SAVED_TR, make_data_ptr(tr, Zone.TRAIL),
+              Zone.CONTROL)
+        write(base + CP_SAVED_B0, make_data_ptr(self.b0, Zone.CONTROL),
+              Zone.CONTROL)
+        write(base + CP_SAVED_LB, make_data_ptr(lb, Zone.LOCAL),
+              Zone.CONTROL)
+        write(base + CP_ALT, make_code_ptr(alt), Zone.CONTROL)
+        for i in range(arity):
+            write(base + CP_ARGS + i, self.regs.x(i), Zone.CONTROL)
+        self.b = base
+        self.hb = h
+        self.lb = lb
+        self.cycles += self.costs.cp_create_base \
+            + arity * self.costs.cp_save_per_reg
+        self.stats.choice_points_created += 1
+
+    def _cp_field(self, index: int) -> Word:
+        return self._read(self.b + index, Zone.CONTROL)
+
+    def _refresh_barriers(self) -> None:
+        """Reload HB and LB from the current choice point (or bases)."""
+        if self.b:
+            self.hb = int(self._cp_field(CP_SAVED_H).value)
+            self.lb = int(self._cp_field(CP_SAVED_LB).value)
+        else:
+            self.hb = self._stack_base[Zone.GLOBAL]
+            self.lb = self._stack_base[Zone.LOCAL]
+
+    def _pop_choice_point(self) -> None:
+        self.b = int(self._cp_field(CP_PREV_B).value)
+        self._refresh_barriers()
+
+    # ------------------------------------------------------------------
+    # failure
+    # ------------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Backtrack: shallow when the shadow registers suffice,
+        otherwise a full choice-point restore."""
+        if self.tracer is not None:
+            note = getattr(self.tracer, "note_failure", None)
+            if note is not None:
+                note()
+        costs = self.costs
+        if self.features.shallow_backtracking and self.shallow_flag:
+            self.stats.shallow_fails += 1
+            self.cycles += costs.fail_shallow
+            if not self.cp_flag:
+                undone = self.trail.unwind_to(self.shadow.tr)
+                self.cycles += undone * costs.trail_unwind_per_entry
+                self.h = self.shadow.h
+                self.p = self.shadow.alt
+            else:
+                tr = int(self._cp_field(CP_SAVED_TR).value)
+                undone = self.trail.unwind_to(tr)
+                self.cycles += undone * costs.trail_unwind_per_entry
+                self.h = int(self._cp_field(CP_SAVED_H).value)
+                self.p = int(self._cp_field(CP_ALT).value)
+            return
+
+        self.stats.deep_fails += 1
+        if not self.b:
+            self.running = False
+            self.exhausted = True
+            return
+        arity = int(self._cp_field(CP_ARITY).value)
+        for i in range(arity):
+            self.regs.set_x(i, self._read(self.b + CP_ARGS + i,
+                                          Zone.CONTROL))
+        self.cp = int(self._cp_field(CP_SAVED_CP).value)
+        self.e = int(self._cp_field(CP_SAVED_E).value)
+        self.b0 = int(self._cp_field(CP_SAVED_B0).value)
+        tr = int(self._cp_field(CP_SAVED_TR).value)
+        undone = self.trail.unwind_to(tr)
+        self.h = int(self._cp_field(CP_SAVED_H).value)
+        self.hb = self.h
+        self.lb = int(self._cp_field(CP_SAVED_LB).value)
+        self.p = int(self._cp_field(CP_ALT).value)
+        self.cp_flag = True
+        self.shallow_flag = False
+        self.cycles += (costs.cp_restore_base
+                        + arity * costs.cp_restore_per_reg
+                        + costs.fail_deep_branch
+                        + undone * costs.trail_unwind_per_entry)
+
+    # ------------------------------------------------------------------
+    # the run loop
+    # ------------------------------------------------------------------
+
+    def run(self, entry: int, collect_all: bool = False,
+            answer_names: Optional[List[str]] = None) -> RunStats:
+        """Execute from the bootstrap stub calling ``entry``.
+
+        The linker places a two-instruction stub (``call entry, 0`` then
+        ``halt``) at the end of the code space; running starts there so
+        CP conventions hold from the first instruction.
+        """
+        self.collect_all = collect_all
+        self.answer_names = answer_names or []
+        self._reset_state()
+        self.stats = RunStats()
+        self.solutions = []
+        self.output = []
+
+        stub = self._bootstrap_stub(entry)
+        self.p = stub
+        # Initial environment frame: CE = self, CP = the halt address.
+        e0 = self._stack_base[Zone.LOCAL]
+        self._write(e0 + ENV_CE, make_data_ptr(e0, Zone.LOCAL), Zone.LOCAL)
+        self._write(e0 + ENV_CP, make_code_ptr(stub + 1), Zone.LOCAL)
+        self.e = e0
+        self.lb = e0 + ENV_Y0
+        self.cp = stub + 1
+
+        self.running = True
+        dispatch = self._dispatch
+        code = self.code
+        costs = self.costs
+        memory = self.memory
+        stats = self.stats
+        max_cycles = self.max_cycles
+        while self.running:
+            p = self.p
+            instr = code[p]
+            if instr is None:
+                raise InstructionError(f"execution fell into the middle of "
+                                       f"a multi-word instruction at {p}")
+            op = instr.op
+            self.p = p + instr.size
+            self.cycles += costs.instruction_cost(op) \
+                + memory.code_fetch(p)
+            stats.instructions += 1
+            if instr.infer:
+                stats.inferences += 1
+            if self.tracer is not None:
+                self.tracer.on_instruction(self, p, instr)
+            dispatch[op](instr)
+            if self.cycles > max_cycles:
+                raise CycleLimitExceeded(
+                    f"exceeded {max_cycles} cycles at P={self.p}")
+        stats.cycles = self.cycles
+        stats.solutions = len(self.solutions)
+        stats.trail_pushes = self.trail.pushes
+        return stats
+
+    def _bootstrap_stub(self, entry: int) -> int:
+        """Build (or reuse) the bootstrap call/halt stub for ``entry``
+        at the end of code space; returns its address."""
+        cached = self._stubs.get(entry)
+        if cached is not None:
+            return cached
+        stub = len(self.code)
+        self.code.append(Instruction(Op.CALL, entry, 0, None))
+        self.code.append(Instruction(Op.HALT))
+        self._stubs[entry] = stub
+        return stub
+
+    # ------------------------------------------------------------------
+    # dispatch table
+    # ------------------------------------------------------------------
+
+    def _build_dispatch(self) -> Dict[Op, Callable[[Instruction], None]]:
+        return {
+            Op.CALL: self._op_call,
+            Op.EXECUTE: self._op_execute,
+            Op.PROCEED: self._op_proceed,
+            Op.ALLOCATE: self._op_allocate,
+            Op.DEALLOCATE: self._op_deallocate,
+            Op.HALT: self._op_halt,
+            Op.JUMP: self._op_jump,
+            Op.FAIL: lambda instr: self.fail(),
+            Op.TRY_ME_ELSE: self._op_try_me_else,
+            Op.RETRY_ME_ELSE: self._op_retry_me_else,
+            Op.TRUST_ME: self._op_trust_me,
+            Op.TRY: self._op_try,
+            Op.RETRY: self._op_retry,
+            Op.TRUST: self._op_trust,
+            Op.NECK: self._op_neck,
+            Op.NECK_CUT: self._op_neck_cut,
+            Op.GET_LEVEL: self._op_get_level,
+            Op.CUT: self._op_cut,
+            Op.CUT_Y: self._op_cut_y,
+            Op.SWITCH_ON_TERM: self._op_switch_on_term,
+            Op.SWITCH_ON_CONSTANT: self._op_switch_on_constant,
+            Op.SWITCH_ON_STRUCTURE: self._op_switch_on_structure,
+            Op.GET_X_VARIABLE: self._op_get_x_variable,
+            Op.GET_Y_VARIABLE: self._op_get_y_variable,
+            Op.GET_X_VALUE: self._op_get_x_value,
+            Op.GET_Y_VALUE: self._op_get_y_value,
+            Op.GET_CONSTANT: self._op_get_constant,
+            Op.GET_NIL: self._op_get_nil,
+            Op.GET_LIST: self._op_get_list,
+            Op.GET_STRUCTURE: self._op_get_structure,
+            Op.PUT_X_VARIABLE: self._op_put_x_variable,
+            Op.PUT_Y_VARIABLE: self._op_put_y_variable,
+            Op.PUT_X_VALUE: self._op_put_x_value,
+            Op.PUT_Y_VALUE: self._op_put_y_value,
+            Op.PUT_UNSAFE_VALUE: self._op_put_unsafe_value,
+            Op.PUT_CONSTANT: self._op_put_constant,
+            Op.PUT_NIL: self._op_put_nil,
+            Op.PUT_LIST: self._op_put_list,
+            Op.PUT_STRUCTURE: self._op_put_structure,
+            Op.UNIFY_X_VARIABLE: self._op_unify_x_variable,
+            Op.UNIFY_Y_VARIABLE: self._op_unify_y_variable,
+            Op.UNIFY_X_VALUE: self._op_unify_x_value,
+            Op.UNIFY_Y_VALUE: self._op_unify_y_value,
+            Op.UNIFY_X_LOCAL_VALUE: self._op_unify_x_local_value,
+            Op.UNIFY_Y_LOCAL_VALUE: self._op_unify_y_local_value,
+            Op.UNIFY_CONSTANT: self._op_unify_constant,
+            Op.UNIFY_NIL: self._op_unify_nil,
+            Op.UNIFY_VOID: self._op_unify_void,
+            Op.MOVE2: self._op_move2,
+            Op.ARITH: self._op_arith,
+            Op.TEST: self._op_test,
+            Op.GEN_UNIFY: self._op_gen_unify,
+            Op.ESCAPE: self._op_escape,
+        }
+
+    # ------------------------------------------------------------------
+    # control instructions
+    # ------------------------------------------------------------------
+
+    def _op_call(self, instr: Instruction) -> None:
+        self.cp = self.p
+        self.b0 = self.b
+        self.p = instr.a
+
+    def _op_execute(self, instr: Instruction) -> None:
+        self.b0 = self.b
+        self.p = instr.a
+
+    def _op_proceed(self, instr: Instruction) -> None:
+        self.p = self.cp
+
+    def _op_allocate(self, instr: Instruction) -> None:
+        new_e = self.local_top()
+        self._write(new_e + ENV_CE, make_data_ptr(self.e, Zone.LOCAL),
+                    Zone.LOCAL)
+        self._write(new_e + ENV_CP, make_code_ptr(self.cp), Zone.LOCAL)
+        self.e = new_e
+
+    def _op_deallocate(self, instr: Instruction) -> None:
+        self.cp = int(self._read(self.e + ENV_CP, Zone.LOCAL).value)
+        self.e = int(self._read(self.e + ENV_CE, Zone.LOCAL).value)
+
+    def _op_halt(self, instr: Instruction) -> None:
+        self.running = False
+        self.halted = True
+
+    def _op_jump(self, instr: Instruction) -> None:
+        self.p = instr.a
+
+    # -- clause selection -------------------------------------------------------
+
+    def _enter_with_alternatives(self, alt: int, arity: int) -> None:
+        """Common body of try_me_else / try."""
+        if self.features.shallow_backtracking:
+            self.shallow_flag = True
+            self.cp_flag = False
+            self.shadow.set(alt, self.h, self.trail.top)
+            self.regs.save_shadow(make_code_ptr(alt),
+                                  make_data_ptr(self.h, Zone.GLOBAL),
+                                  make_data_ptr(self.trail.top, Zone.TRAIL))
+            self.hb = self.h
+            self.lb = self.local_top()
+        else:
+            self._create_choice_point(alt, arity, self.h, self.trail.top,
+                                      self.local_top())
+
+    def _op_try_me_else(self, instr: Instruction) -> None:
+        self._enter_with_alternatives(instr.a, instr.b)
+
+    def _op_retry_me_else(self, instr: Instruction) -> None:
+        if not self.features.shallow_backtracking:
+            self._write(self.b + CP_ALT, make_code_ptr(instr.a),
+                        Zone.CONTROL)
+            return
+        if self.cp_flag:
+            self._write(self.b + CP_ALT, make_code_ptr(instr.a),
+                        Zone.CONTROL)
+        else:
+            self.shadow.alt = instr.a
+            self.regs.save_shadow(
+                make_code_ptr(instr.a),
+                make_data_ptr(self.shadow.h, Zone.GLOBAL),
+                make_data_ptr(self.shadow.tr, Zone.TRAIL))
+        self.shallow_flag = True
+
+    def _op_trust_me(self, instr: Instruction) -> None:
+        if not self.features.shallow_backtracking:
+            self._pop_choice_point()
+            return
+        if self.cp_flag:
+            self._pop_choice_point()
+        else:
+            # The shadow is simply discarded; no choice point was ever
+            # materialised for this call.
+            self._refresh_barriers()
+        self.shallow_flag = False
+
+    def _op_try(self, instr: Instruction) -> None:
+        self._enter_with_alternatives(self.p, instr.b)
+        self.p = instr.a
+
+    def _op_retry(self, instr: Instruction) -> None:
+        alt = self.p
+        if not self.features.shallow_backtracking:
+            self._write(self.b + CP_ALT, make_code_ptr(alt), Zone.CONTROL)
+        elif self.cp_flag:
+            self._write(self.b + CP_ALT, make_code_ptr(alt), Zone.CONTROL)
+            self.shallow_flag = True
+        else:
+            self.shadow.alt = alt
+            self.regs.save_shadow(
+                make_code_ptr(alt),
+                make_data_ptr(self.shadow.h, Zone.GLOBAL),
+                make_data_ptr(self.shadow.tr, Zone.TRAIL))
+            self.shallow_flag = True
+        self.p = instr.a
+
+    def _op_trust(self, instr: Instruction) -> None:
+        self._op_trust_me(instr)
+        self.p = instr.a
+
+    def _op_neck(self, instr: Instruction) -> None:
+        if not self.features.shallow_backtracking:
+            return
+        if self.shallow_flag and not self.cp_flag:
+            self._create_choice_point(self.shadow.alt, instr.a,
+                                      self.shadow.h, self.shadow.tr,
+                                      self.lb)
+            self.cp_flag = True
+        self.shallow_flag = False
+
+    def _op_neck_cut(self, instr: Instruction) -> None:
+        if (self.features.shallow_backtracking and self.shallow_flag
+                and not self.cp_flag):
+            # The shadow evaporates: the paper's headline case — the
+            # head and guard selected a unique clause, no choice point
+            # was ever created, and the cut costs one cycle.
+            self.stats.choice_points_avoided += 1
+            self.shallow_flag = False
+            self._refresh_barriers()
+            return
+        self.shallow_flag = False
+        if self.b != self.b0:
+            self.b = self.b0
+            self._refresh_barriers()
+
+    def _op_get_level(self, instr: Instruction) -> None:
+        self._write(self.e + ENV_Y0 + instr.a,
+                    make_data_ptr(self.b0, Zone.CONTROL), Zone.LOCAL)
+
+    def _op_cut(self, instr: Instruction) -> None:
+        if self.b != self.b0:
+            self.b = self.b0
+            self._refresh_barriers()
+
+    def _op_cut_y(self, instr: Instruction) -> None:
+        level = int(self._read(self.e + ENV_Y0 + instr.a,
+                               Zone.LOCAL).value)
+        if self.b != level:
+            self.b = level
+            self._refresh_barriers()
+
+    # -- switches ------------------------------------------------------------------
+
+    def _op_switch_on_term(self, instr: Instruction) -> None:
+        if not self.features.mwac:
+            self.cycles += self.features.mwac_off_switch_penalty
+        word = self.deref(self.regs.x(0))
+        self.regs.set_x(0, word)
+        t = word.type
+        if t is Type.REF:
+            target = instr.a
+        elif t is Type.LIST:
+            target = instr.c
+        elif t is Type.STRUCT:
+            target = instr.d
+        else:
+            target = instr.b
+        if target is None:
+            self.fail()
+        else:
+            self.p = target
+
+    def _op_switch_on_constant(self, instr: Instruction) -> None:
+        if not self.features.mwac:
+            self.cycles += self.features.mwac_off_switch_penalty
+        word = self.deref(self.regs.x(0))
+        target = instr.a.get((word.tag, word.value), instr.b)
+        if target is None:
+            self.fail()
+        else:
+            self.p = target
+
+    def _op_switch_on_structure(self, instr: Instruction) -> None:
+        if not self.features.mwac:
+            self.cycles += self.features.mwac_off_switch_penalty
+        word = self.deref(self.regs.x(0))
+        functor = self._read(word.value, word.zone)
+        target = instr.a.get(int(functor.value), instr.b)
+        if target is None:
+            self.fail()
+        else:
+            self.p = target
+
+    # ------------------------------------------------------------------
+    # get instructions (head unification)
+    # ------------------------------------------------------------------
+
+    def _unify_penalty(self) -> None:
+        if not self.features.mwac:
+            self.cycles += self.features.mwac_off_unify_penalty
+
+    def _op_get_x_variable(self, instr: Instruction) -> None:
+        self.regs.set_x(instr.a, self.regs.x(instr.b))
+
+    def _op_get_y_variable(self, instr: Instruction) -> None:
+        self._write(self.e + ENV_Y0 + instr.a, self.regs.x(instr.b),
+                    Zone.LOCAL)
+
+    def _op_get_x_value(self, instr: Instruction) -> None:
+        self._unify_penalty()
+        if not self.unify(self.regs.x(instr.a), self.regs.x(instr.b)):
+            self.fail()
+
+    def _op_get_y_value(self, instr: Instruction) -> None:
+        self._unify_penalty()
+        y = self._read(self.e + ENV_Y0 + instr.a, Zone.LOCAL)
+        if not self.unify(y, self.regs.x(instr.b)):
+            self.fail()
+
+    def _op_get_constant(self, instr: Instruction) -> None:
+        self._unify_penalty()
+        word = self.deref(self.regs.x(instr.b))
+        if not self._bind_or_compare(word, instr.a):
+            self.fail()
+
+    def _op_get_nil(self, instr: Instruction) -> None:
+        self._unify_penalty()
+        word = self.deref(self.regs.x(instr.a))
+        if word.type is Type.NIL:
+            return
+        if word.type is Type.REF:
+            self.bind(word.value, word.zone, self.symbols.atom_word("[]"))
+            return
+        self.fail()
+
+    def _op_get_list(self, instr: Instruction) -> None:
+        self._unify_penalty()
+        word = self.deref(self.regs.x(instr.a))
+        if word.type is Type.LIST:
+            self.s = word.value
+            self.mode_write = False
+        elif word.type is Type.REF:
+            self.bind(word.value, word.zone, make_list(self.h))
+            self.mode_write = True
+        else:
+            self.fail()
+
+    def _op_get_structure(self, instr: Instruction) -> None:
+        self._unify_penalty()
+        word = self.deref(self.regs.x(instr.b))
+        if word.type is Type.STRUCT:
+            functor = self._read(word.value, word.zone)
+            if int(functor.value) != instr.a:
+                self.fail()
+                return
+            self.s = word.value + 1
+            self.mode_write = False
+        elif word.type is Type.REF:
+            self.bind(word.value, word.zone, make_struct(self.h))
+            self.heap_push(make_functor(instr.a))
+            self.mode_write = True
+        else:
+            self.fail()
+
+    # ------------------------------------------------------------------
+    # put instructions (argument loading)
+    # ------------------------------------------------------------------
+
+    def _op_put_x_variable(self, instr: Instruction) -> None:
+        var = self.new_heap_var()
+        self.regs.set_x(instr.a, var)
+        self.regs.set_x(instr.b, var)
+
+    def _op_put_y_variable(self, instr: Instruction) -> None:
+        address = self.e + ENV_Y0 + instr.a
+        var = make_unbound(address, Zone.LOCAL)
+        self._write(address, var, Zone.LOCAL)
+        self.regs.set_x(instr.b, var)
+
+    def _op_put_x_value(self, instr: Instruction) -> None:
+        self.regs.set_x(instr.b, self.regs.x(instr.a))
+
+    def _op_put_y_value(self, instr: Instruction) -> None:
+        self.regs.set_x(instr.b,
+                        self._read(self.e + ENV_Y0 + instr.a, Zone.LOCAL))
+
+    def _op_put_unsafe_value(self, instr: Instruction) -> None:
+        word = self.deref(self._read(self.e + ENV_Y0 + instr.a, Zone.LOCAL))
+        if word.type is Type.REF and word.zone is Zone.LOCAL \
+                and word.value >= self.e:
+            # A variable of the environment being discarded: globalise.
+            var = self.new_heap_var()
+            self.bind(word.value, word.zone, var)
+            word = var
+        self.regs.set_x(instr.b, word)
+
+    def _op_put_constant(self, instr: Instruction) -> None:
+        self.regs.set_x(instr.b, instr.a)
+
+    def _op_put_nil(self, instr: Instruction) -> None:
+        self.regs.set_x(instr.a, self.symbols.atom_word("[]"))
+
+    def _op_put_list(self, instr: Instruction) -> None:
+        self.regs.set_x(instr.a, make_list(self.h))
+        self.mode_write = True
+
+    def _op_put_structure(self, instr: Instruction) -> None:
+        address = self.heap_push(make_functor(instr.a))
+        self.regs.set_x(instr.b, make_struct(address))
+        self.mode_write = True
+
+    # ------------------------------------------------------------------
+    # unify instructions (structure arguments)
+    # ------------------------------------------------------------------
+
+    def _op_unify_x_variable(self, instr: Instruction) -> None:
+        if self.mode_write:
+            self.regs.set_x(instr.a, self.new_heap_var())
+        else:
+            self.regs.set_x(instr.a, self._read(self.s, Zone.GLOBAL))
+            self.s += 1
+
+    def _op_unify_y_variable(self, instr: Instruction) -> None:
+        if self.mode_write:
+            var = self.new_heap_var()
+        else:
+            var = self._read(self.s, Zone.GLOBAL)
+            self.s += 1
+        self._write(self.e + ENV_Y0 + instr.a, var, Zone.LOCAL)
+
+    def _op_unify_x_value(self, instr: Instruction) -> None:
+        self._unify_penalty()
+        if self.mode_write:
+            self.heap_push(self.regs.x(instr.a))
+        else:
+            if not self.unify(self.regs.x(instr.a),
+                              self._read(self.s, Zone.GLOBAL)):
+                self.fail()
+                return
+            self.s += 1
+
+    def _op_unify_y_value(self, instr: Instruction) -> None:
+        self._unify_penalty()
+        y = self._read(self.e + ENV_Y0 + instr.a, Zone.LOCAL)
+        if self.mode_write:
+            self.heap_push(y)
+        else:
+            if not self.unify(y, self._read(self.s, Zone.GLOBAL)):
+                self.fail()
+                return
+            self.s += 1
+
+    def _push_local_value(self, word: Word) -> Word:
+        """Write-mode unify_local_value: append ``word`` to the open
+        structure, globalising unbound local variables.
+
+        The fresh heap cell doubles as the structure's argument slot
+        (the classic WAM trick): pushing a separate cell would corrupt
+        the argument layout.
+        """
+        word = self.deref(word)
+        if word.type is Type.REF and word.zone is Zone.LOCAL:
+            var = self.new_heap_var()       # lands in the arg slot
+            self.bind(word.value, word.zone, var)
+            return var
+        self.heap_push(word)
+        return word
+
+    def _op_unify_x_local_value(self, instr: Instruction) -> None:
+        self._unify_penalty()
+        if self.mode_write:
+            word = self._push_local_value(self.regs.x(instr.a))
+            self.regs.set_x(instr.a, word)
+        else:
+            self._op_unify_x_value(instr)
+
+    def _op_unify_y_local_value(self, instr: Instruction) -> None:
+        self._unify_penalty()
+        if self.mode_write:
+            y = self._read(self.e + ENV_Y0 + instr.a, Zone.LOCAL)
+            self._push_local_value(y)
+        else:
+            self._op_unify_y_value(instr)
+
+    def _op_unify_constant(self, instr: Instruction) -> None:
+        self._unify_penalty()
+        if self.mode_write:
+            self.heap_push(instr.a)
+        else:
+            word = self.deref(self._read(self.s, Zone.GLOBAL))
+            self.s += 1
+            if not self._bind_or_compare(word, instr.a):
+                self.fail()
+
+    def _op_unify_nil(self, instr: Instruction) -> None:
+        if self.mode_write:
+            self.heap_push(self.symbols.atom_word("[]"))
+        else:
+            word = self.deref(self._read(self.s, Zone.GLOBAL))
+            self.s += 1
+            if not self._bind_or_compare(word, self.symbols.atom_word("[]")):
+                self.fail()
+
+    def _op_unify_void(self, instr: Instruction) -> None:
+        count = instr.a
+        if self.mode_write:
+            for _ in range(count):
+                self.new_heap_var()
+        else:
+            self.s += count
+        self.cycles += max(0, count - 1)
+
+    # ------------------------------------------------------------------
+    # data movement and arithmetic
+    # ------------------------------------------------------------------
+
+    def _op_move2(self, instr: Instruction) -> None:
+        first = self.regs.x(instr.a)
+        second = self.regs.x(instr.c) if instr.c is not None else None
+        self.regs.set_x(instr.b, first)
+        if second is not None:
+            self.regs.set_x(instr.d, second)
+
+    def _numeric_operand(self, index: int) -> Word:
+        word = self.deref(self.regs.x(index))
+        if word.type is Type.INT or word.type is Type.FLOAT:
+            return word
+        if word.type is Type.REF:
+            raise ArithmeticError_("unbound variable in arithmetic")
+        raise ArithmeticError_(
+            f"non-numeric operand in arithmetic: "
+            f"{self.symbols.describe_constant(word)}")
+
+    def _op_arith(self, instr: Instruction) -> None:
+        op: ArithOp = instr.a
+        left = self._numeric_operand(instr.b)
+        right = self._numeric_operand(instr.c) if instr.c is not None \
+            else left
+        is_float = (left.type is Type.FLOAT or right.type is Type.FLOAT)
+        table = self.costs.arith_float if is_float else self.costs.arith_int
+        # The base instruction cost already covered one cycle.
+        self.cycles += table[op] - 1 + self.costs.arith_dispatch
+        lv, rv = left.value, right.value
+        try:
+            if op is ArithOp.ADD:
+                result = lv + rv
+            elif op is ArithOp.SUB:
+                result = lv - rv
+            elif op is ArithOp.MUL:
+                result = lv * rv
+            elif op is ArithOp.DIV:
+                # Warren-era '/' semantics: truncating integer division
+                # on two integers, float division otherwise.
+                result = (lv / rv) if is_float else int(lv / rv)
+            elif op is ArithOp.IDIV:
+                result = lv // rv if not is_float else int(lv // rv)
+            elif op is ArithOp.MOD:
+                result = lv % rv
+            elif op is ArithOp.NEG:
+                result = -lv
+            elif op is ArithOp.ABS:
+                result = abs(lv)
+            elif op is ArithOp.MIN:
+                result = min(lv, rv)
+            elif op is ArithOp.MAX:
+                result = max(lv, rv)
+            elif op is ArithOp.AND:
+                result = int(lv) & int(rv)
+            elif op is ArithOp.OR:
+                result = int(lv) | int(rv)
+            elif op is ArithOp.XOR:
+                result = int(lv) ^ int(rv)
+            elif op is ArithOp.SHL:
+                result = int(lv) << int(rv)
+            elif op is ArithOp.SHR:
+                result = int(lv) >> int(rv)
+            else:
+                raise InstructionError(f"unknown arithmetic op {op}")
+        except ZeroDivisionError:
+            raise ArithmeticError_("division by zero")
+        if is_float:
+            self.regs.set_x(instr.d, make_float(to_single_precision(
+                float(result))))
+        else:
+            self.regs.set_x(instr.d, make_int(wrap_int32(int(result))))
+
+    def _op_test(self, instr: Instruction) -> None:
+        op: TestOp = instr.a
+        left = self._numeric_operand(instr.b)
+        right = self._numeric_operand(instr.c)
+        self.cycles += self.costs.test_dispatch
+        lv, rv = left.value, right.value
+        if op is TestOp.LT:
+            ok = lv < rv
+        elif op is TestOp.GT:
+            ok = lv > rv
+        elif op is TestOp.LE:
+            ok = lv <= rv
+        elif op is TestOp.GE:
+            ok = lv >= rv
+        elif op is TestOp.EQ:
+            ok = lv == rv
+        else:
+            ok = lv != rv
+        if ok:
+            return
+        # A failed guard test is the shallow-backtracking sweet spot.
+        self.cycles += self.costs.branch_taken_extra
+        self.fail()
+
+    def _op_gen_unify(self, instr: Instruction) -> None:
+        if not self.unify(self.regs.x(instr.a), self.regs.x(instr.b)):
+            self.fail()
+
+    # ------------------------------------------------------------------
+    # escapes (built-in predicates)
+    # ------------------------------------------------------------------
+
+    def _op_escape(self, instr: Instruction) -> None:
+        handler = self.builtins.get(instr.a)
+        if handler is None:
+            name = self.symbols.functor_name(instr.c) if instr.c is not None \
+                else f"builtin#{instr.a}"
+            raise ExistenceError(f"undefined built-in {name}")
+        self.cycles += instr.b * self.costs.escape_per_arg
+        if not handler(self, instr.b):
+            self.fail()
+
+    # ------------------------------------------------------------------
+    # conveniences for tests and tools
+    # ------------------------------------------------------------------
+
+    def x_deref(self, index: int) -> Word:
+        """Dereferenced view of an X register (test helper)."""
+        return self.deref(self.regs.x(index))
+
+    def predicate_address(self, name: str, arity: int) -> int:
+        """Entry address of a linked predicate."""
+        try:
+            return self.predicates[(name, arity)]
+        except KeyError:
+            raise ExistenceError(f"unknown predicate {name}/{arity}")

@@ -1,0 +1,196 @@
+"""Execution monitors (paper section 4: "monitors (at microcode,
+macrocode, and Prolog levels)").
+
+The paper's first software environment shipped three monitors; this
+module provides their simulator equivalents:
+
+- :class:`MacrocodeTracer` — the macrocode monitor: one record per
+  executed instruction (address, disassembly, cycle count), with an
+  optional address window and a record cap;
+- :class:`PortTracer` — the Prolog-level monitor: Byrd-box events
+  (``call``, ``exit``, ``redo``, ``fail``) with predicate names and a
+  depth counter, reconstructed from the instruction stream;
+- :class:`CycleProfiler` — per-predicate cycle attribution, the raw
+  material for "the influence of each specialized unit ... on the
+  behaviour of the system on real-size programs" (section 5).
+
+Attach any of them with :func:`attach`; the machine calls the hook
+once per instruction only when a tracer is installed, so the untraced
+hot path stays unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.instruction import Instruction
+from repro.core.opcodes import Op
+
+
+@dataclass
+class TraceRecord:
+    """One macrocode monitor line."""
+
+    address: int
+    text: str
+    cycles_before: int
+
+    def __str__(self) -> str:
+        return f"{self.cycles_before:8d}  {self.address:6d}  {self.text}"
+
+
+class MacrocodeTracer:
+    """Records executed instructions, optionally inside a window."""
+
+    def __init__(self, window: Optional[Tuple[int, int]] = None,
+                 limit: int = 100_000):
+        self.window = window
+        self.limit = limit
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+
+    def on_instruction(self, machine, address: int,
+                       instr: Instruction) -> None:
+        """Machine hook: called before each instruction executes."""
+        if self.window is not None:
+            low, high = self.window
+            if not low <= address < high:
+                return
+        if len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(address, instr.disassemble(),
+                                        machine.cycles))
+
+    def render(self, last: Optional[int] = None) -> str:
+        """The trace as text (optionally only the last N records)."""
+        records = self.records if last is None else self.records[-last:]
+        return "\n".join(str(r) for r in records)
+
+
+@dataclass
+class PortEvent:
+    """One Byrd-box event."""
+
+    port: str              # call | exit | redo | fail
+    predicate: str         # name/arity
+    depth: int
+    cycles: int
+
+    def __str__(self) -> str:
+        return f"{'  ' * self.depth}{self.port:5s} {self.predicate}"
+
+
+class PortTracer:
+    """The Prolog-level monitor: call/exit/redo/fail ports.
+
+    Reconstructed from the instruction stream: CALL/EXECUTE open a
+    call port, PROCEED closes the innermost frame with an exit port,
+    and arrivals at retry/trust instructions after a failure are redo
+    ports.  Depth follows calls and exits (EXECUTE keeps the depth of
+    the frame it replaces — last-call optimisation is visible in the
+    trace, exactly as on the real machine).
+    """
+
+    def __init__(self, limit: int = 100_000):
+        self.limit = limit
+        self.events: List[PortEvent] = []
+        self._depth = 0
+        self._failing = False
+        self._pred_by_address: Dict[int, str] = {}
+
+    def _predicate_names(self, machine) -> Dict[int, str]:
+        if not self._pred_by_address:
+            self._pred_by_address = {
+                address: f"{name}/{arity}"
+                for (name, arity), address in machine.predicates.items()}
+        return self._pred_by_address
+
+    def _emit(self, port: str, predicate: str, machine) -> None:
+        if len(self.events) < self.limit:
+            self.events.append(PortEvent(port, predicate, self._depth,
+                                         machine.cycles))
+
+    def on_instruction(self, machine, address: int,
+                       instr: Instruction) -> None:
+        """Machine hook."""
+        op = instr.op
+        names = self._predicate_names(machine)
+        if op in (Op.CALL, Op.EXECUTE):
+            target = names.get(instr.a, f"@{instr.a}")
+            if target.startswith("$"):
+                return
+            if op is Op.CALL:
+                self._depth += 1
+            self._emit("call", target, machine)
+            self._failing = False
+        elif op is Op.PROCEED:
+            self._emit("exit", "", machine)
+            self._depth = max(0, self._depth - 1)
+            self._failing = False
+        elif op in (Op.RETRY_ME_ELSE, Op.TRUST_ME, Op.RETRY, Op.TRUST):
+            if self._failing:
+                self._emit("redo", "", machine)
+                self._failing = False
+        elif op is Op.FAIL:
+            self._emit("fail", "", machine)
+            self._failing = True
+
+    def note_failure(self) -> None:
+        """Machine hook: a unification/test failure happened."""
+        self._failing = True
+
+    def ports(self) -> List[str]:
+        """The port sequence, e.g. ['call', 'call', 'exit', ...]."""
+        return [e.port for e in self.events]
+
+    def render(self) -> str:
+        """Indented Byrd-box trace."""
+        return "\n".join(str(e) for e in self.events)
+
+
+class CycleProfiler:
+    """Attributes cycles to the predicate whose code is executing."""
+
+    def __init__(self):
+        self.cycles_by_predicate: Dict[str, int] = {}
+        self._ranges: List[Tuple[int, str]] = []
+        self._last_cycles = 0
+        self._current = "?"
+
+    def _owner(self, machine, address: int) -> str:
+        if not self._ranges:
+            self._ranges = sorted(
+                (addr, f"{name}/{arity}")
+                for (name, arity), addr in machine.predicates.items())
+        owner = "?"
+        for start, name in self._ranges:
+            if address < start:
+                break
+            owner = name
+        return owner
+
+    def on_instruction(self, machine, address: int,
+                       instr: Instruction) -> None:
+        """Machine hook."""
+        elapsed = machine.cycles - self._last_cycles
+        if elapsed > 0:
+            self.cycles_by_predicate[self._current] = \
+                self.cycles_by_predicate.get(self._current, 0) + elapsed
+        self._last_cycles = machine.cycles
+        self._current = self._owner(machine, address)
+
+    def report(self, top: int = 10) -> str:
+        """The hottest predicates by attributed cycles."""
+        rows = sorted(self.cycles_by_predicate.items(),
+                      key=lambda kv: -kv[1])[:top]
+        total = sum(self.cycles_by_predicate.values()) or 1
+        return "\n".join(f"{name:24s} {cycles:10d} "
+                         f"({100 * cycles / total:5.1f}%)"
+                         for name, cycles in rows)
+
+
+def attach(machine, tracer) -> None:
+    """Install a tracer on a machine (replaces any existing one)."""
+    machine.tracer = tracer

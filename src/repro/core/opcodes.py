@@ -1,0 +1,216 @@
+"""The KCM abstract instruction set.
+
+KCM executes WAM-family instructions (section 2.3: "The model of
+computation for KCM is derived from the WAM"), encoded in 64-bit fixed
+words with two basic formats (figure 3):
+
+- **R4** — the four-address register format: opcode + up to two source
+  and two destination register fields (this is what lets a single
+  ``move2`` shift two 64-bit registers per cycle),
+- **ADDR** — opcode + register fields + a 26-bit absolute address or a
+  16-bit signed offset (all branch targets are absolute, section 3.1.3).
+
+The switch instructions are the only multi-word instructions (section
+4.1 notes they push the average instruction length slightly above one
+word); their hash tables occupy the following words.
+
+The enum below is the complete executable repertoire; per-opcode
+metadata (format, word size, operand kinds) drives the assembler, the
+disassembler, the static-size accounting of Table 1 and the figure-3
+renderer.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, NamedTuple
+
+
+class Format(enum.Enum):
+    """The two basic instruction word formats of figure 3."""
+
+    R4 = "register"      # opcode + 4 register fields (+ short immediate)
+    ADDR = "address"     # opcode + register fields + absolute address
+
+
+class Op(enum.IntEnum):
+    """Executable opcodes."""
+
+    # -- control -------------------------------------------------------------
+    CALL = enum.auto()            # call Pred, NLivePerms
+    EXECUTE = enum.auto()         # last-call jump to Pred
+    PROCEED = enum.auto()         # return through CP
+    ALLOCATE = enum.auto()        # push environment frame of N perms
+    DEALLOCATE = enum.auto()      # pop environment frame
+    HALT = enum.auto()            # stop the machine (bootstrap epilogue)
+    JUMP = enum.auto()            # unconditional absolute jump
+    FAIL = enum.auto()            # force backtracking
+
+    # -- clause selection / backtracking --------------------------------------
+    TRY_ME_ELSE = enum.auto()     # first clause, alternative is operand
+    RETRY_ME_ELSE = enum.auto()   # middle clause
+    TRUST_ME = enum.auto()        # last clause
+    TRY = enum.auto()             # indexed variants: target is operand,
+    RETRY = enum.auto()           #   alternative is the next instruction
+    TRUST = enum.auto()
+    NECK = enum.auto()            # commit point: materialise the delayed
+                                  #   choice point if still needed
+    NECK_CUT = enum.auto()        # cut in neck position (discard shadow)
+    GET_LEVEL = enum.auto()       # Yn := B0 (cut barrier)
+    CUT = enum.auto()             # cut to B0 (before any body call)
+    CUT_Y = enum.auto()           # cut to barrier saved in Yn
+
+    SWITCH_ON_TERM = enum.auto()       # 4-way dispatch on A1's type (MWAC)
+    SWITCH_ON_CONSTANT = enum.auto()   # hash dispatch on constant value
+    SWITCH_ON_STRUCTURE = enum.auto()  # hash dispatch on functor
+
+    # -- head unification (get) ------------------------------------------------
+    GET_X_VARIABLE = enum.auto()
+    GET_Y_VARIABLE = enum.auto()
+    GET_X_VALUE = enum.auto()
+    GET_Y_VALUE = enum.auto()
+    GET_CONSTANT = enum.auto()
+    GET_NIL = enum.auto()
+    GET_LIST = enum.auto()
+    GET_STRUCTURE = enum.auto()
+
+    # -- argument loading (put) --------------------------------------------------
+    PUT_X_VARIABLE = enum.auto()
+    PUT_Y_VARIABLE = enum.auto()
+    PUT_X_VALUE = enum.auto()
+    PUT_Y_VALUE = enum.auto()
+    PUT_UNSAFE_VALUE = enum.auto()
+    PUT_CONSTANT = enum.auto()
+    PUT_NIL = enum.auto()
+    PUT_LIST = enum.auto()
+    PUT_STRUCTURE = enum.auto()
+
+    # -- structure-argument unification ------------------------------------------
+    UNIFY_X_VARIABLE = enum.auto()
+    UNIFY_Y_VARIABLE = enum.auto()
+    UNIFY_X_VALUE = enum.auto()
+    UNIFY_Y_VALUE = enum.auto()
+    UNIFY_X_LOCAL_VALUE = enum.auto()
+    UNIFY_Y_LOCAL_VALUE = enum.auto()
+    UNIFY_CONSTANT = enum.auto()
+    UNIFY_NIL = enum.auto()
+    UNIFY_VOID = enum.auto()
+
+    # -- data movement -------------------------------------------------------------
+    MOVE2 = enum.auto()           # two register-to-register moves in one
+                                  #   cycle (the four-address format payoff)
+
+    # -- arithmetic (generic, tag-dispatched through the MWAC) ------------------------
+    ARITH = enum.auto()           # dst := src1 <op> src2
+    TEST = enum.auto()            # fail unless src1 <rel> src2
+    GEN_UNIFY = enum.auto()       # full unification of two registers (=/2,
+                                  #   is/2 result binding)
+
+    # -- escapes ----------------------------------------------------------------------
+    ESCAPE = enum.auto()          # built-in predicate via escape mechanism
+
+
+class ArithOp(enum.IntEnum):
+    """Binary/unary operations for :data:`Op.ARITH`."""
+
+    ADD = enum.auto()
+    SUB = enum.auto()
+    MUL = enum.auto()
+    DIV = enum.auto()       # '/' : float division (or exact int)
+    IDIV = enum.auto()      # '//': integer division
+    MOD = enum.auto()
+    NEG = enum.auto()       # unary minus (src2 ignored)
+    ABS = enum.auto()
+    MIN = enum.auto()
+    MAX = enum.auto()
+    AND = enum.auto()
+    OR = enum.auto()
+    XOR = enum.auto()
+    SHL = enum.auto()
+    SHR = enum.auto()
+
+
+class TestOp(enum.IntEnum):
+    """Numeric relations for :data:`Op.TEST`."""
+
+    LT = enum.auto()
+    GT = enum.auto()
+    LE = enum.auto()
+    GE = enum.auto()
+    EQ = enum.auto()        # =:=
+    NE = enum.auto()        # =\=
+
+
+class OpInfo(NamedTuple):
+    """Static metadata for one opcode."""
+
+    format: Format
+    #: Words occupied in code space ('1+table' handled dynamically for
+    #: the switch instructions via Instruction.size).
+    base_words: int
+    #: Pretty operand signature for the disassembler.
+    operands: str
+
+
+OP_INFO: Dict[Op, OpInfo] = {
+    Op.CALL: OpInfo(Format.ADDR, 1, "pred,nperms"),
+    Op.EXECUTE: OpInfo(Format.ADDR, 1, "pred"),
+    Op.PROCEED: OpInfo(Format.R4, 1, ""),
+    Op.ALLOCATE: OpInfo(Format.R4, 1, "n"),
+    Op.DEALLOCATE: OpInfo(Format.R4, 1, ""),
+    Op.HALT: OpInfo(Format.R4, 1, ""),
+    Op.JUMP: OpInfo(Format.ADDR, 1, "label"),
+    Op.FAIL: OpInfo(Format.R4, 1, ""),
+    Op.TRY_ME_ELSE: OpInfo(Format.ADDR, 1, "label"),
+    Op.RETRY_ME_ELSE: OpInfo(Format.ADDR, 1, "label"),
+    Op.TRUST_ME: OpInfo(Format.R4, 1, ""),
+    Op.TRY: OpInfo(Format.ADDR, 1, "label"),
+    Op.RETRY: OpInfo(Format.ADDR, 1, "label"),
+    Op.TRUST: OpInfo(Format.ADDR, 1, "label"),
+    Op.NECK: OpInfo(Format.R4, 1, "arity"),
+    Op.NECK_CUT: OpInfo(Format.R4, 1, ""),
+    Op.GET_LEVEL: OpInfo(Format.R4, 1, "y"),
+    Op.CUT: OpInfo(Format.R4, 1, ""),
+    Op.CUT_Y: OpInfo(Format.R4, 1, "y"),
+    Op.SWITCH_ON_TERM: OpInfo(Format.ADDR, 2, "lv,lc,ll,ls"),
+    Op.SWITCH_ON_CONSTANT: OpInfo(Format.ADDR, 1, "table"),
+    Op.SWITCH_ON_STRUCTURE: OpInfo(Format.ADDR, 1, "table"),
+    Op.GET_X_VARIABLE: OpInfo(Format.R4, 1, "x,a"),
+    Op.GET_Y_VARIABLE: OpInfo(Format.R4, 1, "y,a"),
+    Op.GET_X_VALUE: OpInfo(Format.R4, 1, "x,a"),
+    Op.GET_Y_VALUE: OpInfo(Format.R4, 1, "y,a"),
+    Op.GET_CONSTANT: OpInfo(Format.R4, 1, "const,a"),
+    Op.GET_NIL: OpInfo(Format.R4, 1, "a"),
+    Op.GET_LIST: OpInfo(Format.R4, 1, "a"),
+    Op.GET_STRUCTURE: OpInfo(Format.R4, 1, "f,a"),
+    Op.PUT_X_VARIABLE: OpInfo(Format.R4, 1, "x,a"),
+    Op.PUT_Y_VARIABLE: OpInfo(Format.R4, 1, "y,a"),
+    Op.PUT_X_VALUE: OpInfo(Format.R4, 1, "x,a"),
+    Op.PUT_Y_VALUE: OpInfo(Format.R4, 1, "y,a"),
+    Op.PUT_UNSAFE_VALUE: OpInfo(Format.R4, 1, "y,a"),
+    Op.PUT_CONSTANT: OpInfo(Format.R4, 1, "const,a"),
+    Op.PUT_NIL: OpInfo(Format.R4, 1, "a"),
+    Op.PUT_LIST: OpInfo(Format.R4, 1, "a"),
+    Op.PUT_STRUCTURE: OpInfo(Format.R4, 1, "f,a"),
+    Op.UNIFY_X_VARIABLE: OpInfo(Format.R4, 1, "x"),
+    Op.UNIFY_Y_VARIABLE: OpInfo(Format.R4, 1, "y"),
+    Op.UNIFY_X_VALUE: OpInfo(Format.R4, 1, "x"),
+    Op.UNIFY_Y_VALUE: OpInfo(Format.R4, 1, "y"),
+    Op.UNIFY_X_LOCAL_VALUE: OpInfo(Format.R4, 1, "x"),
+    Op.UNIFY_Y_LOCAL_VALUE: OpInfo(Format.R4, 1, "y"),
+    Op.UNIFY_CONSTANT: OpInfo(Format.R4, 1, "const"),
+    Op.UNIFY_NIL: OpInfo(Format.R4, 1, ""),
+    Op.UNIFY_VOID: OpInfo(Format.R4, 1, "n"),
+    Op.MOVE2: OpInfo(Format.R4, 1, "s1,d1,s2,d2"),
+    Op.ARITH: OpInfo(Format.R4, 1, "op,s1,s2,d"),
+    Op.TEST: OpInfo(Format.R4, 1, "op,s1,s2"),
+    Op.GEN_UNIFY: OpInfo(Format.R4, 1, "r1,r2"),
+    Op.ESCAPE: OpInfo(Format.ADDR, 1, "builtin,arity"),
+}
+
+#: Instructions whose first-word operand is a code address the linker
+#: must relocate.
+BRANCHING_OPS = frozenset({
+    Op.CALL, Op.EXECUTE, Op.JUMP,
+    Op.TRY_ME_ELSE, Op.RETRY_ME_ELSE, Op.TRY, Op.RETRY, Op.TRUST,
+})

@@ -1,0 +1,114 @@
+"""The 64 x 64-bit register file and the Register Address Calculator.
+
+Section 3.1.1: "Source and destination for all data manipulation
+instructions are registers in the 64 x 64 bit register file.  The
+addresses are supplied to the register file by the Register Address
+Calculator RAC".  Section 3.1.5 adds that the RAC "can increment and
+decrement register addresses and therefore a microcode loop can
+store/load one register per cycle" for choice-point creation, and that
+shallow backtracking saves "three state registers ... into shadow
+registers in the register file".
+
+Layout used here (an implementation choice the paper leaves open):
+
+======  =========================================================
+cells   contents
+======  =========================================================
+0..55   X registers (argument registers A1..An live in X0..)
+56..58  shadow registers: alternative-P, H, TR (shallow backtrack)
+59..63  reserved for microcode temporaries
+======  =========================================================
+
+State registers with dedicated hardware (P, CP, E, B, H, TR, S, HB,
+LB, B0) are attributes of the machine itself, not file cells — they
+feed dedicated data paths (trail comparators, prefetch unit).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.word import Word, ZERO_WORD
+
+FILE_SIZE = 64
+X_REGISTERS = 56
+SHADOW_ALT = 56
+SHADOW_H = 57
+SHADOW_TR = 58
+
+
+class RegisterFile:
+    """The register file plus RAC-style block save/load helpers."""
+
+    def __init__(self):
+        self.cells: List[Word] = [ZERO_WORD] * FILE_SIZE
+
+    def read(self, index: int) -> Word:
+        """Read one register."""
+        return self.cells[index]
+
+    def write(self, index: int, word: Word) -> None:
+        """Write one register."""
+        self.cells[index] = word
+
+    # -- X registers ------------------------------------------------------------
+
+    def x(self, index: int) -> Word:
+        """Read X register ``index`` (0-based; A_i is x(i-1))."""
+        if index >= X_REGISTERS:
+            raise IndexError(f"X register {index} out of range")
+        return self.cells[index]
+
+    def set_x(self, index: int, word: Word) -> None:
+        """Write X register ``index``."""
+        if index >= X_REGISTERS:
+            raise IndexError(f"X register {index} out of range")
+        self.cells[index] = word
+
+    def arguments(self, arity: int) -> List[Word]:
+        """Snapshot A1..A_arity (a RAC incrementing loop: one register
+        per cycle; the caller accounts the cycles)."""
+        return self.cells[:arity]
+
+    def restore_arguments(self, words: List[Word]) -> None:
+        """Restore A1..A_n from a choice point (RAC loop)."""
+        self.cells[:len(words)] = words
+
+    # -- shadow registers (shallow backtracking) -----------------------------------
+
+    def save_shadow(self, alt: Word, h: Word, tr: Word) -> None:
+        """Save the three state registers of section 3.1.5."""
+        self.cells[SHADOW_ALT] = alt
+        self.cells[SHADOW_H] = h
+        self.cells[SHADOW_TR] = tr
+
+    def shadow(self) -> "tuple[Word, Word, Word]":
+        """The (alternative, H, TR) shadow triple."""
+        return (self.cells[SHADOW_ALT], self.cells[SHADOW_H],
+                self.cells[SHADOW_TR])
+
+
+class ShadowState:
+    """Decoded shallow-backtracking shadow state.
+
+    A convenience view over the three shadow registers holding plain
+    Python integers (code address, heap top, trail top); the machine
+    keeps one instance and mirrors it into the register file through
+    :class:`RegisterFile` so both views agree (tests assert this).
+    """
+
+    __slots__ = ("alt", "h", "tr")
+
+    def __init__(self, alt: int = 0, h: int = 0, tr: int = 0):
+        self.alt = alt
+        self.h = h
+        self.tr = tr
+
+    def set(self, alt: int, h: int, tr: int) -> None:
+        """Record a shallow entry point."""
+        self.alt = alt
+        self.h = h
+        self.tr = tr
+
+    def __repr__(self) -> str:
+        return f"ShadowState(alt={self.alt}, h={self.h:#x}, tr={self.tr:#x})"

@@ -1,0 +1,73 @@
+"""Run statistics: what the paper's monitors measured.
+
+One :class:`RunStats` instance accumulates everything the evaluation
+section reports or reasons about: cycles (hence milliseconds at the
+machine's cycle time), inferences (hence Klips, using the paper's
+implementation-independent definition), instruction counts, choice
+point and trail traffic, and shallow/deep backtracking splits — the
+latter being the headline architectural claim of section 3.1.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class RunStats:
+    """Counters for one query execution."""
+
+    cycles: int = 0
+    instructions: int = 0
+    inferences: int = 0
+
+    # Backtracking behaviour (section 3.1.5).
+    shallow_fails: int = 0
+    deep_fails: int = 0
+    choice_points_created: int = 0
+    choice_points_avoided: int = 0    # neck reached with no CP needed
+    trail_pushes: int = 0
+    trail_checks: int = 0
+
+    # Unification behaviour (section 3.1.4).
+    dereference_links: int = 0
+    general_unifications: int = 0
+
+    # Memory behaviour (section 3.2.4).
+    data_reads: int = 0
+    data_writes: int = 0
+
+    solutions: int = 0
+
+    per_opcode: Dict[str, int] = field(default_factory=dict)
+
+    def count_opcode(self, name: str) -> None:
+        """Bump the per-opcode histogram (kept by name for readability)."""
+        self.per_opcode[name] = self.per_opcode.get(name, 0) + 1
+
+    # -- derived figures ---------------------------------------------------------
+
+    def milliseconds(self, cycle_seconds: float) -> float:
+        """Wall-clock ms at the given cycle time."""
+        return self.cycles * cycle_seconds * 1e3
+
+    def klips(self, cycle_seconds: float) -> float:
+        """Kilo logical inferences per second (paper's definition)."""
+        seconds = self.cycles * cycle_seconds
+        if seconds <= 0:
+            return 0.0
+        return self.inferences / seconds / 1e3
+
+    @property
+    def read_write_ratio(self) -> float:
+        """Data reads per write — about 1:1 for Prolog (section 3.2.4)."""
+        return self.data_reads / self.data_writes if self.data_writes else 0.0
+
+    def summary(self) -> str:
+        """A short human-readable digest."""
+        return (f"{self.inferences} inferences in {self.cycles} cycles; "
+                f"{self.shallow_fails} shallow / {self.deep_fails} deep "
+                f"fails; {self.choice_points_created} CPs created, "
+                f"{self.choice_points_avoided} avoided; "
+                f"{self.solutions} solution(s)")

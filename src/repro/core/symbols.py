@@ -1,0 +1,92 @@
+"""Atom and functor tables.
+
+KCM keeps symbol tables in its private memory because Prolog "needs
+random access to all symbol tables and to the entire run-time
+environment" (section 2.1).  In the simulator the tables are Python
+dictionaries owned by a :class:`SymbolTable` that the compiler, linker
+and machine share; atom and functor *indices* are what ends up in the
+value parts of tagged words.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.tags import Type
+from repro.core.word import Word, make_atom, make_nil
+
+
+class SymbolTable:
+    """Bidirectional atom and functor (name/arity) tables."""
+
+    def __init__(self):
+        self._atom_by_name: Dict[str, int] = {}
+        self._atom_names: List[str] = []
+        self._functor_by_key: Dict[Tuple[str, int], int] = {}
+        self._functor_keys: List[Tuple[str, int]] = []
+        # Index 0 is reserved for '[]' so a zero atom word is harmless.
+        self.atom_index("[]")
+
+    # -- atoms ------------------------------------------------------------------
+
+    def atom_index(self, name: str) -> int:
+        """Intern an atom; returns its stable index."""
+        index = self._atom_by_name.get(name)
+        if index is None:
+            index = len(self._atom_names)
+            self._atom_by_name[name] = index
+            self._atom_names.append(name)
+        return index
+
+    def atom_name(self, index: int) -> str:
+        """Name of the atom at ``index``."""
+        return self._atom_names[index]
+
+    def atom_word(self, name: str) -> Word:
+        """The tagged constant word for an atom (NIL for ``[]``)."""
+        if name == "[]":
+            return make_nil()
+        return make_atom(self.atom_index(name))
+
+    @property
+    def atom_count(self) -> int:
+        """Number of interned atoms."""
+        return len(self._atom_names)
+
+    # -- functors ----------------------------------------------------------------
+
+    def functor_index(self, name: str, arity: int) -> int:
+        """Intern a name/arity pair; returns its stable index."""
+        key = (name, arity)
+        index = self._functor_by_key.get(key)
+        if index is None:
+            index = len(self._functor_keys)
+            self._functor_by_key[key] = index
+            self._functor_keys.append(key)
+        return index
+
+    def functor_key(self, index: int) -> Tuple[str, int]:
+        """The (name, arity) of the functor at ``index``."""
+        return self._functor_keys[index]
+
+    def functor_name(self, index: int) -> str:
+        """Readable ``name/arity`` for diagnostics."""
+        name, arity = self._functor_keys[index]
+        return f"{name}/{arity}"
+
+    @property
+    def functor_count(self) -> int:
+        """Number of interned functors."""
+        return len(self._functor_keys)
+
+    # -- helpers -------------------------------------------------------------------
+
+    def describe_constant(self, word: Word) -> str:
+        """Readable form of a constant word (for traces and errors)."""
+        if word.type is Type.ATOM:
+            return self.atom_name(int(word.value))
+        if word.type is Type.NIL:
+            return "[]"
+        if word.type is Type.FUNCTOR:
+            return self.functor_name(int(word.value))
+        return str(word.value)

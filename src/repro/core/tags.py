@@ -1,0 +1,212 @@
+"""KCM word and address formats (paper sections 2.3, 3.2.2, figures 2 and 7).
+
+A KCM word is 64 bits: a 32-bit *value* part (bits 31..0) and a 32-bit
+*tag* part (bits 63..32).  Within the tag part the paper defines:
+
+====  =======  ==================================================
+bits  name     meaning
+====  =======  ==================================================
+63    GC mark  garbage-collection mark bit (manipulated by the TVM)
+62    GC link  second garbage-collection bit
+55-52 zone     virtual-memory zone of an address (16 zones)
+51-48 type     one of 16 data types (integer, list, reference, ...)
+====  =======  ==================================================
+
+Bits 47..32 and 61..56 are unused in the current implementation; the
+simulator keeps them zero, and the zone check verifies this for
+addresses, exactly as section 3.2.3 describes.
+
+The value part of an address uses only the 28 least significant bits.
+Bits 27..14 are the virtual page number and bits 13..0 the page offset
+(16K-word pages), which is what the MMU model in
+:mod:`repro.memory.mmu` decodes.
+
+This module is the single source of truth for the bit layout; the
+figure renderers in :mod:`repro.bench.figures` draw figures 2 and 7
+from these constants rather than from a hand-maintained copy.
+"""
+
+from __future__ import annotations
+
+import enum
+
+# ---------------------------------------------------------------------------
+# Bit layout constants (figure 2 / figure 7)
+# ---------------------------------------------------------------------------
+
+WORD_BITS = 64
+VALUE_BITS = 32
+TAG_BITS = 32
+
+VALUE_MASK = (1 << VALUE_BITS) - 1
+
+TYPE_SHIFT = 48          # bits 51..48 of the full 64-bit word
+TYPE_BITS = 4
+TYPE_MASK = (1 << TYPE_BITS) - 1
+
+ZONE_SHIFT = 52          # bits 55..52
+ZONE_BITS = 4
+ZONE_MASK = (1 << ZONE_BITS) - 1
+
+GC_MARK_SHIFT = 63
+GC_LINK_SHIFT = 62
+
+# Address decomposition (figure 7): 28-bit word addresses, 16K-word pages.
+ADDRESS_BITS = 28
+ADDRESS_MASK = (1 << ADDRESS_BITS) - 1
+PAGE_OFFSET_BITS = 14
+PAGE_SIZE_WORDS = 1 << PAGE_OFFSET_BITS        # 16K words per page
+PAGE_OFFSET_MASK = PAGE_SIZE_WORDS - 1
+PAGE_NUMBER_BITS = ADDRESS_BITS - PAGE_OFFSET_BITS  # 14 -> 16K virtual pages
+PAGE_NUMBER_MASK = (1 << PAGE_NUMBER_BITS) - 1
+
+# Zone-check granularity: bits 27..12, i.e. 4K-word granules (section 3.2.3).
+ZONE_GRANULE_BITS = 12
+ZONE_GRANULE_WORDS = 1 << ZONE_GRANULE_BITS
+
+
+class Type(enum.IntEnum):
+    """The 16 possible data types encoded in tag bits 51..48.
+
+    The paper names integer, floating point, variable (reference), list,
+    data pointer and code pointer explicitly; the remainder are the types
+    any WAM-family machine needs (atoms, structures, nil, ...) plus a few
+    spares, mirroring SEPIA's type system which KCM was built to run.
+    """
+
+    REF = 0            # unbound variable / reference chain link
+    STRUCT = 1         # pointer to a functor cell on the global stack
+    LIST = 2           # pointer to a cons cell on the global stack
+    ATOM = 3           # constant: index into the atom table
+    INT = 4            # 32-bit signed integer (immediate)
+    FLOAT = 5          # 32-bit IEEE float (immediate)
+    NIL = 6            # the empty list constant
+    FUNCTOR = 7        # functor descriptor cell (name/arity), heap only
+    DATA_PTR = 8       # untyped data pointer (runtime system use)
+    CODE_PTR = 9       # pointer into the code address space
+    ENV_PTR = 10       # saved environment pointer (local stack frames)
+    CP_PTR = 11        # saved choice-point pointer (control stack frames)
+    TRAIL_PTR = 12     # saved trail pointer
+    STRING = 13        # string table reference (SEPIA extension)
+    DID = 14           # dictionary identifier (SEPIA extension)
+    SPARE = 15         # unused, reserved for extensions
+
+
+class Zone(enum.IntEnum):
+    """Virtual-memory zones encoded in tag bits 55..52 (section 3.2.2).
+
+    "Stacks, heaps, and other data areas are mapped to zones."  The
+    assignment of numbers is an implementation choice; what matters is
+    that every stack pointer carries a distinct zone so the zone check
+    and the zone-sectioned data cache can tell the stacks apart.
+    """
+
+    NONE = 0           # non-address data (integers, floats, atoms...)
+    GLOBAL = 1         # global stack (heap): lists and structures
+    LOCAL = 2          # local stack: environments
+    CONTROL = 3        # choice-point stack (split-stack model, section 2.4)
+    TRAIL = 4          # trail stack
+    STATIC = 5         # static data area (atom table, functor table)
+    CODE = 6           # code space (separate address space, section 3.2.1)
+    SYSTEM = 7         # runtime-system scratch area
+
+
+# Types acceptable as *addresses into* each zone (section 3.2.3).  Numbers
+# are never valid addresses anywhere.  Lists and structures are built on
+# the global stack only; the local stack takes references and data
+# pointers; the control stack takes data pointers only.
+ZONE_ADDRESS_TYPES = {
+    Zone.GLOBAL: frozenset({Type.REF, Type.STRUCT, Type.LIST, Type.DATA_PTR}),
+    Zone.LOCAL: frozenset({Type.REF, Type.DATA_PTR}),
+    Zone.CONTROL: frozenset({Type.DATA_PTR, Type.CP_PTR}),
+    Zone.TRAIL: frozenset({Type.DATA_PTR, Type.TRAIL_PTR}),
+    Zone.STATIC: frozenset({Type.REF, Type.DATA_PTR, Type.FUNCTOR}),
+    Zone.CODE: frozenset({Type.CODE_PTR}),
+    Zone.SYSTEM: frozenset({Type.DATA_PTR}),
+}
+
+#: Types that are immediate values (the value part is *not* an address).
+IMMEDIATE_TYPES = frozenset(
+    {Type.INT, Type.FLOAT, Type.ATOM, Type.NIL, Type.FUNCTOR,
+     Type.STRING, Type.DID}
+)
+
+#: Types whose value part points into the data address space.
+POINTER_TYPES = frozenset(
+    {Type.REF, Type.STRUCT, Type.LIST, Type.DATA_PTR, Type.ENV_PTR,
+     Type.CP_PTR, Type.TRAIL_PTR}
+)
+
+
+def make_tag(type_: Type, zone: Zone = Zone.NONE,
+             gc_mark: bool = False, gc_link: bool = False) -> int:
+    """Pack a 32-bit tag from its fields.
+
+    The returned integer is the *tag part* (bits 63..32 of the word
+    shifted down by 32), which is how the simulator stores tags.
+    """
+    tag = (int(type_) & TYPE_MASK) << (TYPE_SHIFT - VALUE_BITS)
+    tag |= (int(zone) & ZONE_MASK) << (ZONE_SHIFT - VALUE_BITS)
+    if gc_mark:
+        tag |= 1 << (GC_MARK_SHIFT - VALUE_BITS)
+    if gc_link:
+        tag |= 1 << (GC_LINK_SHIFT - VALUE_BITS)
+    return tag
+
+
+def tag_type(tag: int) -> Type:
+    """Extract the 4-bit type field from a 32-bit tag part."""
+    return Type((tag >> (TYPE_SHIFT - VALUE_BITS)) & TYPE_MASK)
+
+
+def tag_zone(tag: int) -> Zone:
+    """Extract the 4-bit zone field from a 32-bit tag part."""
+    return Zone((tag >> (ZONE_SHIFT - VALUE_BITS)) & ZONE_MASK)
+
+
+def tag_gc_mark(tag: int) -> bool:
+    """Extract the garbage-collection mark bit from a tag part."""
+    return bool((tag >> (GC_MARK_SHIFT - VALUE_BITS)) & 1)
+
+
+def tag_gc_link(tag: int) -> bool:
+    """Extract the second garbage-collection bit from a tag part."""
+    return bool((tag >> (GC_LINK_SHIFT - VALUE_BITS)) & 1)
+
+
+def with_gc_mark(tag: int, value: bool) -> int:
+    """Return ``tag`` with the GC mark bit set to ``value``.
+
+    In hardware this is one of the Tag-Value-Multiplexer (TVM)
+    manipulations described in section 3.1.1.
+    """
+    bit = 1 << (GC_MARK_SHIFT - VALUE_BITS)
+    return (tag | bit) if value else (tag & ~bit)
+
+
+def with_gc_link(tag: int, value: bool) -> int:
+    """Return ``tag`` with the GC link bit set to ``value`` (TVM op)."""
+    bit = 1 << (GC_LINK_SHIFT - VALUE_BITS)
+    return (tag | bit) if value else (tag & ~bit)
+
+
+def page_number(address: int) -> int:
+    """Virtual page number of a word address (bits 27..14, figure 7)."""
+    return (address >> PAGE_OFFSET_BITS) & PAGE_NUMBER_MASK
+
+
+def page_offset(address: int) -> int:
+    """Offset of a word address within its 16K-word page (bits 13..0)."""
+    return address & PAGE_OFFSET_MASK
+
+
+def zone_granule(address: int) -> int:
+    """The 4K-word granule index used by the zone-limit comparators
+    (bits 27..12, section 3.2.3)."""
+    return (address >> ZONE_GRANULE_BITS) & ((1 << 16) - 1)
+
+
+def address_in_range(address: int) -> bool:
+    """True when the 4 most significant address bits (31..28) are zero,
+    the first thing the zone check verifies (section 3.2.3)."""
+    return 0 <= address <= ADDRESS_MASK

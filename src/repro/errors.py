@@ -1,0 +1,83 @@
+"""Exception hierarchy for the KCM reproduction.
+
+Every error raised by the simulator, compiler or front end derives from
+:class:`KCMError` so library users can catch everything from this package
+with a single ``except`` clause.  Traps that the real hardware would raise
+(zone violations, page faults, stack overflows) are modelled as dedicated
+exception classes so tests can assert on the precise trap kind.
+"""
+
+from __future__ import annotations
+
+
+class KCMError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class PrologSyntaxError(KCMError):
+    """Raised by the reader when source text is not valid Prolog.
+
+    Carries the ``line`` and ``column`` (1-based) of the offending token
+    when known, to support precise error reporting in tools.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class CompileError(KCMError):
+    """Raised when a clause cannot be compiled to KCM code."""
+
+
+class LinkError(KCMError):
+    """Raised by the static linker (undefined predicate, duplicate, ...)."""
+
+
+class MachineError(KCMError):
+    """Base class for runtime errors inside the simulated machine."""
+
+
+class MachineTrap(MachineError):
+    """Base class for conditions the hardware signals as traps."""
+
+
+class ZoneTrap(MachineTrap):
+    """Zone check violation: bad type for a zone, limits exceeded, or a
+    write to a write-protected zone (paper section 3.2.3)."""
+
+
+class StackOverflowTrap(ZoneTrap):
+    """A stack pointer moved beyond its zone limits (hardware stack
+    overflow check, detected on the next access through the pointer)."""
+
+
+class PageFault(MachineTrap):
+    """Access to a virtual page with no valid translation (section 3.2.5)."""
+
+
+class ProtectionFault(MachineTrap):
+    """MMU-level access-rights violation on a physical page."""
+
+
+class InstructionError(MachineError):
+    """Malformed or unknown instruction reached the decoder."""
+
+
+class ArithmeticError_(MachineError):
+    """Evaluation error inside ``is/2`` or an arithmetic comparison
+    (unbound variable, non-numeric operand, division by zero)."""
+
+
+class ExistenceError(MachineError):
+    """Call to a predicate with no definition and no escape entry."""
+
+
+class CycleLimitExceeded(MachineError):
+    """The machine ran longer than the configured cycle budget.
+
+    Guards tests and benchmarks against accidental infinite loops in
+    compiled programs; the real hardware has no such notion.
+    """

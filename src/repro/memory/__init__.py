@@ -1,0 +1,25 @@
+"""KCM memory system: zones, caches, MMU, main memory, backing store.
+
+See paper section 3.2.  :class:`MemorySystem` is the facade the machine
+uses; the individual components are importable for targeted tests and
+the cache-collision experiment.
+"""
+
+from repro.memory.cache import CacheStats, CodeCache, DataCache
+from repro.memory.layout import (
+    DATA_SPACE_WORDS, DEFAULT_LAYOUT, Region, initial_stack_pointer,
+    validate_layout,
+)
+from repro.memory.main_memory import MainMemory, MemoryTiming
+from repro.memory.memory_system import MemorySystem
+from repro.memory.mmu import MMU, PageTableEntry
+from repro.memory.store import DataStore
+from repro.memory.zones import ZoneChecker, ZoneEntry
+
+__all__ = [
+    "CacheStats", "CodeCache", "DataCache",
+    "DATA_SPACE_WORDS", "DEFAULT_LAYOUT", "Region",
+    "initial_stack_pointer", "validate_layout",
+    "MainMemory", "MemoryTiming", "MemorySystem",
+    "MMU", "PageTableEntry", "DataStore", "ZoneChecker", "ZoneEntry",
+]

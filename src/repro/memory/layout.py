@@ -1,0 +1,99 @@
+"""The default data-space memory map.
+
+The paper maps every stack and data area to a *zone* (section 3.2.2);
+the concrete placement of zones in the 28-bit virtual data space is an
+implementation choice.  This layout uses 4 M words total — exactly the
+32 MBytes one KCM memory board provides (section 3.2.6) — with every
+zone base aligned to the 4K-word zone-check granule and to the 16K-word
+page size.
+
+All sizes and bases are in 64-bit *words* (KCM addresses are word
+addresses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.tags import Zone, ZONE_GRANULE_WORDS, PAGE_SIZE_WORDS
+
+
+@dataclass(frozen=True)
+class Region:
+    """One zone's placement: [base, base + size) and growth direction."""
+
+    zone: Zone
+    base: int
+    size: int
+    grows_up: bool = True
+
+    @property
+    def limit(self) -> int:
+        """One past the last valid address."""
+        return self.base + self.size
+
+
+#: The default map.  GLOBAL (heap) is the largest area since lists and
+#: structures live there; LOCAL and CONTROL get generous stack room;
+#: the TRAIL is smaller, as only conditional bindings land on it.
+DEFAULT_LAYOUT: Dict[Zone, Region] = {
+    Zone.STATIC: Region(Zone.STATIC, 0x000000, 0x010000),
+    Zone.GLOBAL: Region(Zone.GLOBAL, 0x040000, 0x140000),
+    Zone.LOCAL: Region(Zone.LOCAL, 0x180000, 0x0C0000),
+    Zone.CONTROL: Region(Zone.CONTROL, 0x240000, 0x0C0000),
+    Zone.TRAIL: Region(Zone.TRAIL, 0x300000, 0x080000),
+    Zone.SYSTEM: Region(Zone.SYSTEM, 0x380000, 0x010000),
+}
+
+#: Total words of data space the default layout can touch; the backing
+#: store and the MMU physical memory are sized from this.
+DATA_SPACE_WORDS = 0x400000  # 4 M words == 32 MB == one memory board
+
+
+def validate_layout(layout: Dict[Zone, Region]) -> None:
+    """Check alignment and non-overlap; raises ValueError on problems.
+
+    Bases must be aligned to both the zone-check granule (4K words,
+    section 3.2.3) and the page size (16K words, section 3.2.5) so the
+    hardware comparators and the page table can describe them exactly.
+    """
+    regions = sorted(layout.values(), key=lambda r: r.base)
+    previous_limit = 0
+    for region in regions:
+        if region.base % ZONE_GRANULE_WORDS:
+            raise ValueError(f"{region.zone.name} base not granule-aligned")
+        if region.base % PAGE_SIZE_WORDS:
+            raise ValueError(f"{region.zone.name} base not page-aligned")
+        if region.size <= 0:
+            raise ValueError(f"{region.zone.name} has non-positive size")
+        if region.base < previous_limit:
+            raise ValueError(f"{region.zone.name} overlaps previous region")
+        previous_limit = region.limit
+    if previous_limit > DATA_SPACE_WORDS:
+        raise ValueError("layout exceeds the 4M-word data space")
+
+
+validate_layout(DEFAULT_LAYOUT)
+
+
+#: Cache-line distance between consecutive staggered stack starts, used
+#: by :func:`initial_stack_pointer`.  128 words spreads the four stacks
+#: across a 1K direct-mapped cache without wasting much zone space.
+STACK_STAGGER_WORDS = 128
+
+
+def initial_stack_pointer(region: Region, staggered: bool) -> int:
+    """Where a stack pointer starts inside its region.
+
+    This reproduces the two initialisations of the section 3.2.4 cache
+    experiment: in the first run "the top-of-stack pointers were
+    initialised to values such that they used different cache locations"
+    (``staggered=True``: each zone starts at a distinct offset modulo
+    the 1K cache index range); in the second run "they all pointed to
+    the same cache cell" (``staggered=False``: every base is 16K-aligned
+    and therefore congruent to 0 modulo 1K).
+    """
+    if not staggered:
+        return region.base
+    return region.base + int(region.zone) * STACK_STAGGER_WORDS

@@ -1,0 +1,77 @@
+"""Main memory board model (paper section 3.2.6).
+
+One board holds 32 MBytes (4 M words) behind a 32-bit data bus; a fast
+page mode pairs two 32-bit accesses into one 64-bit KCM word and also
+prefetches ahead for the code cache.  The model is a *timing* model:
+it answers "how many CPU cycles does this transfer cost", while the
+word contents live in the functional store (:class:`DataStore`).
+
+Timing parameters live in :class:`MemoryTiming`; the defaults follow
+the paper's figures (80 ns CPU cycle; page-mode cycle time of 120 ns —
+the text prints "120 ps", an evident typo for nanoseconds given 1988
+DRAM).  A 64-bit word therefore needs one full RAS access plus one
+page-mode access, and each further word of a prefetch burst one more
+page-mode access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.layout import DATA_SPACE_WORDS
+
+
+@dataclass(frozen=True)
+class MemoryTiming:
+    """DRAM timing in CPU cycles (80 ns each).
+
+    ``first_access_cycles`` covers the full RAS/CAS access of the first
+    32-bit half; ``page_mode_cycles`` each further 32-bit half within
+    the open page (120 ns / 80 ns rounded up = 2 cycles).
+    """
+
+    first_access_cycles: int = 3
+    page_mode_cycles: int = 2
+
+    def word_cycles(self, words: int = 1) -> int:
+        """Cycles to transfer ``words`` consecutive 64-bit words: the
+        first 32-bit half pays full access, every further half runs in
+        page mode."""
+        halves = 2 * words
+        return (self.first_access_cycles
+                + (halves - 1) * self.page_mode_cycles)
+
+
+@dataclass
+class MainMemory:
+    """One 32 MB memory board: capacity accounting plus transfer timing.
+
+    ``read_words``/``write_words`` return the cycle cost of the
+    transfer and keep traffic statistics used by the evaluation
+    harness (Prolog's read:write ratio of about 1:1, section 3.2.4,
+    shows up directly in these counters).
+    """
+
+    words: int = DATA_SPACE_WORDS
+    timing: MemoryTiming = field(default_factory=MemoryTiming)
+    reads: int = 0
+    writes: int = 0
+    words_read: int = 0
+    words_written: int = 0
+
+    def read_words(self, count: int = 1) -> int:
+        """Account a read burst of ``count`` words; returns cycles."""
+        self.reads += 1
+        self.words_read += count
+        return self.timing.word_cycles(count)
+
+    def write_words(self, count: int = 1) -> int:
+        """Account a write burst of ``count`` words; returns cycles."""
+        self.writes += 1
+        self.words_written += count
+        return self.timing.word_cycles(count)
+
+    def reset_statistics(self) -> None:
+        """Zero the traffic counters (between benchmark runs)."""
+        self.reads = self.writes = 0
+        self.words_read = self.words_written = 0

@@ -1,0 +1,127 @@
+"""The composed KCM memory system (paper section 3.2, figure 4).
+
+Wires together the functional store, the zone checker, the two logical
+caches, the MMU and the main-memory board into the two access paths the
+CPU sees:
+
+- ``data_read`` / ``data_write`` — the data-cache path, used by the
+  execution unit.  Zone check runs on every access; address translation
+  only on cache misses (the caches are logical).
+- ``code_fetch`` / ``code_write`` — the code-cache path used by the
+  prefetch unit and by incremental code generation.
+
+Every method returns the cycle cost of the access: 1 base cycle (the
+80 ns cache access) plus any miss/write-back/page-fault penalty.  The
+machine adds these to its cycle counter.  A ``timing_enabled=False``
+mode skips the cache/MMU models entirely (functional simulation only),
+used by tests that don't care about cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.tags import Type, Zone
+from repro.core.word import Word
+from repro.memory.cache import CodeCache, DataCache
+from repro.memory.layout import DEFAULT_LAYOUT, Region
+from repro.memory.main_memory import MainMemory
+from repro.memory.mmu import MMU
+from repro.memory.store import DataStore
+from repro.memory.zones import ZoneChecker
+
+
+class MemorySystem:
+    """Facade over the whole memory hierarchy."""
+
+    def __init__(self,
+                 layout: Optional[Dict[Zone, Region]] = None,
+                 sectioned_cache: bool = True,
+                 zone_check: bool = True,
+                 timing_enabled: bool = True,
+                 page_fault_cycles: int = 0):
+        # page_fault_cycles defaults to 0: benchmark timings assume a
+        # warm machine whose working set the host has already wired
+        # (section 2.1's paging server); the paging experiments pass an
+        # explicit host round-trip cost.
+        self.layout = layout if layout is not None else DEFAULT_LAYOUT
+        self.store = DataStore()
+        self.zones = ZoneChecker(self.layout, enabled=zone_check)
+        self.main_memory = MainMemory()
+        self.data_cache = DataCache(self.main_memory,
+                                    sectioned=sectioned_cache)
+        self.code_cache = CodeCache(self.main_memory)
+        self.mmu = MMU(page_fault_cycles=page_fault_cycles)
+        self.timing_enabled = timing_enabled
+
+    # -- the data path ---------------------------------------------------------
+
+    def data_read(self, address: int, zone: Zone,
+                  word_type: Type = Type.DATA_PTR) -> "tuple[Word, int]":
+        """Read one data word; returns ``(word, cycles)``."""
+        self.zones.check(zone, address, word_type, is_write=False)
+        word = self.store.read(address)
+        if not self.timing_enabled:
+            return word, 1
+        cycles = 1 + self._data_miss_cycles(address, zone, is_write=False)
+        return word, cycles
+
+    def data_write(self, address: int, word: Word, zone: Zone,
+                   word_type: Type = Type.DATA_PTR) -> int:
+        """Write one data word; returns cycles."""
+        self.zones.check(zone, address, word_type, is_write=True)
+        self.store.write(address, word)
+        if not self.timing_enabled:
+            return 1
+        return 1 + self._data_miss_cycles(address, zone, is_write=True)
+
+    def _data_miss_cycles(self, address: int, zone: Zone,
+                          is_write: bool) -> int:
+        penalty = self.data_cache.access(address, zone, is_write)
+        if penalty:
+            # Logical cache: translate only on the miss.
+            _, fault = self.mmu.translate(address, is_write)
+            penalty += fault
+        return penalty
+
+    # -- the code path ---------------------------------------------------------
+
+    def code_fetch(self, address: int) -> int:
+        """Instruction fetch timing; returns cycles (content lives in
+        the machine's code space, see :mod:`repro.compiler.linker`)."""
+        if not self.timing_enabled:
+            return 0
+        penalty = self.code_cache.fetch(address)
+        if penalty:
+            _, fault = self.mmu.translate(address, is_write=False,
+                                          code_space=True)
+            penalty += fault
+        return penalty
+
+    def code_write(self, address: int) -> int:
+        """Incremental code generation write (straight to code cache)."""
+        if not self.timing_enabled:
+            return 1
+        return 1 + self.code_cache.write(address)
+
+    # -- statistics --------------------------------------------------------------
+
+    def reset_statistics(self) -> None:
+        """Zero every counter in the hierarchy (between benchmark runs)
+        without disturbing cache/page-table contents."""
+        self.data_cache.stats.reset()
+        self.code_cache.stats.reset()
+        self.main_memory.reset_statistics()
+
+    def statistics(self) -> Dict[str, float]:
+        """A flat snapshot of the interesting counters."""
+        return {
+            "data_accesses": self.data_cache.stats.accesses,
+            "data_hit_ratio": self.data_cache.stats.hit_ratio,
+            "data_write_backs": self.data_cache.stats.write_backs,
+            "code_fetches": self.code_cache.stats.reads,
+            "code_hit_ratio": self.code_cache.stats.hit_ratio,
+            "memory_words_read": self.main_memory.words_read,
+            "memory_words_written": self.main_memory.words_written,
+            "page_faults": self.mmu.faults,
+        }

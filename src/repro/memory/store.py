@@ -1,0 +1,59 @@
+"""The functional backing store for the data address space.
+
+The timing side of the memory system (caches, MMU, DRAM) is modelled
+separately; this store is where word *contents* actually live, which
+keeps functional correctness decoupled from timing experiments — the
+standard split in architecture simulators (see DESIGN.md, substitution
+note 2).
+
+Uninitialised reads return a distinctive zero integer word rather than
+raising, matching hardware (RAM has *some* contents), but the store
+counts them so tests can assert none happened on correct programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.word import Word, ZERO_WORD
+from repro.memory.layout import DATA_SPACE_WORDS
+
+
+class DataStore:
+    """A flat word-addressed array over the 4 M-word data space.
+
+    Backed by chunked lists allocated on demand so a freshly created
+    machine does not pay for 4 M Python slots.
+    """
+
+    CHUNK_WORDS = 1 << 16  # 64K words per chunk
+
+    def __init__(self, size: int = DATA_SPACE_WORDS):
+        self.size = size
+        self._chunks: Dict[int, List[Optional[Word]]] = {}
+        self.uninitialised_reads = 0
+
+    def read(self, address: int) -> Word:
+        """Fetch the word at ``address``."""
+        chunk = self._chunks.get(address >> 16)
+        word = chunk[address & 0xFFFF] if chunk is not None else None
+        if word is None:
+            self.uninitialised_reads += 1
+            return ZERO_WORD
+        return word
+
+    def write(self, address: int, word: Word) -> None:
+        """Store ``word`` at ``address``."""
+        key = address >> 16
+        chunk = self._chunks.get(key)
+        if chunk is None:
+            if not 0 <= address < self.size:
+                raise IndexError(f"address {address:#x} outside data space")
+            chunk = [None] * self.CHUNK_WORDS
+            self._chunks[key] = chunk
+        chunk[address & 0xFFFF] = word
+
+    def initialised(self, address: int) -> bool:
+        """Whether ``address`` has been written (test inspection)."""
+        chunk = self._chunks.get(address >> 16)
+        return chunk is not None and chunk[address & 0xFFFF] is not None

@@ -1,0 +1,127 @@
+"""The zone check: access-right verification at the virtual level
+(paper section 3.2.3).
+
+Each stack and memory area is mapped to a zone defined by a start and
+end address; the check verifies, on every data-cache access, that
+
+1. the 4 most significant address bits (31..28) are zero,
+2. the address lies between the zone's current minimum and maximum
+   (with 4K-word granularity, matching the special RAM field the
+   hardware compares against), and
+3. the *type* of the word used as an address is allowed for the zone
+   (e.g. a float may never address memory; lists may point into the
+   global stack but not into the local stack),
+
+and that no write hits a write-protected zone.  Zone limits may be
+changed dynamically, which is how the runtime monitors stack sizes,
+detects overflow/collision and can trigger garbage collection.
+
+The check is combinational hardware running in parallel with the cache
+access, so it contributes no cycles; it only raises traps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+from repro.core.tags import (
+    Type, Zone, ZONE_ADDRESS_TYPES, ZONE_GRANULE_WORDS, address_in_range,
+)
+from repro.errors import StackOverflowTrap, ZoneTrap
+from repro.memory.layout import DEFAULT_LAYOUT, Region
+
+
+def _granule_floor(address: int) -> int:
+    return address - (address % ZONE_GRANULE_WORDS)
+
+
+def _granule_ceil(address: int) -> int:
+    return -(-address // ZONE_GRANULE_WORDS) * ZONE_GRANULE_WORDS
+
+
+@dataclass
+class ZoneEntry:
+    """One zone's dynamic state: limits, allowed types, protection."""
+
+    zone: Zone
+    min_address: int
+    max_address: int           # exclusive
+    allowed_types: FrozenSet[Type]
+    write_protected: bool = False
+    #: Count of checks performed against this zone (statistics only).
+    checks: int = field(default=0, repr=False)
+
+    def contains(self, address: int) -> bool:
+        """Granule-level containment test, as the hardware comparator
+        sees it (bits 27..12 against the RAM field)."""
+        return (_granule_floor(self.min_address) <= address
+                < _granule_ceil(self.max_address))
+
+
+class ZoneChecker:
+    """Holds the zone table and performs the three-part check."""
+
+    def __init__(self, layout: Optional[Dict[Zone, Region]] = None,
+                 enabled: bool = True):
+        layout = layout if layout is not None else DEFAULT_LAYOUT
+        self.enabled = enabled
+        self.entries: Dict[Zone, ZoneEntry] = {}
+        for zone, region in layout.items():
+            allowed = ZONE_ADDRESS_TYPES.get(zone, frozenset())
+            self.entries[zone] = ZoneEntry(
+                zone=zone,
+                min_address=region.base,
+                max_address=region.limit,
+                allowed_types=allowed,
+            )
+        self.violations = 0
+
+    # -- dynamic reconfiguration (runtime system interface) ------------------
+
+    def set_limits(self, zone: Zone, min_address: int,
+                   max_address: int) -> None:
+        """Move a zone's limits; how the runtime grows/shrinks stacks."""
+        entry = self.entries[zone]
+        entry.min_address = min_address
+        entry.max_address = max_address
+
+    def set_write_protected(self, zone: Zone, protected: bool) -> None:
+        """Toggle write protection on a whole zone."""
+        self.entries[zone].write_protected = protected
+
+    # -- the check itself -----------------------------------------------------
+
+    def check(self, zone: Zone, address: int, word_type: Type,
+              is_write: bool) -> None:
+        """Verify one access; raises :class:`ZoneTrap` subclasses.
+
+        ``zone`` and ``word_type`` come from the tag part of the address
+        word driving the access; ``address`` is its value part.
+        """
+        if not self.enabled:
+            return
+        if not address_in_range(address):
+            raise ZoneTrap(
+                f"address {address:#x} has non-zero high bits (zone "
+                f"{zone.name})")
+        entry = self.entries.get(zone)
+        if entry is None:
+            self.violations += 1
+            raise ZoneTrap(f"access through unmapped zone {zone.name} "
+                           f"at {address:#x}")
+        entry.checks += 1
+        if word_type not in entry.allowed_types:
+            self.violations += 1
+            raise ZoneTrap(
+                f"type {word_type.name} not allowed as an address into "
+                f"zone {zone.name} (address {address:#x})")
+        if not entry.contains(address):
+            self.violations += 1
+            raise StackOverflowTrap(
+                f"address {address:#x} outside zone {zone.name} limits "
+                f"[{entry.min_address:#x}, {entry.max_address:#x})")
+        if is_write and entry.write_protected:
+            self.violations += 1
+            raise ZoneTrap(f"write to write-protected zone {zone.name} "
+                           f"at {address:#x}")

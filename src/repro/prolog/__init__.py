@@ -1,0 +1,21 @@
+"""Prolog front end: terms, reader (lexer + parser), writer.
+
+This subpackage is a pure-Prolog substrate: it knows nothing about the
+KCM.  The compiler in :mod:`repro.compiler` consumes its terms; the
+benchmark runner uses its writer to decode answers.
+"""
+
+from repro.prolog.terms import (
+    Atom, Float, Int, Struct, Term, Var,
+    cons, functor_indicator, is_callable, is_list_cell, list_to_python,
+    make_list, term_variables,
+)
+from repro.prolog.parser import Parser, parse_program, parse_term
+from repro.prolog.writer import term_to_text
+
+__all__ = [
+    "Atom", "Float", "Int", "Struct", "Term", "Var",
+    "cons", "functor_indicator", "is_callable", "is_list_cell",
+    "list_to_python", "make_list", "term_variables",
+    "Parser", "parse_program", "parse_term", "term_to_text",
+]

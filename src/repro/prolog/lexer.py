@@ -1,0 +1,251 @@
+"""Tokenizer for Edinburgh-syntax Prolog.
+
+Produces a flat token stream for :mod:`repro.prolog.parser`.  Handles
+the full lexical repertoire the benchmark suite and typical programs
+need: quoted atoms with escapes, ``0'c`` character codes, line and
+block comments, symbolic atoms (maximal munch over the symbol-char
+set), and the punctuation tokens with their special roles (``(`` vs
+`` (`` matters for operator-vs-call disambiguation, tracked via the
+``layout_before`` flag).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple
+
+from repro.errors import PrologSyntaxError
+
+SYMBOL_CHARS = set("+-*/\\^<>=~:.?@#&$")
+SOLO_CHARS = set("()[]{},|!;")
+
+
+def _is_known_operator(text: str) -> bool:
+    """Whether ``text`` is in the operator table (import deferred to
+    avoid a cycle at module load)."""
+    from repro.prolog import operators
+    return operators.is_operator(text)
+
+
+class Token(NamedTuple):
+    """One lexical token.
+
+    ``kind`` is one of: atom, var, int, float, string, punct, end.
+    ``layout_before`` records whether whitespace/comments preceded the
+    token, needed to distinguish ``f(X)`` (a call) from ``f (X)``.
+    """
+
+    kind: str
+    text: str
+    value: object
+    line: int
+    column: int
+    layout_before: bool
+
+
+class Lexer:
+    """Streaming tokenizer over a source string."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # -- low-level helpers ---------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.text[i] if i < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        s = self.text[self.pos:self.pos + count]
+        for ch in s:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return s
+
+    def _error(self, message: str) -> PrologSyntaxError:
+        return PrologSyntaxError(message, self.line, self.column)
+
+    def _skip_layout(self) -> bool:
+        """Skip whitespace and comments; True when anything was skipped."""
+        skipped = False
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+                skipped = True
+            elif ch == "%":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+                skipped = True
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.text):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated block comment")
+                skipped = True
+            else:
+                break
+        return skipped
+
+    # -- token scanners ------------------------------------------------------
+
+    def _scan_number(self, line: int, col: int, layout: bool) -> Token:
+        start = self.pos
+        while self._peek().isdigit():
+            self._advance()
+        # 0'c character code
+        if (self.text[start:self.pos] == "0" and self._peek() == "'"
+                and self._peek(1)):
+            self._advance()
+            ch = self._advance()
+            if ch == "\\":
+                ch = self._scan_escape("'")
+            return Token("int", self.text[start:self.pos], ord(ch),
+                         line, col, layout)
+        # 0x / 0o / 0b radix integers
+        if (self.text[start:self.pos] == "0"
+                and self._peek() in "xob" and self._peek(1)):
+            radix_char = self._advance()
+            base = {"x": 16, "o": 8, "b": 2}[radix_char]
+            digits_start = self.pos
+            while self._peek().isalnum():
+                self._advance()
+            digits = self.text[digits_start:self.pos]
+            try:
+                value = int(digits, base)
+            except ValueError:
+                raise self._error(f"bad base-{base} integer: {digits!r}")
+            return Token("int", self.text[start:self.pos], value,
+                         line, col, layout)
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE":
+            after = 1
+            if self._peek(1) in "+-":
+                after = 2
+            if self._peek(after).isdigit():
+                is_float = True
+                self._advance(after)
+                while self._peek().isdigit():
+                    self._advance()
+        text = self.text[start:self.pos]
+        if is_float:
+            return Token("float", text, float(text), line, col, layout)
+        return Token("int", text, int(text), line, col, layout)
+
+    def _scan_escape(self, quote: str) -> str:
+        """Scan one character after a backslash inside a quoted token."""
+        ch = self._advance()
+        simple = {"n": "\n", "t": "\t", "r": "\r", "a": "\a", "b": "\b",
+                  "f": "\f", "v": "\v", "\\": "\\", "'": "'", '"': '"',
+                  "`": "`", "0": "\0"}
+        if ch in simple:
+            return simple[ch]
+        if ch == "x":
+            digits = ""
+            while self._peek() in "0123456789abcdefABCDEF":
+                digits += self._advance()
+            if self._peek() == "\\":
+                self._advance()
+            if not digits:
+                raise self._error("empty \\x escape")
+            return chr(int(digits, 16))
+        if ch == "\n":
+            return ""  # line continuation inside quoted atom
+        raise self._error(f"unknown escape \\{ch}")
+
+    def _scan_quoted(self, quote: str) -> str:
+        out: List[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise self._error("unterminated quoted token")
+            ch = self._advance()
+            if ch == quote:
+                if self._peek() == quote:      # doubled quote
+                    self._advance()
+                    out.append(quote)
+                    continue
+                return "".join(out)
+            if ch == "\\":
+                out.append(self._scan_escape(quote))
+            else:
+                out.append(ch)
+
+    # -- the main loop -------------------------------------------------------
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield tokens until end of input; final token has kind 'end'."""
+        while True:
+            layout = self._skip_layout()
+            line, col = self.line, self.column
+            if self.pos >= len(self.text):
+                yield Token("end", "", None, line, col, layout)
+                return
+            ch = self._peek()
+
+            if ch.isdigit():
+                yield self._scan_number(line, col, layout)
+            elif ch == "_" or ch.isalpha():
+                start = self.pos
+                while self._peek() == "_" or self._peek().isalnum():
+                    self._advance()
+                text = self.text[start:self.pos]
+                if text[0] == "_" or text[0].isupper():
+                    yield Token("var", text, text, line, col, layout)
+                else:
+                    yield Token("atom", text, text, line, col, layout)
+            elif ch == "'":
+                self._advance()
+                value = self._scan_quoted("'")
+                yield Token("atom", f"'{value}'", value, line, col, layout)
+            elif ch == '"':
+                self._advance()
+                value = self._scan_quoted('"')
+                yield Token("string", f'"{value}"', value, line, col, layout)
+            elif ch in SOLO_CHARS:
+                self._advance()
+                kind = "atom" if ch in "!;" else "punct"
+                yield Token(kind, ch, ch, line, col, layout)
+            elif ch in SYMBOL_CHARS:
+                start = self.pos
+                while self._peek() in SYMBOL_CHARS:
+                    self._advance()
+                text = self.text[start:self.pos]
+                # A lone '.' followed by layout or EOF is the clause end.
+                if text == ".":
+                    yield Token("punct", ".", ".", line, col, layout)
+                elif (text.endswith(".") and len(text) > 1
+                      and (self._peek() in " \t\r\n%" or not self._peek())
+                      and _is_known_operator(text[:-1])):
+                    # A clause ending in a glued symbolic operator, e.g.
+                    # "a:-." style corner cases: split the clause dot off
+                    # only when the remainder is a known operator (this
+                    # keeps '=..' one token).
+                    yield Token("atom", text[:-1], text[:-1], line, col,
+                                layout)
+                    yield Token("punct", ".", ".", self.line, self.column,
+                                False)
+                else:
+                    yield Token("atom", text, text, line, col, layout)
+            else:
+                raise self._error(f"unexpected character {ch!r}")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` completely, returning the list including the
+    trailing 'end' token."""
+    return list(Lexer(text).tokens())

@@ -1,0 +1,107 @@
+"""The standard Prolog operator table.
+
+The reader is operator-precedence driven, as any real Prolog reader is.
+This table carries the standard operators plus the few SEPIA-era extras
+the benchmark suite needs.  Priorities follow the Edinburgh standard:
+lower number binds tighter; 1200 is the clause level.
+
+Operator types:
+
+=====  =======================================================
+xfx    infix, both arguments strictly lower priority
+xfy    infix, right argument may have equal priority (right assoc)
+yfx    infix, left argument may have equal priority (left assoc)
+fy     prefix, argument may have equal priority
+fx     prefix, argument strictly lower priority
+xf/yf  postfix (rare; present for completeness)
+=====  =======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+#: (priority, type) for infix/postfix operators, keyed by name.
+INFIX_OPERATORS: Dict[str, Tuple[int, str]] = {
+    ":-": (1200, "xfx"),
+    "-->": (1200, "xfx"),
+    ";": (1100, "xfy"),
+    "->": (1050, "xfy"),
+    ",": (1000, "xfy"),
+    "=": (700, "xfx"),
+    "\\=": (700, "xfx"),
+    "==": (700, "xfx"),
+    "\\==": (700, "xfx"),
+    "@<": (700, "xfx"),
+    "@>": (700, "xfx"),
+    "@=<": (700, "xfx"),
+    "@>=": (700, "xfx"),
+    "is": (700, "xfx"),
+    "=:=": (700, "xfx"),
+    "=\\=": (700, "xfx"),
+    "<": (700, "xfx"),
+    ">": (700, "xfx"),
+    "=<": (700, "xfx"),
+    ">=": (700, "xfx"),
+    "=..": (700, "xfx"),
+    "+": (500, "yfx"),
+    "-": (500, "yfx"),
+    "/\\": (500, "yfx"),
+    "\\/": (500, "yfx"),
+    "xor": (500, "yfx"),
+    "*": (400, "yfx"),
+    "/": (400, "yfx"),
+    "//": (400, "yfx"),
+    "mod": (400, "yfx"),
+    "rem": (400, "yfx"),
+    "<<": (400, "yfx"),
+    ">>": (400, "yfx"),
+    "**": (200, "xfx"),
+    "^": (200, "xfy"),
+}
+
+#: (priority, type) for prefix operators, keyed by name.
+PREFIX_OPERATORS: Dict[str, Tuple[int, str]] = {
+    ":-": (1200, "fx"),
+    "?-": (1200, "fx"),
+    "\\+": (900, "fy"),
+    "-": (200, "fy"),
+    "+": (200, "fy"),
+    "\\": (200, "fy"),
+}
+
+
+def infix(name: str) -> Optional[Tuple[int, str]]:
+    """Look up an infix operator; None when ``name`` is not one."""
+    return INFIX_OPERATORS.get(name)
+
+
+def prefix(name: str) -> Optional[Tuple[int, str]]:
+    """Look up a prefix operator; None when ``name`` is not one."""
+    return PREFIX_OPERATORS.get(name)
+
+
+def is_operator(name: str) -> bool:
+    """True when ``name`` has any operator definition."""
+    return name in INFIX_OPERATORS or name in PREFIX_OPERATORS
+
+
+def argument_priorities(priority: int, op_type: str) -> Tuple[int, int]:
+    """Maximum priorities allowed for the (left, right) arguments of an
+    infix operator of the given priority and type."""
+    if op_type == "xfx":
+        return priority - 1, priority - 1
+    if op_type == "xfy":
+        return priority - 1, priority
+    if op_type == "yfx":
+        return priority, priority - 1
+    raise ValueError(f"not an infix operator type: {op_type}")
+
+
+def prefix_argument_priority(priority: int, op_type: str) -> int:
+    """Maximum priority allowed for the argument of a prefix operator."""
+    if op_type == "fy":
+        return priority
+    if op_type == "fx":
+        return priority - 1
+    raise ValueError(f"not a prefix operator type: {op_type}")

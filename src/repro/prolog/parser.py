@@ -1,0 +1,263 @@
+"""Operator-precedence parser for Edinburgh-syntax Prolog.
+
+Implements the classical precedence-climbing read algorithm over the
+token stream from :mod:`repro.prolog.lexer` and the operator table in
+:mod:`repro.prolog.operators`.  The public entry points are:
+
+- :func:`parse_term` — read one term from a string,
+- :func:`parse_program` — read a whole program (a list of clause terms),
+- :class:`Parser` — incremental reading, used by the consult loop.
+
+Anonymous variables ``_`` are renamed apart (``_G0``, ``_G1``, ...) so
+each occurrence is a distinct variable, matching standard semantics.
+Double-quoted strings become lists of character codes (the classical
+default flag value).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import PrologSyntaxError
+from repro.prolog import operators as ops
+from repro.prolog.lexer import Token, tokenize
+from repro.prolog.terms import (
+    Atom, Float, Int, Struct, Term, Var, make_list,
+)
+
+#: Priority of arguments inside f(...) and list elements: just below ','.
+ARG_PRIORITY = 999
+#: Priority of a whole term (clause level).
+TERM_PRIORITY = 1200
+
+
+class Parser:
+    """Parses a token list into terms, one clause at a time."""
+
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.index = 0
+        self._anon_counter = 0
+
+    # -- token-level helpers -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        i = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def _next(self) -> Token:
+        tok = self.tokens[self.index]
+        if tok.kind != "end":
+            self.index += 1
+        return tok
+
+    def _error(self, message: str, tok: Optional[Token] = None
+               ) -> PrologSyntaxError:
+        tok = tok or self._peek()
+        return PrologSyntaxError(message, tok.line, tok.column)
+
+    def _expect_punct(self, text: str) -> Token:
+        tok = self._next()
+        if tok.kind != "punct" or tok.text != text:
+            raise self._error(f"expected {text!r}, found {tok.text!r}", tok)
+        return tok
+
+    def at_end(self) -> bool:
+        """True when all input has been consumed."""
+        return self._peek().kind == "end"
+
+    # -- term reading ---------------------------------------------------------
+
+    def read_clause(self) -> Optional[Term]:
+        """Read one clause terminated by '.'; None at end of input."""
+        if self.at_end():
+            return None
+        term = self._parse(TERM_PRIORITY)
+        tok = self._next()
+        if tok.kind != "punct" or tok.text != ".":
+            raise self._error("expected end of clause '.'", tok)
+        return term
+
+    def read_term(self) -> Term:
+        """Read one term (no trailing '.'), requiring all input consumed."""
+        term = self._parse(TERM_PRIORITY)
+        tok = self._peek()
+        if tok.kind == "punct" and tok.text == ".":
+            self._next()
+            tok = self._peek()
+        if tok.kind != "end":
+            raise self._error(f"unexpected trailing input {tok.text!r}", tok)
+        return term
+
+    # The core precedence-climbing loop.
+
+    def _parse(self, max_priority: int) -> Term:
+        left, left_priority = self._parse_primary(max_priority)
+        return self._parse_infix(left, left_priority, max_priority)
+
+    def _parse_infix(self, left: Term, left_priority: int,
+                     max_priority: int) -> Term:
+        while True:
+            tok = self._peek()
+            name = None
+            if tok.kind == "atom":
+                name = tok.value
+            elif tok.kind == "punct" and tok.text in (",", "|"):
+                name = tok.text
+            if name is None:
+                return left
+            if name == "|":
+                # '|' as an infix operator is ';' at priority 1100.
+                entry = (1100, "xfy") if max_priority >= 1100 else None
+                display_name = ";"
+            else:
+                entry = ops.infix(name)
+                display_name = name
+            if entry is None:
+                return left
+            priority, op_type = entry
+            left_max, right_max = ops.argument_priorities(priority, op_type)
+            if priority > max_priority or left_priority > left_max:
+                return left
+            self._next()
+            right = self._parse(right_max)
+            left = Struct(display_name, (left, right))
+            left_priority = priority
+
+    def _parse_primary(self, max_priority: int) -> "tuple[Term, int]":
+        """Parse a primary term; returns (term, its operator priority).
+
+        The priority is 0 for ordinary terms and the operator priority
+        for terms built by a prefix operator, which the infix loop needs
+        for correct left-argument checks.
+        """
+        tok = self._next()
+
+        if tok.kind == "int":
+            return Int(tok.value), 0
+        if tok.kind == "float":
+            return Float(tok.value), 0
+        if tok.kind == "var":
+            if tok.value == "_":
+                self._anon_counter += 1
+                return Var(f"_G{self._anon_counter}"), 0
+            return Var(tok.value), 0
+        if tok.kind == "string":
+            codes = [Int(ord(c)) for c in tok.value]
+            return make_list(codes), 0
+
+        if tok.kind == "punct":
+            if tok.text == "(":
+                term = self._parse(TERM_PRIORITY)
+                self._expect_punct(")")
+                return term, 0
+            if tok.text == "[":
+                return self._parse_list(), 0
+            if tok.text == "{":
+                if self._peek().kind == "punct" and self._peek().text == "}":
+                    self._next()
+                    return Atom("{}"), 0
+                inner = self._parse(TERM_PRIORITY)
+                self._expect_punct("}")
+                return Struct("{}", (inner,)), 0
+            raise self._error(f"unexpected {tok.text!r}", tok)
+
+        if tok.kind == "atom":
+            name = tok.value
+            nxt = self._peek()
+            # Call syntax: atom immediately followed by '(' (no layout).
+            if (nxt.kind == "punct" and nxt.text == "("
+                    and not nxt.layout_before):
+                self._next()
+                args = self._parse_arguments()
+                return Struct(name, tuple(args)), 0
+            # Negative numeric literals: '-' directly before a number
+            # with no intervening layout ("-5" is a literal, "- 5" is
+            # the prefix operator applied to 5).
+            if (name == "-" and self._peek().kind in ("int", "float")
+                    and not self._peek().layout_before):
+                num = self._next()
+                if num.kind == "int":
+                    return Int(-num.value), 0
+                return Float(-num.value), 0
+            # Prefix operator?
+            entry = ops.prefix(name)
+            if entry is not None and self._can_start_term(self._peek()):
+                priority, op_type = entry
+                if priority <= max_priority:
+                    arg_max = ops.prefix_argument_priority(priority, op_type)
+                    arg = self._parse(arg_max)
+                    return Struct(name, (arg,)), priority
+            # Plain atom (possibly an operator used as an atom).
+            if ops.is_operator(name):
+                return Atom(name), ops.INFIX_OPERATORS.get(
+                    name, ops.PREFIX_OPERATORS.get(name, (0, "")))[0]
+            return Atom(name), 0
+
+        raise self._error(f"unexpected token {tok.text!r}", tok)
+
+    def _can_start_term(self, tok: Token) -> bool:
+        """Whether ``tok`` can begin a term (decides if a prefix operator
+        actually has an argument, vs being used as an atom)."""
+        if tok.kind in ("int", "float", "var", "string"):
+            return True
+        if tok.kind == "atom":
+            # An infix-only operator cannot start a term — unless it is
+            # immediately followed by '(' (call syntax, e.g. *(0.0)).
+            if ops.infix(tok.value) and not ops.prefix(tok.value):
+                after = self._peek(1)
+                return (after.kind == "punct" and after.text == "("
+                        and not after.layout_before)
+            return True
+        if tok.kind == "punct":
+            return tok.text in ("(", "[", "{")
+        return False
+
+    def _parse_arguments(self) -> List[Term]:
+        args = [self._parse(ARG_PRIORITY)]
+        while True:
+            tok = self._next()
+            if tok.kind == "punct" and tok.text == ",":
+                args.append(self._parse(ARG_PRIORITY))
+            elif tok.kind == "punct" and tok.text == ")":
+                return args
+            else:
+                raise self._error("expected ',' or ')' in argument list",
+                                  tok)
+
+    def _parse_list(self) -> Term:
+        tok = self._peek()
+        if tok.kind == "punct" and tok.text == "]":
+            self._next()
+            return Atom("[]")
+        items = [self._parse(ARG_PRIORITY)]
+        tail: Term = Atom("[]")
+        while True:
+            tok = self._next()
+            if tok.kind == "punct" and tok.text == ",":
+                items.append(self._parse(ARG_PRIORITY))
+            elif tok.kind == "punct" and tok.text == "|":
+                tail = self._parse(ARG_PRIORITY)
+                self._expect_punct("]")
+                break
+            elif tok.kind == "punct" and tok.text == "]":
+                break
+            else:
+                raise self._error("expected ',', '|' or ']' in list", tok)
+        return make_list(items, tail)
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term from ``text`` (optional trailing '.')."""
+    return Parser(text).read_term()
+
+
+def parse_program(text: str) -> List[Term]:
+    """Parse a whole program: a list of '.'-terminated clause terms."""
+    parser = Parser(text)
+    clauses = []
+    while True:
+        clause = parser.read_clause()
+        if clause is None:
+            return clauses
+        clauses.append(clause)

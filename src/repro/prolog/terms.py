@@ -1,0 +1,223 @@
+"""Source-level Prolog term representation.
+
+These classes represent terms as the *compiler* sees them, before they
+are flattened into KCM instructions.  The simulated machine itself never
+touches them — at run time everything is tagged :class:`repro.core.word.Word`
+cells in simulated memory.  The benchmark runner converts machine heap
+terms back into these classes for answer checking (see
+:func:`repro.bench.runner.decode_term`).
+
+Terms are immutable and hashable so they can key dictionaries (e.g. the
+first-argument index tables built by the compiler).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple, Union
+
+Term = Union["Atom", "Int", "Float", "Var", "Struct"]
+
+
+class Atom:
+    """A Prolog atom, e.g. ``foo`` or ``[]`` or ``'hello world'``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Atom) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("atom", self.name))
+
+    def __repr__(self) -> str:
+        return f"Atom({self.name!r})"
+
+
+class Int:
+    """A Prolog integer constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Int) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("int", self.value))
+
+    def __repr__(self) -> str:
+        return f"Int({self.value})"
+
+
+class Float:
+    """A Prolog floating-point constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float):
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Float) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("float", self.value))
+
+    def __repr__(self) -> str:
+        return f"Float({self.value})"
+
+
+class Var:
+    """A named source variable, e.g. ``X`` or ``_Acc`` or ``_``.
+
+    Variables compare by name within one clause; the reader gives each
+    anonymous ``_`` a unique name so distinct occurrences stay distinct.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("var", self.name))
+
+    def __repr__(self) -> str:
+        return f"Var({self.name})"
+
+
+class Struct:
+    """A compound term ``name(arg1, ..., argN)`` with N >= 1.
+
+    Lists are represented as ``'.'/2`` structures terminated by the atom
+    ``[]``, the classical Prolog convention; :func:`make_list` builds them.
+    """
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Tuple[Term, ...]):
+        self.name = name
+        self.args = tuple(args)
+        if not self.args:
+            raise ValueError("Struct requires at least one argument; "
+                             "use Atom for arity-0 terms")
+
+    @property
+    def arity(self) -> int:
+        """Number of arguments."""
+        return len(self.args)
+
+    @property
+    def indicator(self) -> Tuple[str, int]:
+        """The predicate indicator ``(name, arity)``."""
+        return (self.name, len(self.args))
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Struct)
+                and self.name == other.name and self.args == other.args)
+
+    def __hash__(self) -> int:
+        return hash(("struct", self.name, self.args))
+
+    def __repr__(self) -> str:
+        return f"Struct({self.name!r}, {self.args!r})"
+
+
+#: The list terminator atom.
+NIL = Atom("[]")
+#: The canonical true atom.
+TRUE = Atom("true")
+
+CONS = "."
+
+
+def cons(head: Term, tail: Term) -> Struct:
+    """One list cell ``[Head|Tail]``."""
+    return Struct(CONS, (head, tail))
+
+
+def make_list(items: Iterable[Term], tail: Term = NIL) -> Term:
+    """Build a (possibly partial) list term from ``items`` ending in
+    ``tail``."""
+    result = tail
+    for item in reversed(list(items)):
+        result = cons(item, result)
+    return result
+
+
+def list_to_python(term: Term) -> list:
+    """Convert a proper list term to a Python list of terms.
+
+    Raises :class:`ValueError` on partial or improper lists so callers
+    cannot silently mis-read an answer.
+    """
+    items = []
+    while True:
+        if term == NIL:
+            return items
+        if isinstance(term, Struct) and term.name == CONS and term.arity == 2:
+            items.append(term.args[0])
+            term = term.args[1]
+        else:
+            raise ValueError(f"not a proper list (tail is {term!r})")
+
+
+def is_list_cell(term: Term) -> bool:
+    """True for a ``'.'/2`` structure (one cons cell)."""
+    return isinstance(term, Struct) and term.name == CONS and term.arity == 2
+
+
+def is_callable(term: Term) -> bool:
+    """True for terms that can appear as goals (atoms and structures)."""
+    return isinstance(term, (Atom, Struct))
+
+
+def term_variables(term: Term) -> "list[Var]":
+    """All distinct variables in ``term``, in first-occurrence order.
+
+    Iterative to stay safe on the deep left-leaning structures the
+    differentiation benchmarks produce.
+    """
+    seen = set()
+    out = []
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        if isinstance(t, Var):
+            if t.name not in seen:
+                seen.add(t.name)
+                out.append(t)
+        elif isinstance(t, Struct):
+            stack.extend(reversed(t.args))
+    return out
+
+
+def functor_indicator(term: Term) -> Tuple[str, int]:
+    """The ``(name, arity)`` of a callable term."""
+    if isinstance(term, Atom):
+        return (term.name, 0)
+    if isinstance(term, Struct):
+        return term.indicator
+    raise ValueError(f"not a callable term: {term!r}")
+
+
+def rename_apart(term: Term, suffix: str) -> Term:
+    """Copy ``term`` with every variable renamed by appending ``suffix``.
+
+    Used by tests and by the query harness to keep variables of separate
+    clauses distinct.
+    """
+    if isinstance(term, Var):
+        return Var(term.name + suffix)
+    if isinstance(term, Struct):
+        return Struct(term.name,
+                      tuple(rename_apart(a, suffix) for a in term.args))
+    return term

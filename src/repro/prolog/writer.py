@@ -1,0 +1,129 @@
+"""Term output: the inverse of the reader.
+
+``term_to_text`` produces canonical-ish Edinburgh syntax with operator
+notation, used by the simulated ``write/1`` built-in, the benchmark
+answer decoder and round-trip property tests (parse ∘ write == id on
+ground terms).
+"""
+
+from __future__ import annotations
+
+from repro.prolog import operators as ops
+from repro.prolog.terms import (
+    Atom, Float, Int, Struct, Term, Var, is_list_cell,
+)
+
+_ALPHA_ATOM = "abcdefghijklmnopqrstuvwxyz"
+
+
+def atom_needs_quotes(name: str) -> bool:
+    """Whether an atom must be quoted to read back correctly."""
+    if not name:
+        return True
+    if name in ("[]", "{}", "!", ";", ","):
+        return False
+    first = name[0]
+    if first in _ALPHA_ATOM:
+        return not all(c == "_" or c.isalnum() for c in name)
+    symbol_chars = set("+-*/\\^<>=~:.?@#&$")
+    if all(c in symbol_chars for c in name):
+        return False
+    return True
+
+
+def _quote_atom(name: str) -> str:
+    escaped = name.replace("\\", "\\\\").replace("'", "\\'")
+    escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+    return f"'{escaped}'"
+
+
+def _write_atom(name: str, quoted: bool) -> str:
+    if quoted and atom_needs_quotes(name):
+        return _quote_atom(name)
+    return name
+
+
+def term_to_text(term: Term, quoted: bool = False,
+                 max_priority: int = 1200) -> str:
+    """Render ``term`` as text.
+
+    ``quoted`` selects writeq-style quoting of atoms; ``max_priority``
+    drives parenthesisation of operator terms, exactly as a Prolog
+    writer does.
+    """
+    if isinstance(term, Var):
+        return f"_{term.name}" if not term.name.startswith("_") else term.name
+    if isinstance(term, Int):
+        return str(term.value)
+    if isinstance(term, Float):
+        text = repr(term.value)
+        return text if ("." in text or "e" in text or "E" in text) \
+            else text + ".0"
+    if isinstance(term, Atom):
+        return _write_atom(term.name, quoted)
+    if isinstance(term, Struct):
+        return _write_struct(term, quoted, max_priority)
+    raise TypeError(f"not a term: {term!r}")
+
+
+def _operand(term: Term, quoted: bool, max_priority: int) -> str:
+    """Render an operator operand; an atom that is itself an operator
+    must be parenthesised ('+' + a prints as (+) + a) or it would read
+    back as a prefix-operator application."""
+    if isinstance(term, Atom) and ops.is_operator(term.name):
+        return "(" + _write_atom(term.name, quoted) + ")"
+    return term_to_text(term, quoted, max_priority)
+
+
+def _write_struct(term: Struct, quoted: bool, max_priority: int) -> str:
+    # Lists get bracket notation.
+    if is_list_cell(term):
+        return _write_list(term, quoted)
+    if term.name == "{}" and term.arity == 1:
+        return "{" + term_to_text(term.args[0], quoted, 1200) + "}"
+    # Operator notation.
+    if term.arity == 2:
+        entry = ops.infix(term.name)
+        if entry is not None:
+            priority, op_type = entry
+            lmax, rmax = ops.argument_priorities(priority, op_type)
+            left = _operand(term.args[0], quoted, lmax)
+            right = _operand(term.args[1], quoted, rmax)
+            name = term.name
+            spaced = f"{left}{name}{right}" if name == "," \
+                else f"{left} {name} {right}"
+            if priority > max_priority:
+                return f"({spaced})"
+            return spaced
+    if term.arity == 1:
+        entry = ops.prefix(term.name)
+        if entry is not None:
+            priority, op_type = entry
+            amax = ops.prefix_argument_priority(priority, op_type)
+            arg = _operand(term.args[0], quoted, amax)
+            # A space is mandatory whenever gluing would change the
+            # token stream: before digits ("- 5" vs the literal -5) and
+            # before symbol characters ("+ +foo", not the atom '++').
+            from repro.prolog.lexer import SYMBOL_CHARS
+            first = arg[0] if arg else ""
+            glue_safe = (term.name in ("-", "+", "\\")
+                         and not first.isdigit()
+                         and first not in SYMBOL_CHARS)
+            out = f"{term.name}{'' if glue_safe else ' '}{arg}"
+            if priority > max_priority:
+                return f"({out})"
+            return out
+    # Canonical functional notation.
+    args = ", ".join(term_to_text(a, quoted, 999) for a in term.args)
+    return f"{_write_atom(term.name, quoted)}({args})"
+
+
+def _write_list(term: Term, quoted: bool) -> str:
+    parts = []
+    while is_list_cell(term):
+        parts.append(term_to_text(term.args[0], quoted, 999))
+        term = term.args[1]
+    if isinstance(term, Atom) and term.name == "[]":
+        return "[" + ", ".join(parts) + "]"
+    return "[" + ", ".join(parts) + "|" + term_to_text(term, quoted, 999) \
+        + "]"

@@ -1,0 +1,46 @@
+"""Ablation harness: semantics preserved, units pay for themselves."""
+
+import pytest
+
+from repro.bench.ablations import (
+    ABLATIONS, AblationRow, render_ablation, run_ablation,
+)
+
+FAST = ["con1", "nrev1"]
+
+
+class TestHarness:
+    def test_unknown_ablation_rejected(self):
+        with pytest.raises(ValueError):
+            run_ablation("hyperdrive")
+
+    def test_row_arithmetic(self):
+        row = AblationRow("x", baseline_cycles=100, ablated_cycles=150)
+        assert row.slowdown == pytest.approx(1.5)
+        assert AblationRow("x", 0, 10).slowdown == 1.0
+
+    @pytest.mark.parametrize("name", sorted(ABLATIONS))
+    def test_every_ablation_runs(self, name):
+        rows = run_ablation(name, FAST)
+        assert [r.program for r in rows] == FAST
+        for row in rows:
+            assert row.baseline_cycles > 0
+            assert row.ablated_cycles > 0
+
+    def test_render(self):
+        text = render_ablation("mwac", FAST)
+        assert "slowdown" in text and "mean" in text
+
+
+class TestEffects:
+    def test_mwac_slows_every_program(self):
+        for row in run_ablation("mwac", FAST):
+            assert row.slowdown > 1.0, row.program
+
+    def test_shallow_ablation_never_speeds_up(self):
+        for row in run_ablation("shallow", ["nrev1", "pri2"]):
+            assert row.slowdown >= 1.0, row.program
+
+    def test_trail_ablation_taxes_binding_heavy_programs(self):
+        rows = {r.program: r for r in run_ablation("trail", ["nrev1"])}
+        assert rows["nrev1"].slowdown > 1.05

@@ -1,0 +1,111 @@
+"""Unit tests for clause analysis: chunks, permanents, trimming."""
+
+from repro.compiler.allocate import analyze_clause
+from repro.compiler.normalize import normalize_program
+from repro.prolog.parser import parse_program
+
+
+def analyze(text):
+    program = normalize_program(parse_program(text))
+    return analyze_clause(program.clauses[0])
+
+
+class TestChunks:
+    def test_fact_is_one_chunk(self):
+        analysis = analyze("f(a).")
+        assert analysis.chunk_count == 1
+
+    def test_calls_end_chunks(self):
+        analysis = analyze("f :- a, b, c.")
+        assert analysis.goal_chunks == [0, 1, 2]
+        assert analysis.chunk_count == 3
+
+    def test_inline_goals_do_not_end_chunks(self):
+        analysis = analyze("f(X, Y) :- X > 0, Y is X + 1, g(Y), h(Y).")
+        assert analysis.goal_chunks == [0, 0, 0, 1]
+
+
+class TestPermanents:
+    def test_single_chunk_vars_are_temporary(self):
+        analysis = analyze("f(X, Y) :- g(X, Y).")
+        assert not analysis.permanent
+
+    def test_cross_chunk_var_is_permanent(self):
+        analysis = analyze("f(X) :- g(X), h(X).")
+        assert "X" in analysis.permanent
+
+    def test_head_only_var_is_temporary(self):
+        analysis = analyze("f(X, X).")
+        assert not analysis.permanent
+
+    def test_head_plus_first_call_share_a_chunk(self):
+        # B occurs only in the head and the first call goal — one
+        # chunk, so it stays temporary despite two occurrences.
+        analysis = analyze("f(A, B) :- g(A, B), h(A), i(A).")
+        assert "B" not in analysis.permanent
+        assert "A" in analysis.permanent
+
+    def test_trimming_order_die_last_gets_y0(self):
+        # A lives to the last goal, B dies after h.
+        analysis = analyze("f(A, B) :- g(A, B), h(B), i(A).")
+        assert analysis.permanent["A"] == 0
+        assert analysis.permanent["B"] == 1
+
+    def test_nperms_shrinks_after_last_use(self):
+        analysis = analyze("f(A, B) :- g(A, B), h(B), i(A).")
+        assert analysis.live_permanents_after_chunk(0) == 2
+        assert analysis.live_permanents_after_chunk(1) == 1
+        assert analysis.live_permanents_after_chunk(2) == 0
+
+    def test_void_variables_detected(self):
+        analysis = analyze("f(X, _Y).")
+        assert analysis.is_void("_Y")
+        assert analysis.is_void("X")
+
+
+class TestEnvironment:
+    def test_fact_needs_no_environment(self):
+        assert not analyze("f(a).").needs_environment
+
+    def test_chain_rule_needs_no_environment(self):
+        # Single call in last position: last-call optimisation.
+        assert not analyze("f(X) :- g(X).").needs_environment
+
+    def test_two_calls_need_environment(self):
+        assert analyze("f :- a, b.").needs_environment
+
+    def test_inline_after_call_needs_environment(self):
+        assert analyze("f(X) :- g(X), X > 1.").needs_environment
+
+    def test_guard_only_clause_needs_no_environment(self):
+        assert not analyze("max(X, Y, X) :- X >= Y.").needs_environment
+
+
+class TestCutSlot:
+    def test_neck_cut_needs_no_slot(self):
+        analysis = analyze("f(X) :- !, g(X).")
+        assert analysis.cut_slot is None
+
+    def test_cut_after_call_needs_slot(self):
+        analysis = analyze("f(X) :- g(X), !, h(X).")
+        assert analysis.cut_slot is not None
+        assert analysis.needs_environment
+
+    def test_cut_slot_above_permanents(self):
+        analysis = analyze("f(X) :- g(X), !, h(X).")
+        assert analysis.cut_slot == len(analysis.permanent)
+
+
+class TestGuard:
+    def test_leading_comparisons_are_guard(self):
+        analysis = analyze("f(X, Y) :- X > Y, X < 10, g(X).")
+        assert analysis.guard_length == 2
+
+    def test_is_not_in_guard(self):
+        # is/2 binds, so it must run after the neck.
+        analysis = analyze("f(X, Y) :- Y is X + 1, g(Y).")
+        assert analysis.guard_length == 0
+
+    def test_guard_stops_at_first_non_test(self):
+        analysis = analyze("f(X) :- X > 0, g(X), X < 9.")
+        assert analysis.guard_length == 1

@@ -1,0 +1,129 @@
+"""Arithmetic semantics: is/2, comparisons, the generic fallback."""
+
+import pytest
+
+from repro.api import run_query
+from repro.errors import ArithmeticError_
+from tests.conftest import first_binding
+
+
+def evaluate(expression):
+    return first_binding("id(X, X).", f"id(R, R), R is {expression}", "R") \
+        if False else first_binding("dummy.", f"R is {expression}", "R")
+
+
+class TestIntegerArithmetic:
+    @pytest.mark.parametrize("expression,expected", [
+        ("1 + 2", "3"),
+        ("10 - 4", "6"),
+        ("6 * 7", "42"),
+        ("7 // 2", "3"),
+        ("-7 // 2", "-4"),          # floor division
+        ("7 mod 3", "1"),
+        ("-7 mod 3", "2"),          # floored modulus
+        ("2 + 3 * 4", "14"),
+        ("(2 + 3) * 4", "20"),
+        ("min(3, 5)", "3"),
+        ("max(3, 5)", "5"),
+        ("abs(-9)", "9"),
+        ("5 /\\ 3", "1"),
+        ("5 \\/ 3", "7"),
+        ("5 xor 3", "6"),
+        ("1 << 4", "16"),
+        ("32 >> 2", "8"),
+        ("- (3 + 4)", "-7"),
+    ])
+    def test_evaluation(self, expression, expected):
+        assert evaluate(expression) == expected
+
+    def test_variables_in_expression(self):
+        program = "calc(X, Y, R) :- R is X * Y + X."
+        assert first_binding(program, "calc(3, 4, R)", "R") == "15"
+
+    def test_32bit_wraparound(self):
+        # The ALU is 32 bits wide: results wrap like hardware.
+        program = "big(R) :- R is 2147483647 + 1."
+        # Folded at compile time too -- the fold and the ALU must agree.
+        result = run_query(program, "big(R)")
+        value = result.solutions[0]["R"].value
+        assert value == -2147483648 or value == 2147483648
+
+    def test_truncating_slash_on_integers(self):
+        # Warren-era '/' on integers truncates.
+        assert evaluate("7 / 2") == "3"
+        assert evaluate("-7 / 2") == "-3"
+
+
+class TestFloatArithmetic:
+    def test_float_division(self):
+        assert evaluate("7.0 / 2") == "3.5"
+
+    def test_mixed_promotes_to_float(self):
+        assert evaluate("1 + 0.5") == "1.5"
+
+    def test_single_precision_rounding(self):
+        # 0.1 + 0.2 in binary32 differs from the float64 result.
+        program = "t(R) :- X is 0.1, Y is 0.2, R is X + Y."
+        value = run_query(program, "t(R)").solutions[0]["R"].value
+        import struct
+        expected = struct.unpack("<f", struct.pack(
+            "<f", struct.unpack("<f", struct.pack("<f", 0.1))[0]
+            + struct.unpack("<f", struct.pack("<f", 0.2))[0]))[0]
+        assert value == pytest.approx(expected, rel=0)
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("goal,holds", [
+        ("1 < 2", True), ("2 < 1", False),
+        ("2 > 1", True), ("1 > 2", False),
+        ("1 =< 1", True), ("2 =< 1", False),
+        ("1 >= 1", True), ("0 >= 1", False),
+        ("3 =:= 3", True), ("3 =:= 4", False),
+        ("3 =\\= 4", True), ("3 =\\= 3", False),
+        ("1.5 < 2", True), ("2.5 =:= 2.5", True),
+        ("1 + 1 =:= 2", True),
+        ("2 * 3 > 5", True),
+    ])
+    def test_comparison(self, goal, holds):
+        assert run_query("dummy.", goal).succeeded == holds
+
+
+class TestErrors:
+    def test_division_by_zero(self):
+        with pytest.raises(ArithmeticError_):
+            run_query("t(X, R) :- R is 1 // X.", "t(0, R)")
+
+    def test_unbound_in_expression(self):
+        with pytest.raises(ArithmeticError_):
+            run_query("t(R) :- R is X + 1, X = 2.", "t(R)")
+
+    def test_non_numeric_operand(self):
+        with pytest.raises(ArithmeticError_):
+            run_query("t(R) :- R is foo + 1.", "t(R)") \
+                if False else run_query("t(X, R) :- R is X + 1.",
+                                        "t(foo, R)")
+
+
+class TestGenericEvaluation:
+    """is/2 with a run-time expression (through the '$eval_is' escape)."""
+
+    def test_expression_in_variable(self):
+        program = "apply(E, R) :- R is E."
+        assert first_binding(program, "apply(3 * 4 + 1, R)", "R") == "13"
+
+    def test_nested_runtime_expression(self):
+        program = "apply(E, R) :- R is E."
+        assert first_binding(program, "apply((1 + 2) * (3 + 4), R)",
+                             "R") == "21"
+
+    def test_runtime_float(self):
+        program = "apply(E, R) :- R is E."
+        assert first_binding(program, "apply(1.5 * 2, R)", "R") == "3.0"
+
+    def test_runtime_error_propagates(self):
+        with pytest.raises(ArithmeticError_):
+            run_query("apply(E, R) :- R is E.", "apply(1 // 0, R)")
+
+    def test_is_with_bound_result_checks_equality(self):
+        assert run_query("dummy.", "4 is 2 + 2").succeeded
+        assert not run_query("dummy.", "5 is 2 + 2").succeeded

@@ -1,0 +1,104 @@
+"""Baseline machine models: configuration sanity and size models."""
+
+import pytest
+
+from repro.api import compile_and_load, run_query
+from repro.baselines.plm import (
+    PLM_CYCLE_SECONDS, PLMCodeModel, plm_cost_model, plm_features,
+    plm_machine,
+)
+from repro.baselines.quintus import (
+    QUINTUS_CYCLE_SECONDS, quintus_cost_model, quintus_machine,
+)
+from repro.baselines.spur import SPURCodeModel
+from repro.core.opcodes import ArithOp
+from repro.core.symbols import SymbolTable
+
+APPEND = ("append([], L, L).\n"
+          "append([H|T], L, [H|R]) :- append(T, L, R).\n")
+QUERY = "append([1,2,3], [4], X)"
+
+
+class TestConfigurations:
+    def test_cycle_times(self):
+        assert PLM_CYCLE_SECONDS == pytest.approx(100e-9)     # 10 MHz
+        assert QUINTUS_CYCLE_SECONDS == pytest.approx(40e-9)  # 25 MHz
+
+    def test_baselines_disable_the_kcm_units(self):
+        for features in (plm_features(),):
+            assert not features.shallow_backtracking
+            assert not features.mwac
+            assert not features.parallel_trail
+
+    def test_quintus_pays_emulation_dispatch(self):
+        assert quintus_cost_model().dispatch_overhead > 5
+        assert plm_cost_model().dispatch_overhead >= 1
+
+    def test_plm_software_multiply(self):
+        costs = plm_cost_model()
+        assert costs.arith_int[ArithOp.MUL] >= 30
+
+
+class TestFunctionalEquivalence:
+    """All machines must compute identical answers — only time differs."""
+
+    PROGRAMS = [
+        (APPEND, QUERY),
+        ("member(X,[X|_]). member(X,[_|T]) :- member(X,T).",
+         "member(X, [a, b, c])"),
+        ("f(X, R) :- ( X > 0 -> R = pos ; R = neg ).", "f(-3, R)"),
+    ]
+
+    @pytest.mark.parametrize("program,query", PROGRAMS)
+    def test_same_solutions_all_machines(self, program, query):
+        reference = run_query(program, query, all_solutions=True)
+        for factory in (plm_machine, quintus_machine):
+            machine = factory(SymbolTable())
+            result = run_query(program, query, machine=machine,
+                               all_solutions=True)
+            assert result.solutions == reference.solutions
+
+    @pytest.mark.parametrize("program,query", PROGRAMS)
+    def test_same_inference_counts(self, program, query):
+        reference = run_query(program, query)
+        for factory in (plm_machine, quintus_machine):
+            machine = factory(SymbolTable())
+            result = run_query(program, query, machine=machine)
+            assert result.stats.inferences == reference.stats.inferences
+
+    def test_baselines_are_slower_in_wall_clock(self):
+        reference = run_query(APPEND, QUERY)
+        for factory in (plm_machine, quintus_machine):
+            machine = factory(SymbolTable())
+            result = run_query(APPEND, QUERY, machine=machine)
+            assert result.milliseconds > reference.milliseconds
+
+
+class TestSizeModels:
+    def test_plm_model_counts_both_dimensions(self):
+        image = compile_and_load(APPEND, QUERY).image
+        size = PLMCodeModel().measure(image, APPEND, QUERY)
+        assert size.instructions > 0
+        assert size.bytes > size.instructions     # >1 byte each
+
+    def test_plm_average_instruction_length(self):
+        # The paper: "The average PLM instruction is 3.3 bytes long."
+        image = compile_and_load(APPEND, QUERY).image
+        size = PLMCodeModel().measure(image, APPEND, QUERY)
+        assert 2.0 <= size.bytes / size.instructions <= 4.5
+
+    def test_cdr_coding_folds_static_cells(self):
+        long_list = "[" + ",".join(f"a{i}" for i in range(30)) + "]"
+        query = f"append({long_list}, [z], X)"
+        image = compile_and_load(APPEND, query).image
+        plm = PLMCodeModel().measure(image, APPEND, query)
+        # Each static cell costs KCM two instructions, PLM one.
+        assert image.program_instructions > plm.instructions * 1.2
+
+    def test_spur_expansion_factor(self):
+        spur = SPURCodeModel().measure(APPEND, QUERY)
+        image = compile_and_load(APPEND, QUERY).image
+        ratio = spur.instructions / image.program_instructions
+        # ASPLOS-II territory: order of 10x.
+        assert 6 <= ratio <= 25
+        assert spur.bytes == 4 * spur.instructions

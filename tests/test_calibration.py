@@ -1,0 +1,112 @@
+"""Calibration tests: the cycle model pinned to the paper's figures.
+
+These are the quantitative anchors of the reproduction (DESIGN.md
+section 3).  If a cost-table change breaks one of these, the simulator
+no longer reproduces the paper's performance claims.
+"""
+
+import pytest
+
+from repro.bench.tables import (
+    measure_concat_step_cycles, measure_nrev_klips,
+)
+from repro.bench.paper_data import KCM_CON1_STEP_CYCLES
+from repro.bench.runner import SuiteRunner
+from repro.core.costs import CostModel, KCM_CYCLE_SECONDS
+from repro.core.opcodes import ArithOp, Op
+
+
+class TestPaperStatedCosts:
+    """Costs the paper states explicitly."""
+
+    def setup_method(self):
+        self.costs = CostModel()
+
+    def test_cycle_time_80ns(self):
+        assert KCM_CYCLE_SECONDS == pytest.approx(80e-9)
+
+    def test_call_return_is_five_cycles(self):
+        # "the minimum for a call/return sequence which creates two
+        # prefetch pipeline breaks" (section 4.2).
+        assert self.costs.base[Op.CALL] + self.costs.base[Op.PROCEED] == 5
+
+    def test_immediate_jumps_two_cycles(self):
+        assert self.costs.base[Op.JUMP] == 2
+        assert self.costs.base[Op.CALL] == 2
+
+    def test_dereference_one_per_cycle(self):
+        assert self.costs.deref_per_link == 1
+
+    def test_choice_point_one_register_per_cycle(self):
+        assert self.costs.cp_save_per_reg == 1
+        assert self.costs.cp_restore_per_reg == 1
+
+    def test_trail_comparators_free_in_parallel(self):
+        assert self.costs.trail_check == 0
+
+    def test_indirect_call_four_cycles(self):
+        assert self.costs.indirect_call == 4
+
+    def test_write_stub_five_cycles(self):
+        assert self.costs.write_builtin == 5
+
+    def test_float_mul_div_beat_integer(self):
+        # Section 4.2: "floating arithmetic is significantly faster
+        # than integer arithmetic on multiplications and divisions".
+        assert self.costs.arith_float[ArithOp.MUL] \
+            < self.costs.arith_int[ArithOp.MUL]
+        assert self.costs.arith_float[ArithOp.DIV] \
+            < self.costs.arith_int[ArithOp.DIV]
+
+    def test_neck_free_when_flags_clear(self):
+        # Flags are folded into decode (section 3.1.5).
+        assert self.costs.base[Op.NECK] == 0
+
+
+class TestPeakPerformance:
+    """Table 4's KCM row: 833 - 760 Klips."""
+
+    def test_concat_step_is_fifteen_cycles(self):
+        step = measure_concat_step_cycles()
+        assert step == pytest.approx(KCM_CON1_STEP_CYCLES, abs=0.5)
+
+    def test_peak_concat_klips(self):
+        step = measure_concat_step_cycles()
+        klips = 1.0 / (step * KCM_CYCLE_SECONDS) / 1e3
+        assert 780 <= klips <= 880          # paper: 833
+
+    def test_nrev_klips(self):
+        klips = measure_nrev_klips()
+        assert 700 <= klips <= 880          # paper: 760
+
+
+class TestSuiteMagnitudes:
+    """Whole-benchmark Klips stay in the paper's order of magnitude
+    and preserve the headline orderings."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        runner = SuiteRunner()
+        return {name: runner.run(name, "pure")
+                for name in ("nrev1", "hanoi", "query", "qs4",
+                             "divide10", "pri2")}
+
+    def test_all_in_the_hundreds_of_klips(self, results):
+        for name, result in results.items():
+            assert 200 <= result.klips <= 1200, (name, result.klips)
+
+    def test_nrev_matches_paper_closely(self, results):
+        # Paper: 766 Klips.
+        assert results["nrev1"].klips == pytest.approx(766, rel=0.10)
+
+    def test_list_programs_faster_than_arithmetic_programs(self, results):
+        # The paper's slowest rows are the arithmetic/database programs
+        # (query 229, divide10 222); the fastest are the list kernels
+        # (nrev1 766, hanoi 607).
+        assert results["nrev1"].klips > results["query"].klips
+        assert results["nrev1"].klips > results["divide10"].klips
+        assert results["hanoi"].klips > results["pri2"].klips
+
+    def test_query_milliseconds_magnitude(self, results):
+        # Paper: 12.6 ms; accept the same order of magnitude.
+        assert 4.0 <= results["query"].milliseconds <= 25.0

@@ -1,0 +1,68 @@
+"""CLI smoke tests and table-harness assertions on fast subsets."""
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.tables import table2, table3
+
+
+class TestCLI:
+    def test_figures_target(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 7" in out
+
+    def test_cache_experiment_target(self, capsys):
+        assert main(["cache-experiment"]) == 0
+        out = capsys.readouterr().out
+        assert "hit ratio" in out
+
+    def test_table4_target(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "KCM" in out and "PSI-II" in out
+        assert "[measured]" in out and "[published]" in out
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table9"])
+
+
+class TestExecutionTablesSubset:
+    """Table 2/3 harnesses on a 3-program subset (fast enough for the
+    unit-test run; the full tables live in benchmarks/)."""
+
+    SUBSET = ["con1", "nrev1", "hanoi"]
+
+    def test_table2_subset_shape(self):
+        result = table2(programs=self.SUBSET)
+        assert set(result.data) == set(self.SUBSET)
+        for name, row in result.data.items():
+            assert row["ratio"] > 1.0, name          # KCM wins
+            assert row["kcm_klips"] > 100
+        # Rendering carries paper reference columns.
+        assert "paper" in result.render()
+
+    def test_table3_subset_shape(self):
+        result = table3(programs=self.SUBSET)
+        for name, row in result.data.items():
+            assert row["ratio"] > 2.0, name
+        assert result.data["nrev1"]["ratio"] == pytest.approx(5.08,
+                                                              rel=0.2)
+
+    def test_inferences_match_paper_in_tables(self):
+        from repro.bench import paper_data
+        result = table2(programs=["con1", "nrev1"])
+        assert result.data["con1"]["inferences"] \
+            == paper_data.TABLE2["con1"].inferences
+        assert result.data["nrev1"]["inferences"] \
+            == paper_data.TABLE2["nrev1"].inferences
+
+
+class TestTableRendering:
+    def test_render_is_aligned(self):
+        result = table2(programs=["con1"])
+        lines = result.render().splitlines()
+        header = next(l for l in lines if "Program" in l)
+        row = next(l for l in lines if l.startswith("con1"))
+        assert len(row) <= len(header) + 8

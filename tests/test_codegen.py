@@ -1,0 +1,217 @@
+"""Unit tests for clause code generation."""
+
+import pytest
+
+from repro.compiler.codegen import (
+    compile_clause, fold_constant, peephole,
+)
+from repro.compiler.normalize import normalize_program
+from repro.core.instruction import Instruction
+from repro.core.opcodes import Op
+from repro.core.symbols import SymbolTable
+from repro.prolog.parser import parse_program, parse_term
+
+
+def compile_text(text):
+    program = normalize_program(parse_program(text))
+    symbols = SymbolTable()
+    items = compile_clause(program.clauses[0], symbols)
+    return [i for i in items if isinstance(i, Instruction)], symbols
+
+
+def opcodes(text):
+    instrs, _ = compile_text(text)
+    return [i.op for i in instrs]
+
+
+class TestFacts:
+    def test_atom_fact(self):
+        assert opcodes("f.") == [Op.NECK, Op.PROCEED]
+
+    def test_constant_head_args(self):
+        ops = opcodes("f(a, 1, []).")
+        assert ops == [Op.GET_CONSTANT, Op.GET_CONSTANT, Op.GET_NIL,
+                       Op.NECK, Op.PROCEED]
+
+    def test_void_head_variable_emits_nothing(self):
+        assert opcodes("f(_).") == [Op.NECK, Op.PROCEED]
+
+    def test_repeated_head_variable(self):
+        ops = opcodes("f(X, X).")
+        assert Op.GET_X_VALUE in ops
+
+    def test_list_head(self):
+        ops = opcodes("f([H|T]).")
+        assert ops[0] == Op.GET_LIST
+        assert ops.count(Op.UNIFY_X_VARIABLE) <= 2
+
+    def test_nested_structure_head(self):
+        ops = opcodes("f(g(h(X))).")
+        assert ops.count(Op.GET_STRUCTURE) == 2
+
+    def test_neck_carries_arity(self):
+        instrs, _ = compile_text("f(a, b, c).")
+        neck = next(i for i in instrs if i.op is Op.NECK)
+        assert neck.a == 3
+
+
+class TestAppendClause:
+    """The canonical recursive clause: the paper's con1 kernel."""
+
+    TEXT = "append([H|T], L, [H|R]) :- append(T, L, R)."
+
+    def test_no_environment(self):
+        ops = opcodes(self.TEXT)
+        assert Op.ALLOCATE not in ops
+        assert Op.EXECUTE in ops
+
+    def test_pass_through_argument_needs_no_code(self):
+        # L stays in A2 untouched: no instruction mentions it.
+        instrs, _ = compile_text(self.TEXT)
+        # 2 get_list + 4 unify + neck + puts + execute; L contributes 0.
+        ops = [i.op for i in instrs]
+        assert ops.count(Op.GET_LIST) == 2
+        assert Op.PUT_X_VALUE in ops or Op.MOVE2 in ops
+
+    def test_argument_registers_untouched_before_neck(self):
+        """The shallow-backtracking compiler discipline (section 3.1.5):
+        nothing may overwrite A1..An before NECK."""
+        instrs, _ = compile_text(self.TEXT)
+        arity = 3
+        for instr in instrs:
+            if instr.op is Op.NECK:
+                break
+            if instr.op in (Op.GET_X_VARIABLE, Op.UNIFY_X_VARIABLE):
+                target = instr.a
+                assert target >= arity, (
+                    f"{instr.disassemble()} clobbers an argument register "
+                    f"before the neck")
+
+
+class TestEnvironments:
+    def test_allocate_after_neck(self):
+        ops = opcodes("f(X) :- g(X), h(X).")
+        assert ops.index(Op.NECK) < ops.index(Op.ALLOCATE)
+
+    def test_deallocate_before_final_execute(self):
+        ops = opcodes("f(X) :- g(X), h(X).")
+        assert ops[-2:] == [Op.DEALLOCATE, Op.EXECUTE]
+
+    def test_call_carries_trimmed_nperms(self):
+        instrs, _ = compile_text("f(A, B) :- g(A, B), h(A), i(A).")
+        calls = [i for i in instrs if i.op is Op.CALL]
+        assert [c.b for c in calls] == [1, 1]
+
+    def test_permanent_staged_through_temporary(self):
+        # Head permanents are copied into Y slots after ALLOCATE.
+        ops = opcodes("f(X) :- g(X), h(X).")
+        assert Op.GET_Y_VARIABLE in ops
+        assert ops.index(Op.ALLOCATE) < ops.index(Op.GET_Y_VARIABLE)
+
+
+class TestCut:
+    def test_neck_cut(self):
+        ops = opcodes("f(X) :- !, g(X).")
+        assert Op.NECK_CUT in ops
+        assert Op.NECK not in ops
+
+    def test_inline_cut_before_first_call(self):
+        ops = opcodes("f(X) :- X > 1, !, g(X).")
+        assert Op.CUT not in ops        # guard then cut = still neck cut
+        assert Op.NECK_CUT in ops or Op.CUT in ops
+
+    def test_deep_cut_uses_saved_level(self):
+        ops = opcodes("f(X) :- g(X), !, h(X).")
+        assert Op.GET_LEVEL in ops
+        assert Op.CUT_Y in ops
+
+
+class TestArithmetic:
+    def test_constant_folding(self):
+        assert fold_constant(parse_term("3*4+2")) == 14
+        assert fold_constant(parse_term("7 // 2")) == 3
+        assert fold_constant(parse_term("-(3)")) is -3 or \
+            fold_constant(parse_term("-(3)")) == -3
+        assert fold_constant(parse_term("X + 1")) is None
+        assert fold_constant(parse_term("1 // 0")) is None
+
+    def test_folded_expression_is_one_constant(self):
+        ops = opcodes("f(X) :- X is 3*4+2.")
+        assert Op.ARITH not in ops
+        assert Op.PUT_CONSTANT in ops
+
+    def test_unfolded_expression_emits_arith(self):
+        ops = opcodes("f(X, Y) :- Y is X * 2 + 1.")
+        assert ops.count(Op.ARITH) == 2
+
+    def test_comparison_emits_test(self):
+        ops = opcodes("f(X, Y) :- X > Y + 1.")
+        assert Op.TEST in ops
+        assert Op.ARITH in ops
+
+    def test_guard_tests_precede_neck(self):
+        ops = opcodes("max(X, Y, X) :- X >= Y.")
+        assert ops.index(Op.TEST) < ops.index(Op.NECK)
+
+    def test_is_to_fresh_variable_needs_no_unify(self):
+        # Y first occurs as the is/2 target: the result register simply
+        # becomes Y's home.
+        ops = opcodes("f(X) :- Y is X + 1, g(Y).")
+        assert Op.GEN_UNIFY not in ops
+
+    def test_is_to_bound_variable_unifies(self):
+        ops = opcodes("f(X) :- X is 2 + 2.")
+        # X is a head variable: result must be unified with it.
+        assert Op.GEN_UNIFY in ops
+
+
+class TestUnifyGoal:
+    def test_fresh_variable_assignment_is_free(self):
+        ops = opcodes("f(Y) :- X = f(Y), g(X).")
+        assert Op.GEN_UNIFY not in ops
+
+    def test_two_bound_sides_unify(self):
+        ops = opcodes("f(X, Y) :- X = Y.")
+        assert Op.GEN_UNIFY in ops
+
+    def test_structure_built_for_unify(self):
+        ops = opcodes("f(X) :- X = point(1, 2).")
+        assert Op.PUT_STRUCTURE in ops
+
+
+class TestInferenceMarks:
+    def test_each_body_goal_marked_once(self):
+        instrs, _ = compile_text("f(X) :- g(X), h(X), i(X).")
+        assert sum(1 for i in instrs if i.infer) == 3
+
+    def test_cut_not_marked(self):
+        instrs, _ = compile_text("f(X) :- !, g(X).")
+        assert sum(1 for i in instrs if i.infer) == 1
+
+    def test_inline_arithmetic_marked(self):
+        instrs, _ = compile_text("f(X, Y) :- Y is X + 1, Y > 0.")
+        assert sum(1 for i in instrs if i.infer) == 2
+
+    def test_head_unification_not_marked(self):
+        instrs, _ = compile_text("f([H|T], g(H), T).")
+        assert sum(1 for i in instrs if i.infer) == 0
+
+
+class TestPeephole:
+    def test_adjacent_moves_merge_into_move2(self):
+        moves = [Instruction(Op.GET_X_VARIABLE, 5, 0),
+                 Instruction(Op.GET_X_VARIABLE, 6, 1)]
+        out = peephole(moves)
+        assert len(out) == 1
+        assert out[0].op is Op.MOVE2
+
+    def test_identity_move_dropped(self):
+        out = peephole([Instruction(Op.GET_X_VARIABLE, 4, 4)])
+        assert out == []
+
+    def test_dependent_moves_not_merged(self):
+        # Second move reads the first move's destination.
+        moves = [Instruction(Op.GET_X_VARIABLE, 5, 0),
+                 Instruction(Op.GET_X_VARIABLE, 6, 5)]
+        out = peephole(moves)
+        assert len(out) == 2

@@ -1,0 +1,22 @@
+"""Every example script must run cleanly end to end (deliverable b)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run([sys.executable, str(script)],
+                            capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must produce output"
+
+
+def test_there_are_at_least_five_examples():
+    assert len(EXAMPLES) >= 5

@@ -1,0 +1,90 @@
+"""Tests for the GC mark phase and the zone-monitoring trigger."""
+
+import pytest
+
+from repro.api import run_query
+from repro.core.gc import HeapMarker, should_collect
+from repro.core.tags import Zone
+
+NREV = """
+concat([], L, L).
+concat([H|T], L, [H|R]) :- concat(T, L, R).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), concat(RT, [H], R).
+"""
+
+
+def machine_after(program, query, **kwargs):
+    return run_query(program, query, **kwargs).machine
+
+
+class TestMarkPhase:
+    def test_empty_heap(self):
+        machine = machine_after("f.", "f")
+        stats = HeapMarker(machine).collect_statistics()
+        assert stats.live_fraction == 1.0 or stats.heap_cells <= 4
+
+    def test_nrev_garbage_detected(self):
+        """Intermediate reversal lists are dead — the Tick observation
+        the paper builds its cache design on ('many items get pushed
+        onto the stacks that are never accessed again')."""
+        machine = machine_after(
+            NREV, "nrev([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15], R)")
+        stats = HeapMarker(machine).collect_statistics()
+        assert stats.heap_cells > 100
+        assert stats.dead_cells > stats.live_cells
+        assert stats.live_fraction < 0.5
+
+    def test_fully_live_heap(self):
+        # A single built structure, still referenced: everything lives.
+        machine = machine_after("dummy.", "X = f(1, g(2, [3, 4]))")
+        stats = HeapMarker(machine).collect_statistics()
+        assert stats.live_fraction > 0.8
+
+    def test_mark_then_clear_restores_heap(self):
+        machine = machine_after(NREV, "nrev([1,2,3,4,5], R)")
+        store = machine.memory.store
+        base = machine._stack_base[Zone.GLOBAL]
+        before = [store.read(a) for a in range(base, machine.h)]
+        marker = HeapMarker(machine)
+        marker.mark()
+        marker.clear()
+        after = [store.read(a) for a in range(base, machine.h)]
+        assert before == after
+
+    def test_clear_count_matches_live(self):
+        machine = machine_after(NREV, "nrev([1,2,3], R)")
+        marker = HeapMarker(machine)
+        stats = marker.mark()
+        assert marker.clear() == stats.live_cells
+
+    def test_choice_point_arguments_keep_data_live(self):
+        # A pending alternative references its saved arguments.
+        program = "pick(f(1)). pick(f(2)). t(X) :- pick(X)."
+        machine = machine_after(program, "t(X)")
+        stats = HeapMarker(machine).collect_statistics()
+        assert stats.live_cells >= 1
+
+    def test_idempotent_statistics(self):
+        machine = machine_after(NREV, "nrev([1,2,3,4,5,6,7], R)")
+        marker = HeapMarker(machine)
+        first = marker.collect_statistics()
+        second = marker.collect_statistics()
+        assert first == second
+
+
+class TestTrigger:
+    def test_fresh_machine_does_not_collect(self):
+        machine = machine_after("f.", "f")
+        assert not should_collect(machine)
+
+    def test_tiny_threshold_triggers(self):
+        machine = machine_after(NREV, "nrev([1,2,3], R)")
+        assert should_collect(machine, threshold=1e-9)
+
+    def test_threshold_monotone(self):
+        machine = machine_after(NREV, "nrev([1,2,3,4,5,6,7,8], R)")
+        region = machine.memory.layout[Zone.GLOBAL]
+        used_fraction = (machine.h - region.base) / region.size
+        assert should_collect(machine, threshold=used_fraction * 0.5)
+        assert not should_collect(machine, threshold=used_fraction * 2)

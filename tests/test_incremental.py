@@ -1,0 +1,102 @@
+"""Tests for incremental compilation (paper section 3.2.1)."""
+
+import pytest
+
+from repro.api import compile_and_load
+from repro.compiler.incremental import IncrementalLoader
+from repro.errors import LinkError
+
+
+@pytest.fixture
+def machine():
+    return compile_and_load("base(1). base(2). base(3).", "base(X)")
+
+
+@pytest.fixture
+def loader(machine):
+    return IncrementalLoader(machine)
+
+
+class TestAddProgram:
+    def test_new_predicate_callable_from_new_query(self, machine,
+                                                   loader):
+        loader.add_program("double(X, Y) :- base(X), Y is X * 2.")
+        entry, names = loader.query("double(3, Y)")
+        machine.run(entry, answer_names=names)
+        assert machine.solutions[0]["Y"].value == 6
+
+    def test_new_code_calls_old_code(self, machine, loader):
+        loader.add_program("total(T) :- base(A), base(B), T is A + B.")
+        entry, names = loader.query("total(T)")
+        machine.run(entry, answer_names=names)
+        assert machine.solutions[0]["T"].value == 2
+
+    def test_multiple_increments_stack(self, machine, loader):
+        loader.add_program("p1(X) :- base(X).")
+        loader.add_program("p2(X) :- p1(X), X > 1.")
+        entry, names = loader.query("p2(X)")
+        machine.run(entry, answer_names=names)
+        assert machine.solutions[0]["X"].value == 2
+
+    def test_redefinition_rejected(self, machine, loader):
+        with pytest.raises(LinkError, match="already loaded"):
+            loader.add_program("base(99).")
+
+    def test_undefined_reference_rejected(self, machine, loader):
+        with pytest.raises(LinkError, match="nothing_here"):
+            loader.add_program("q :- nothing_here(1).")
+            entry, _ = loader.query("q")
+
+    def test_new_builtin_stub_generated(self, machine, loader):
+        loader.add_program("check(X) :- integer(X).")
+        entry, names = loader.query("check(5)")
+        machine.run(entry, answer_names=names)
+        assert machine.solutions
+
+
+class TestQueries:
+    def test_query_against_original_image(self, machine, loader):
+        entry, names = loader.query("base(X), X > 2")
+        machine.run(entry, answer_names=names)
+        assert machine.solutions[0]["X"].value == 3
+
+    def test_queries_get_distinct_entries(self, machine, loader):
+        entry1, _ = loader.query("base(1)")
+        entry2, _ = loader.query("base(2)")
+        assert entry1 != entry2
+
+    def test_query_with_control_constructs(self, machine, loader):
+        entry, names = loader.query(
+            "( base(9) -> R = found ; R = missing )")
+        machine.run(entry, answer_names=names)
+        assert machine.solutions[0]["R"].name == "missing"
+
+    def test_original_entry_still_works(self, machine, loader):
+        loader.add_program("extra(x).")
+        machine.run(machine.image.entry,
+                    answer_names=machine.image.query_variable_names)
+        assert machine.solutions[0]["X"].value == 1
+
+
+class TestCodeCachePath:
+    def test_code_written_through_the_code_cache(self, machine, loader):
+        writes_before = machine.memory.code_cache.stats.writes
+        loader.add_program("p(a). p(b).")
+        writes_after = machine.memory.code_cache.stats.writes
+        assert writes_after > writes_before
+        assert loader.code_write_cycles > 0
+
+    def test_written_words_are_resident(self, machine, loader):
+        loader.add_program("p(a).")
+        address = machine.predicates[("p", 1)]
+        # Write-through installed the line: the next fetch hits.
+        assert machine.memory.code_cache.fetch(address) == 0
+
+    def test_write_cycles_scale_with_code_size(self, machine, loader):
+        before = loader.code_write_cycles
+        loader.add_program("big(X) :- base(X), X > 0, X < 10, X =:= X.")
+        grew_by_big = loader.code_write_cycles - before
+        before = loader.code_write_cycles
+        loader.add_program("small(x).")
+        grew_by_small = loader.code_write_cycles - before
+        assert grew_by_big > grew_by_small

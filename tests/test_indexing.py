@@ -1,0 +1,110 @@
+"""First-argument indexing: structure of the emitted index and its
+run-time effect (deterministic dispatch avoids the try chain)."""
+
+import pytest
+
+from repro.api import run_query
+from repro.compiler.indexing import compile_predicate
+from repro.compiler.normalize import group_program, normalize_program
+from repro.core.instruction import Instruction
+from repro.core.opcodes import Op
+from repro.core.symbols import SymbolTable
+from repro.prolog.parser import parse_program
+
+
+def predicate_ops(text):
+    program = normalize_program(parse_program(text))
+    groups = group_program(program)
+    (name, arity), clauses = next(iter(groups.items()))
+    code = compile_predicate(name, arity, clauses, SymbolTable())
+    return [i.op for i in code.items if isinstance(i, Instruction)]
+
+
+class TestIndexStructure:
+    def test_single_clause_has_no_index(self):
+        ops = predicate_ops("f(a).")
+        assert Op.SWITCH_ON_TERM not in ops
+        assert Op.TRY_ME_ELSE not in ops
+
+    def test_two_clauses_get_switch_and_chain(self):
+        ops = predicate_ops("f(a). f(b).")
+        assert Op.SWITCH_ON_TERM in ops
+        assert Op.SWITCH_ON_CONSTANT in ops
+        assert Op.TRY_ME_ELSE in ops
+        assert Op.TRUST_ME in ops
+
+    def test_all_var_heads_skip_the_switch(self):
+        ops = predicate_ops("f(X) :- a(X). f(X) :- b(X). a(1). b(2).")
+        # first group is f/1 with two var-headed clauses.
+        assert Op.SWITCH_ON_TERM not in ops
+
+    def test_structure_heads_get_structure_switch(self):
+        ops = predicate_ops("g(f(X)) :- h(X). g(k(X)) :- h(X). h(_).")
+        assert Op.SWITCH_ON_STRUCTURE in ops
+
+    def test_mixed_buckets_get_try_chains(self):
+        # Two clauses share the constant 'a': that bucket is a chain.
+        ops = predicate_ops("f(a, 1). f(a, 2). f(b, 3).")
+        assert Op.TRY in ops
+        assert Op.TRUST in ops
+
+    def test_switch_table_sizes_count_as_words(self):
+        program = normalize_program(parse_program(
+            "f(a). f(b). f(c). f(d)."))
+        groups = group_program(program)
+        code = compile_predicate("f", 1, groups[("f", 1)], SymbolTable())
+        assert code.word_count > code.instruction_count
+
+
+class TestIndexingBehaviour:
+    DB = """
+    capital(france, paris).
+    capital(italy, rome).
+    capital(spain, madrid).
+    capital(poland, warsaw).
+    """
+
+    def test_bound_lookup_is_deterministic(self):
+        result = run_query(self.DB, "capital(spain, C)")
+        assert result.bindings_text() == "C = madrid"
+        # Direct dispatch: no choice point, no backtracking.
+        assert result.stats.choice_points_created == 0
+        assert result.stats.deep_fails + result.stats.shallow_fails == 0
+
+    def test_unbound_scan_still_enumerates(self):
+        result = run_query(self.DB, "capital(X, Y)", all_solutions=True)
+        assert len(result.solutions) == 4
+
+    def test_unknown_key_fails_fast(self):
+        result = run_query(self.DB, "capital(atlantis, C)")
+        assert not result.succeeded
+
+    def test_type_dispatch(self):
+        program = """
+        kind([], empty_list).
+        kind([_|_], cons).
+        kind(X, integer) :- integer(X).
+        kind(f(_), structure).
+        """
+        # Wait: integer clause head is var -- it joins every bucket.
+        assert run_query(program, "kind([], K)").bindings_text() \
+            == "K = empty_list"
+        assert run_query(program, "kind([1], K)").bindings_text() \
+            == "K = cons"
+        assert run_query(program, "kind(f(2), K)",
+                         all_solutions=True).solutions[-1]["K"].name \
+            == "structure"
+
+    def test_indexing_does_not_change_solution_order(self):
+        program = "p(a, 1). p(X, 2) :- atom(X). p(a, 3)."
+        values = [s["R"].value for s in run_query(
+            program, "p(a, R)", all_solutions=True).solutions]
+        assert values == [1, 2, 3]
+
+    def test_query_benchmark_indexing_effect(self):
+        """The paper credits query's speed to KCM indexing: bound
+        lookups of pop/area must create no choice points."""
+        from repro.bench.programs import QUERY
+        result = run_query(QUERY, "pop(japan, P), area(japan, A)")
+        assert result.stats.choice_points_created == 0
+        assert result.bindings_text() == "P = 1097, A = 148"

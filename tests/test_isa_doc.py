@@ -1,0 +1,27 @@
+"""The checked-in instruction reference must match the generator."""
+
+from pathlib import Path
+
+from repro.core.isa_doc import _DESCRIPTIONS, render
+from repro.core.opcodes import Op
+
+DOC = Path(__file__).resolve().parent.parent / "docs" / "INSTRUCTION_SET.md"
+
+
+def test_reference_is_in_sync():
+    assert DOC.read_text() == render(), (
+        "regenerate with: python -m repro.core.isa_doc "
+        "> docs/INSTRUCTION_SET.md")
+
+
+def test_every_opcode_documented():
+    for op in Op:
+        assert op in _DESCRIPTIONS
+        assert _DESCRIPTIONS[op].strip()
+
+
+def test_render_is_a_markdown_table():
+    text = render()
+    assert text.count("|") > 6 * len(Op)
+    for op in Op:
+        assert f"`{op.name.lower()}`" in text

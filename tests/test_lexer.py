@@ -1,0 +1,108 @@
+"""Unit tests for the Prolog tokenizer."""
+
+import pytest
+
+from repro.errors import PrologSyntaxError
+from repro.prolog.lexer import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text) if t.kind != "end"]
+
+
+class TestBasicTokens:
+    def test_atoms_and_variables(self):
+        assert kinds("foo Bar _baz _") == [
+            ("atom", "foo"), ("var", "Bar"), ("var", "_baz"), ("var", "_")]
+
+    def test_integers(self):
+        assert kinds("0 42 123456") == [
+            ("int", 0), ("int", 42), ("int", 123456)]
+
+    def test_floats(self):
+        values = [v for _, v in kinds("1.5 0.25 2.0e3 1e-2 3.14E2")]
+        assert values == [1.5, 0.25, 2000.0, 0.01, 314.0]
+
+    def test_dot_not_float_without_digit(self):
+        # "1." is integer one followed by clause end.
+        tokens = kinds("1. ")
+        assert tokens == [("int", 1), ("punct", ".")]
+
+    def test_character_code(self):
+        assert kinds("0'a 0' 0'\\n")[0] == ("int", ord("a"))
+        assert kinds("0'a")[0] == ("int", 97)
+
+    def test_radix_integers(self):
+        assert kinds("0xff 0o17 0b101") == [
+            ("int", 255), ("int", 15), ("int", 5)]
+
+    def test_symbolic_atoms_maximal_munch(self):
+        assert kinds(":- ?- --> \\+ =..") == [
+            ("atom", ":-"), ("atom", "?-"), ("atom", "-->"),
+            ("atom", "\\+"), ("atom", "=..")]
+
+    def test_solo_characters(self):
+        assert kinds("! ; , | ( ) [ ] { }") == [
+            ("atom", "!"), ("atom", ";"), ("punct", ","), ("punct", "|"),
+            ("punct", "("), ("punct", ")"), ("punct", "["), ("punct", "]"),
+            ("punct", "{"), ("punct", "}")]
+
+
+class TestQuoting:
+    def test_quoted_atom(self):
+        assert kinds("'hello world'") == [("atom", "hello world")]
+
+    def test_quoted_atom_with_escapes(self):
+        assert kinds(r"'a\nb'") == [("atom", "a\nb")]
+        assert kinds(r"'tab\there'") == [("atom", "tab\there")]
+
+    def test_doubled_quote(self):
+        assert kinds("'it''s'") == [("atom", "it's")]
+
+    def test_string_token(self):
+        assert kinds('"abc"') == [("string", "abc")]
+
+    def test_hex_escape(self):
+        assert kinds(r"'\x41\'") == [("atom", "A")]
+
+    def test_unterminated_quote_raises(self):
+        with pytest.raises(PrologSyntaxError):
+            tokenize("'oops")
+
+
+class TestCommentsAndLayout:
+    def test_line_comment(self):
+        assert kinds("a % comment\nb") == [("atom", "a"), ("atom", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("atom", "a"), ("atom", "b")]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(PrologSyntaxError):
+            tokenize("a /* never closed")
+
+    def test_layout_before_flag(self):
+        tokens = tokenize("f(X) g (Y)")
+        # '(' after f: no layout; '(' after g: layout.
+        parens = [t for t in tokens if t.text == "("]
+        assert not parens[0].layout_before
+        assert parens[1].layout_before
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+
+class TestClauseEnd:
+    def test_end_dot_after_atom(self):
+        assert kinds("foo.") == [("atom", "foo"), ("punct", ".")]
+
+    def test_end_dot_after_symbolic(self):
+        # The '.' of "b." terminates the clause even glued to an atom.
+        tokens = kinds("a:-b.")
+        assert tokens[-1] == ("punct", ".")
+
+    def test_unexpected_character(self):
+        with pytest.raises(PrologSyntaxError):
+            tokenize("\x01")

@@ -1,0 +1,117 @@
+"""Linker/assembler tests: images, sizes, library generation, installs."""
+
+import pytest
+
+from repro.api import compile_and_load
+from repro.compiler.linker import Linker, link_program
+from repro.core.instruction import Instruction
+from repro.core.machine import Machine
+from repro.core.opcodes import BRANCHING_OPS, Op
+from repro.core.symbols import SymbolTable
+from repro.errors import LinkError
+
+APPEND = ("append([], L, L).\n"
+          "append([H|T], L, [H|R]) :- append(T, L, R).\n")
+
+
+class TestAssembly:
+    def test_all_branch_targets_resolved_to_ints(self):
+        image = link_program(APPEND, "append([1], [2], X)")
+        for instr in image.code:
+            if instr is None:
+                continue
+            if instr.op in BRANCHING_OPS:
+                assert isinstance(instr.a, int), instr.disassemble()
+            if instr.op is Op.SWITCH_ON_TERM:
+                for operand in (instr.a, instr.b, instr.c, instr.d):
+                    assert operand is None or isinstance(operand, int)
+
+    def test_multi_word_instructions_padded(self):
+        image = link_program("f(a). f(b). f(c).", "f(X)")
+        switches = [a for a, i in enumerate(image.code)
+                    if i is not None and i.op is Op.SWITCH_ON_CONSTANT]
+        assert switches
+        address = switches[0]
+        size = image.code[address].size
+        assert size > 1
+        assert all(image.code[address + k] is None
+                   for k in range(1, size))
+
+    def test_entry_is_query_predicate(self):
+        image = link_program(APPEND, "append([], [], X)")
+        assert image.entry == image.predicates[("$query", 0)]
+
+    def test_code_addresses_are_dense(self):
+        image = link_program(APPEND, "append([], [], X)")
+        address = 0
+        while address < len(image.code):
+            instr = image.code[address]
+            assert instr is not None
+            address += instr.size
+
+
+class TestRuntimeLibrary:
+    def test_undefined_predicate_reported(self):
+        with pytest.raises(LinkError, match="missing_thing/2"):
+            link_program("f(X) :- missing_thing(X, 1).", "f(a)")
+
+    def test_builtins_get_escape_stubs(self):
+        image = link_program("t(X) :- integer(X).", "t(3)")
+        assert ("integer", 1) in image.predicates
+        address = image.predicates[("integer", 1)]
+        assert image.code[address].op is Op.ESCAPE
+
+    def test_io_stub_mode_compiles_write_as_unit_clause(self):
+        image = link_program("t :- write(x), nl.", "t", io_mode="stub")
+        address = image.predicates[("write", 1)]
+        assert image.code[address].op is Op.NECK
+        assert image.code[address + 1].op is Op.PROCEED
+
+    def test_io_real_mode_uses_escapes(self):
+        image = link_program("t :- write(x).", "t", io_mode="real")
+        address = image.predicates[("write", 1)]
+        assert image.code[address].op is Op.ESCAPE
+
+    def test_bad_io_mode_rejected(self):
+        with pytest.raises(LinkError):
+            Linker(io_mode="loud")
+
+    def test_user_definition_shadows_builtin_stub(self):
+        # A user-defined write/1 wins over the library version.
+        image = link_program("write(custom).\nt :- write(custom).", "t")
+        address = image.predicates[("write", 1)]
+        assert image.code[address].op is not Op.ESCAPE
+
+
+class TestStaticSizes:
+    def test_sizes_cover_program_and_driver_not_library(self):
+        image = link_program("f(X) :- write(X).", "f(hello)")
+        assert ("f", 1) in image.sizes
+        assert ("$query", 0) in image.sizes
+        assert ("write", 1) not in image.sizes
+
+    def test_bytes_are_eight_per_word(self):
+        image = link_program(APPEND, "append([], [], X)")
+        assert image.program_bytes == 8 * image.program_words
+
+    def test_instruction_count_below_word_count_with_switches(self):
+        image = link_program("f(a). f(b). f(c).", "f(a)")
+        assert image.program_instructions < image.program_words
+
+
+class TestInstall:
+    def test_install_requires_shared_symbols(self):
+        image = link_program(APPEND, "append([], [], X)")
+        other = Machine(symbols=SymbolTable())
+        with pytest.raises(LinkError):
+            image.install(other)
+
+    def test_reinstall_resets_stub_cache(self):
+        machine = compile_and_load(APPEND, "append([1], [], X)")
+        machine.run(machine.image.entry, answer_names=["X"])
+        first = machine.solutions[0]["X"]
+        image2 = Linker(symbols=machine.symbols).link(
+            APPEND, "append([2], [], X)")
+        image2.install(machine)
+        machine.run(image2.entry, answer_names=["X"])
+        assert machine.solutions[0]["X"] != first

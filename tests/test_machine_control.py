@@ -1,0 +1,172 @@
+"""Machine-level control tests: calls, backtracking, cut, solutions."""
+
+import pytest
+
+from repro.api import run_query
+from repro.errors import ExistenceError, LinkError
+from tests.conftest import all_bindings, first_binding
+
+
+class TestDeterministicExecution:
+    def test_fact_lookup(self):
+        assert first_binding("f(a).", "f(X)", "X") == "a"
+
+    def test_chain_of_calls(self):
+        program = "a(1). b(X) :- a(X). c(X) :- b(X)."
+        assert first_binding(program, "c(X)", "X") == "1"
+
+    def test_environment_nesting(self):
+        program = """
+        f(X, Y) :- g(X), h(Y).
+        g(g1). h(h1).
+        """
+        result = run_query(program, "f(X, Y)")
+        assert result.bindings_text() == "X = g1, Y = h1"
+
+    def test_deep_recursion(self):
+        program = """
+        count(0) .
+        count(N) :- N > 0, M is N - 1, count(M).
+        """
+        assert run_query(program, "count(500)").succeeded
+
+
+class TestBacktracking:
+    def test_clause_order_respected(self, member_program):
+        values = all_bindings(member_program, "member(X, [a,b,c])", "X")
+        assert values == ["a", "b", "c"]
+
+    def test_failure_falls_through_clauses(self):
+        program = "f(1, one). f(2, two). f(3, three)."
+        assert first_binding(program, "f(3, R)", "R") == "three"
+
+    def test_conjunction_backtracks_left_goal(self, member_program):
+        program = member_program + "even(2). even(4)."
+        values = all_bindings(program,
+                              "member(X, [1,2,3,4]), even(X)", "X")
+        assert values == ["2", "4"]
+
+    def test_cross_product(self, member_program):
+        result = run_query(member_program,
+                           "member(X, [1,2]), member(Y, [a,b])",
+                           all_solutions=True)
+        pairs = [(s["X"].value, s["Y"].name) for s in result.solutions]
+        assert pairs == [(1, "a"), (1, "b"), (2, "a"), (2, "b")]
+
+    def test_no_solution(self, member_program):
+        result = run_query(member_program, "member(z, [a,b])")
+        assert not result.succeeded
+        assert result.machine.exhausted
+
+    def test_bindings_undone_between_solutions(self, member_program):
+        # If the trail failed to unbind, later solutions would see stale
+        # values.
+        values = all_bindings(member_program,
+                              "member(X, [1,2,3]), X > 1", "X")
+        assert values == ["2", "3"]
+
+
+class TestCut:
+    PROGRAM = """
+    first([X|_], X) :- !.
+    first(_, none).
+
+    classify(X, neg) :- X < 0, !.
+    classify(0, zero) :- !.
+    classify(_, pos).
+
+    once_member(X, [X|_]) :- !.
+    once_member(X, [_|T]) :- once_member(X, T).
+    """
+
+    def test_neck_cut_commits(self):
+        assert all_bindings(self.PROGRAM, "first([a,b], X)", "X") == ["a"]
+
+    def test_guarded_cut(self):
+        assert first_binding(self.PROGRAM, "classify(-4, R)", "R") == "neg"
+        assert first_binding(self.PROGRAM, "classify(0, R)", "R") == "zero"
+        assert first_binding(self.PROGRAM, "classify(9, R)", "R") == "pos"
+
+    def test_cut_prunes_alternatives_of_callee_only(self):
+        program = self.PROGRAM + "p(1). p(2)."
+        values = all_bindings(program,
+                              "p(X), once_member(a, [a,b,a])", "X")
+        # once_member is deterministic; p still backtracks.
+        assert values == ["1", "2"]
+
+    def test_deep_cut(self):
+        program = """
+        f(X, R) :- g(X), !, R = found.
+        f(_, notfound).
+        g(1). g(2).
+        """
+        # The cut removes g's alternatives AND f's second clause.
+        values = all_bindings(program, "f(1, R)", "R")
+        assert values == ["found"]
+
+    def test_cut_in_last_clause_is_safe(self):
+        program = "f(a). f(b) :- !."
+        assert all_bindings(program, "f(X)", "X") == ["a", "b"]
+
+
+class TestControlConstructs:
+    def test_if_then_else_then_branch(self):
+        program = "test(X, R) :- ( X > 0 -> R = pos ; R = nonpos )."
+        assert first_binding(program, "test(3, R)", "R") == "pos"
+        assert first_binding(program, "test(-3, R)", "R") == "nonpos"
+
+    def test_if_then_else_condition_committed(self):
+        # The condition succeeds once; no backtracking into it.
+        program = """
+        m(1). m(2).
+        t(R) :- ( m(X) -> R = X ; R = none ).
+        """
+        assert all_bindings(program, "t(R)", "R") == ["1"]
+
+    def test_bare_if_then_fails_without_else(self):
+        program = "t(R) :- ( fail -> R = yes )."
+        assert not run_query(program, "t(R)").succeeded
+
+    def test_negation_as_failure(self, member_program):
+        program = member_program
+        assert run_query(program, "\\+ member(z, [a,b])").succeeded
+        assert not run_query(program, "\\+ member(a, [a,b])").succeeded
+
+    def test_negation_leaves_no_bindings(self, member_program):
+        # \+ m(X) with unbound X fails (m has solutions), and X stays
+        # unbound afterwards in the failure-driven sense.
+        result = run_query(member_program, "\\+ member(X, [a])")
+        assert not result.succeeded
+
+    def test_disjunction_both_branches(self):
+        program = "t(R) :- ( R = left ; R = right )."
+        assert all_bindings(program, "t(R)", "R") == ["left", "right"]
+
+    def test_true_and_fail(self):
+        assert run_query("t :- true.", "t").succeeded
+        assert not run_query("t :- fail.", "t").succeeded
+
+
+class TestErrors:
+    def test_undefined_predicate_is_link_error(self):
+        with pytest.raises(LinkError):
+            run_query("f :- undefined_thing(1).", "f")
+
+    def test_metacall_unknown_predicate(self):
+        with pytest.raises(ExistenceError):
+            run_query("f(G) :- call(G).", "f(nonexistent)")
+
+
+class TestLastCallOptimisation:
+    def test_tail_recursion_constant_local_stack(self):
+        program = """
+        loop(0).
+        loop(N) :- N > 0, M is N - 1, loop(M).
+        """
+        result = run_query(program, "loop(200)")
+        machine = result.machine
+        # With LCO the local stack never grows with the recursion depth:
+        # final local top is near the base.
+        from repro.core.tags import Zone
+        base = machine._stack_base[Zone.LOCAL]
+        assert machine.local_top() - base < 32

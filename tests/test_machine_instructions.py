@@ -1,0 +1,188 @@
+"""Direct instruction-level machine tests (hand-assembled code).
+
+These bypass the compiler to pin down individual instruction semantics
+— the machine equivalent of the microcode test programs that verified
+the first KCM prototypes.
+"""
+
+import pytest
+
+from repro.core.instruction import Instruction
+from repro.core.machine import Machine
+from repro.core.opcodes import ArithOp, Op
+from repro.core.opcodes import TestOp as Relation
+from repro.core.symbols import SymbolTable
+from repro.core.tags import Type, Zone
+from repro.core.word import make_float, make_int
+
+
+def build_machine(*instructions):
+    """A machine whose entry point runs the given instructions; the
+    caller appends its own control flow (default: halt via stub)."""
+    machine = Machine(symbols=SymbolTable())
+    entry = len(machine.code)
+    for instr in instructions:
+        machine.code.append(instr)
+        for _ in range(instr.size - 1):
+            machine.code.append(None)
+    machine.code.append(Instruction(Op.PROCEED))
+    return machine, entry
+
+
+def run(machine, entry):
+    machine.run(entry)
+    return machine
+
+
+class TestMoves:
+    def test_move2_moves_both(self):
+        machine, entry = build_machine(
+            Instruction(Op.PUT_CONSTANT, make_int(1), 4),
+            Instruction(Op.PUT_CONSTANT, make_int(2), 5),
+            Instruction(Op.MOVE2, 4, 0, 5, 1))
+        run(machine, entry)
+        assert machine.regs.x(0) == make_int(1)
+        assert machine.regs.x(1) == make_int(2)
+
+    def test_put_constant(self):
+        machine, entry = build_machine(
+            Instruction(Op.PUT_CONSTANT, make_float(2.5), 3))
+        run(machine, entry)
+        assert machine.regs.x(3).type is Type.FLOAT
+
+
+class TestArithInstruction:
+    @pytest.mark.parametrize("op,left,right,expected", [
+        (ArithOp.ADD, 3, 4, 7),
+        (ArithOp.SUB, 3, 4, -1),
+        (ArithOp.MUL, 6, 7, 42),
+        (ArithOp.IDIV, 9, 2, 4),
+        (ArithOp.MOD, 9, 2, 1),
+        (ArithOp.MIN, 9, 2, 2),
+        (ArithOp.MAX, 9, 2, 9),
+        (ArithOp.AND, 6, 3, 2),
+        (ArithOp.OR, 6, 3, 7),
+        (ArithOp.XOR, 6, 3, 5),
+        (ArithOp.SHL, 3, 2, 12),
+        (ArithOp.SHR, 12, 2, 3),
+    ])
+    def test_integer_ops(self, op, left, right, expected):
+        machine, entry = build_machine(
+            Instruction(Op.PUT_CONSTANT, make_int(left), 1),
+            Instruction(Op.PUT_CONSTANT, make_int(right), 2),
+            Instruction(Op.ARITH, op, 1, 2, 0))
+        run(machine, entry)
+        assert machine.regs.x(0) == make_int(expected)
+
+    def test_integer_multiply_costs_the_microcode_loop(self):
+        cheap, entry1 = build_machine(
+            Instruction(Op.PUT_CONSTANT, make_int(3), 1),
+            Instruction(Op.PUT_CONSTANT, make_int(4), 2),
+            Instruction(Op.ARITH, ArithOp.ADD, 1, 2, 0))
+        costly, entry2 = build_machine(
+            Instruction(Op.PUT_CONSTANT, make_int(3), 1),
+            Instruction(Op.PUT_CONSTANT, make_int(4), 2),
+            Instruction(Op.ARITH, ArithOp.MUL, 1, 2, 0))
+        run(cheap, entry1)
+        run(costly, entry2)
+        assert costly.cycles - cheap.cycles \
+            == cheap.costs.arith_int[ArithOp.MUL] - 1
+
+    def test_float_promotion(self):
+        machine, entry = build_machine(
+            Instruction(Op.PUT_CONSTANT, make_int(1), 1),
+            Instruction(Op.PUT_CONSTANT, make_float(0.5), 2),
+            Instruction(Op.ARITH, ArithOp.ADD, 1, 2, 0))
+        run(machine, entry)
+        assert machine.regs.x(0) == make_float(1.5)
+
+
+class TestTestInstruction:
+    def test_passing_test_continues(self):
+        machine, entry = build_machine(
+            Instruction(Op.PUT_CONSTANT, make_int(1), 1),
+            Instruction(Op.PUT_CONSTANT, make_int(2), 2),
+            Instruction(Op.TEST, Relation.LT, 1, 2),
+            Instruction(Op.PUT_CONSTANT, make_int(99), 0))
+        run(machine, entry)
+        assert machine.regs.x(0) == make_int(99)
+
+    def test_failing_test_backtracks_to_exhaustion(self):
+        machine, entry = build_machine(
+            Instruction(Op.PUT_CONSTANT, make_int(5), 1),
+            Instruction(Op.PUT_CONSTANT, make_int(2), 2),
+            Instruction(Op.TEST, Relation.LT, 1, 2))
+        run(machine, entry)
+        assert machine.exhausted
+
+
+class TestHeapInstructions:
+    def test_put_list_and_unify_write(self):
+        machine, entry = build_machine(
+            Instruction(Op.PUT_LIST, 0),
+            Instruction(Op.UNIFY_CONSTANT, make_int(7)),
+            Instruction(Op.UNIFY_NIL))
+        run(machine, entry)
+        word = machine.regs.x(0)
+        assert word.type is Type.LIST
+        store = machine.memory.store
+        assert store.read(word.value) == make_int(7)
+        assert store.read(word.value + 1).type is Type.NIL
+
+    def test_get_list_read_mode(self):
+        machine, entry = build_machine(
+            Instruction(Op.PUT_LIST, 0),
+            Instruction(Op.UNIFY_CONSTANT, make_int(7)),
+            Instruction(Op.UNIFY_NIL),
+            Instruction(Op.GET_LIST, 0),
+            Instruction(Op.UNIFY_X_VARIABLE, 3),
+            Instruction(Op.UNIFY_X_VARIABLE, 4))
+        run(machine, entry)
+        assert machine.deref(machine.regs.x(3)) == make_int(7)
+        assert machine.deref(machine.regs.x(4)).type is Type.NIL
+
+    def test_unify_void_skips_in_read_mode(self):
+        machine, entry = build_machine(
+            Instruction(Op.PUT_LIST, 0),
+            Instruction(Op.UNIFY_CONSTANT, make_int(1)),
+            Instruction(Op.UNIFY_CONSTANT, make_int(2)),
+            Instruction(Op.GET_LIST, 0),
+            Instruction(Op.UNIFY_VOID, 1),
+            Instruction(Op.UNIFY_X_VARIABLE, 3))
+        run(machine, entry)
+        assert machine.deref(machine.regs.x(3)) == make_int(2)
+
+    def test_get_structure_write_mode_builds_functor(self):
+        symbols = SymbolTable()
+        machine = Machine(symbols=symbols)
+        findex = symbols.functor_index("f", 2)
+        entry = len(machine.code)
+        for instr in (Instruction(Op.PUT_X_VARIABLE, 0, 0),
+                      Instruction(Op.GET_STRUCTURE, findex, 0),
+                      Instruction(Op.UNIFY_CONSTANT, make_int(1)),
+                      Instruction(Op.UNIFY_CONSTANT, make_int(2)),
+                      Instruction(Op.PROCEED)):
+            machine.code.append(instr)
+        machine.run(entry)
+        word = machine.deref(machine.regs.x(0))
+        assert word.type is Type.STRUCT
+        functor = machine.memory.store.read(word.value)
+        assert symbols.functor_key(int(functor.value)) == ("f", 2)
+
+
+class TestGenUnify:
+    def test_success_binds(self):
+        machine, entry = build_machine(
+            Instruction(Op.PUT_X_VARIABLE, 1, 1),
+            Instruction(Op.PUT_CONSTANT, make_int(9), 2),
+            Instruction(Op.GEN_UNIFY, 1, 2))
+        run(machine, entry)
+        assert machine.deref(machine.regs.x(1)) == make_int(9)
+
+    def test_failure_backtracks(self):
+        machine, entry = build_machine(
+            Instruction(Op.PUT_CONSTANT, make_int(1), 1),
+            Instruction(Op.PUT_CONSTANT, make_int(2), 2),
+            Instruction(Op.GEN_UNIFY, 1, 2))
+        run(machine, entry)
+        assert machine.exhausted

@@ -1,0 +1,109 @@
+"""Unit tests for clause normalisation and control-construct lowering."""
+
+import pytest
+
+from repro.compiler.normalize import (
+    flatten_conjunction, group_program, normalize_program,
+)
+from repro.errors import CompileError
+from repro.prolog.parser import parse_program, parse_term
+from repro.prolog.terms import Atom
+
+
+def normalize(text):
+    return normalize_program(parse_program(text))
+
+
+class TestFlattening:
+    def test_single_goal(self):
+        assert flatten_conjunction(parse_term("a")) == [Atom("a")]
+
+    def test_right_leaning_conjunction(self):
+        goals = flatten_conjunction(parse_term("a, b, c"))
+        assert [g.name for g in goals] == ["a", "b", "c"]
+
+    def test_left_leaning_conjunction(self):
+        goals = flatten_conjunction(parse_term("(a, b), c"))
+        assert [g.name for g in goals] == ["a", "b", "c"]
+
+
+class TestClauses:
+    def test_fact_has_empty_body(self):
+        program = normalize("f(a).")
+        assert program.clauses[0].goals == []
+
+    def test_rule_body_flattened(self):
+        program = normalize("f :- a, b, c.")
+        assert len(program.clauses[0].goals) == 3
+
+    def test_grouping_preserves_order(self):
+        program = normalize("f(1). g. f(2). f(3).")
+        groups = group_program(program)
+        f_clauses = groups[("f", 1)]
+        values = [c.head.args[0].value for c in f_clauses]
+        assert values == [1, 2, 3]
+
+    def test_directive_rejected(self):
+        with pytest.raises(CompileError):
+            normalize(":- initialization(main).")
+
+    def test_number_clause_rejected(self):
+        with pytest.raises(CompileError):
+            normalize("42.")
+
+    def test_number_goal_rejected(self):
+        with pytest.raises(CompileError):
+            normalize("f :- 42.")
+
+
+class TestControlLowering:
+    def test_disjunction_becomes_two_aux_clauses(self):
+        program = normalize("f(X) :- ( a(X) ; b(X) ).")
+        groups = group_program(program)
+        aux = [key for key in groups if key[0].startswith("$(or)")]
+        assert len(aux) == 1
+        assert len(groups[aux[0]]) == 2
+        # The f clause calls the aux predicate.
+        f_goals = groups[("f", 1)][0].goals
+        assert f_goals[0].name == aux[0][0]
+
+    def test_if_then_else_uses_cut(self):
+        program = normalize("f(X) :- ( t(X) -> a ; b ).")
+        groups = group_program(program)
+        aux = next(key for key in groups if key[0].startswith("$(or)"))
+        first_clause = groups[aux][0]
+        assert Atom("!") in first_clause.goals
+
+    def test_bare_if_then(self):
+        program = normalize("f :- ( a -> b ).")
+        groups = group_program(program)
+        aux = next(key for key in groups if key[0].startswith("$(ite)"))
+        assert Atom("!") in groups[aux][0].goals
+        assert len(groups[aux]) == 1
+
+    def test_negation_as_failure(self):
+        program = normalize("f(X) :- \\+ p(X).")
+        groups = group_program(program)
+        aux = next(key for key in groups if key[0].startswith("$(not)"))
+        clauses = groups[aux]
+        assert len(clauses) == 2
+        assert clauses[0].goals[-2:] == [Atom("!"), Atom("fail")]
+        assert clauses[1].goals == []
+
+    def test_aux_head_carries_the_goal_variables(self):
+        program = normalize("f(X, Y) :- ( a(X) ; b(Y) ).")
+        groups = group_program(program)
+        aux = next(key for key in groups if key[0].startswith("$(or)"))
+        assert aux[1] == 2          # both X and Y are passed
+
+    def test_nested_control(self):
+        program = normalize("f :- ( a ; ( b -> c ; d ) ).")
+        groups = group_program(program)
+        aux_names = [key for key in groups if key[0].startswith("$(")]
+        assert len(aux_names) == 2
+
+    def test_variable_goal_becomes_metacall(self):
+        program = normalize("f(G) :- G.")
+        goal = program.clauses[0].goals[0]
+        assert goal.name == "call"
+        assert goal.arity == 1

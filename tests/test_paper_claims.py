@@ -1,0 +1,128 @@
+"""Quantitative claims from the paper's prose, asserted on the model."""
+
+import pytest
+
+from repro.api import run_query
+from repro.bench.programs import SUITE, SUITE_ORDER
+from repro.bench.runner import SuiteRunner
+from repro.core.machine import CP_ARGS, Machine
+from repro.core.registers import FILE_SIZE
+from repro.core.tags import Zone
+from repro.memory.layout import DEFAULT_LAYOUT
+
+
+class TestSection31:
+    def test_register_file_is_64_by_64(self):
+        """'registers in the 64 x 64 bit register file'."""
+        assert FILE_SIZE == 64
+        machine = Machine()
+        assert len(machine.regs.cells) == 64
+
+    def test_choice_point_is_about_ten_words(self):
+        """'The size of a choice point varies with the number of
+        arguments but its typical size is about 10 words.'"""
+        for arity in (0, 1, 2, 3):
+            assert 8 <= CP_ARGS + arity <= 13
+
+    def test_shallow_entry_saves_exactly_three_registers(self):
+        """'only three state registers are saved into shadow
+        registers'."""
+        program = "f(X) :- X > 0. f(_)."
+        result = run_query(program, "f(1)")
+        machine = result.machine
+        alt, h, tr = machine.regs.shadow()
+        assert alt.value and h.value and tr.value is not None
+
+
+class TestSection324:
+    def test_prolog_read_write_ratio_about_one(self):
+        """'the ratio of reads to writes in Prolog is about 1:1 which
+        is much smaller than in conventional programming languages.'"""
+        runner = SuiteRunner()
+        ratios = []
+        for name in ("nrev1", "hanoi", "qs4", "queens"):
+            result = runner.run(name, "pure")
+            ratios.append(result.stats.read_write_ratio)
+        average = sum(ratios) / len(ratios)
+        assert 0.5 <= average <= 2.5, ratios
+
+    def test_caches_are_8k_words_each(self):
+        machine = Machine()
+        assert machine.memory.data_cache.TOTAL_WORDS == 8192
+        assert machine.memory.code_cache.TOTAL_WORDS == 8192
+
+
+class TestSection2:
+    def test_split_stack_model(self):
+        """Section 2.4: 'two separate stacks for environments and
+        choice points'."""
+        assert DEFAULT_LAYOUT[Zone.LOCAL].base \
+            != DEFAULT_LAYOUT[Zone.CONTROL].base
+        program = "p(1). p(2). t(X) :- p(X), p(_)."
+        machine = run_query(program, "t(X)").machine
+        # Both stacks were actually used and live in their own zones.
+        assert machine.b == 0 or DEFAULT_LAYOUT[Zone.CONTROL].base \
+            <= machine.b < DEFAULT_LAYOUT[Zone.CONTROL].limit
+        assert DEFAULT_LAYOUT[Zone.LOCAL].base \
+            <= machine.e < DEFAULT_LAYOUT[Zone.LOCAL].limit
+
+    def test_private_memory_is_32_mbytes(self):
+        """Section 3.2.6: one board holds 32 MBytes."""
+        machine = Machine()
+        assert machine.memory.main_memory.words * 8 == 32 * 1024 * 1024
+
+
+class TestSection42Methodology:
+    def test_unit_clause_call_costs_five_cycles(self):
+        """'a call to these predicates costs only 5 cycles (the
+        minimum for a call/return sequence which creates two prefetch
+        pipeline breaks)': one extra argument-free call to a unit
+        clause is exactly 5 cycles."""
+        one = run_query("a.", "a")
+        two = run_query("a.", "a, a")
+        assert two.stats.cycles - one.stats.cycles == 5
+
+    def test_write_stub_is_a_unit_clause(self):
+        """The Table 2 methodology: write/1 links as NECK+PROCEED."""
+        from repro.core.opcodes import Op
+        machine = run_query("t :- write(x).", "t").machine
+        address = machine.predicates[("write", 1)]
+        assert machine.code[address].op is Op.NECK
+        assert machine.code[address + 1].op is Op.PROCEED
+
+    def test_inferences_are_implementation_independent(self):
+        """The same source yields the same count on every machine
+        configuration (the point of the paper's Klips definition)."""
+        from repro.baselines.plm import plm_machine
+        from repro.core.symbols import SymbolTable
+        program = SUITE["nrev1"].source_pure
+        query = SUITE["nrev1"].query_pure
+        kcm = run_query(program, query)
+        plm = run_query(program, query,
+                        machine=plm_machine(SymbolTable()))
+        assert kcm.stats.inferences == plm.stats.inferences == 497
+
+    def test_cut_not_counted_as_inference(self):
+        """Footnote: 'The cut operation is not counted as an
+        inference.'"""
+        with_cut = run_query("t :- !, a. a.", "t")
+        without_cut = run_query("t :- a. a.", "t")
+        assert with_cut.stats.inferences \
+            == without_cut.stats.inferences
+
+    def test_is_counts_one_whatever_the_expression(self):
+        """'the evaluation of an arithmetic expression (predicate
+        is/2) is counted as one inference whatever the complexity'."""
+        simple = run_query("t(X) :- X is 1 + 1.", "t(X)")
+        complex_ = run_query(
+            "t(X) :- X is ((1 + 2) * (3 + 4) - 5) // (2 + 1).", "t(X)")
+        assert simple.stats.inferences == complex_.stats.inferences
+
+
+class TestSection43:
+    def test_word_width_is_64_bits(self):
+        """Table 4 lists KCM's word as 64 bits — the widest of the
+        dedicated machines."""
+        from repro.bench.paper_data import TABLE4
+        assert TABLE4["KCM"].word_bits == 64
+        assert all(row.word_bits <= 64 for row in TABLE4.values())

@@ -1,0 +1,164 @@
+"""Unit tests for the operator-precedence reader."""
+
+import pytest
+
+from repro.errors import PrologSyntaxError
+from repro.prolog.parser import parse_program, parse_term
+from repro.prolog.terms import Atom, Float, Int, Struct, Var, make_list
+from repro.prolog.writer import term_to_text
+
+
+def canon(text):
+    """Parse and render back (precedence-revealing canonical form)."""
+    return term_to_text(parse_term(text))
+
+
+class TestPrimaries:
+    def test_constants(self):
+        assert parse_term("foo") == Atom("foo")
+        assert parse_term("42") == Int(42)
+        assert parse_term("3.5") == Float(3.5)
+        assert parse_term("[]") == Atom("[]")
+
+    def test_variables(self):
+        assert parse_term("X") == Var("X")
+        assert parse_term("_Foo") == Var("_Foo")
+
+    def test_anonymous_variables_distinct(self):
+        term = parse_term("f(_, _)")
+        assert term.args[0] != term.args[1]
+
+    def test_compound(self):
+        assert parse_term("f(a, B)") == Struct("f", (Atom("a"), Var("B")))
+
+    def test_nested_compound(self):
+        assert parse_term("f(g(h(x)))") == Struct(
+            "f", (Struct("g", (Struct("h", (Atom("x"),)),)),))
+
+    def test_atom_space_paren_is_not_call(self):
+        # "f (a)" is the operator-free atom f followed by (a) — an error
+        # at term level since two terms cannot be juxtaposed.
+        with pytest.raises(PrologSyntaxError):
+            parse_term("f (a) x")
+
+    def test_curly_braces(self):
+        assert parse_term("{}") == Atom("{}")
+        assert parse_term("{a}") == Struct("{}", (Atom("a"),))
+
+
+class TestLists:
+    def test_proper_list(self):
+        assert parse_term("[1,2,3]") == make_list([Int(1), Int(2), Int(3)])
+
+    def test_partial_list(self):
+        term = parse_term("[H|T]")
+        assert term == Struct(".", (Var("H"), Var("T")))
+
+    def test_multi_head_tail(self):
+        assert canon("[a,b|T]") == "[a, b|_T]"
+
+    def test_nested_lists(self):
+        assert canon("[[1],[2,[3]]]") == "[[1], [2, [3]]]"
+
+    def test_strings_become_code_lists(self):
+        assert parse_term('"ab"') == make_list([Int(97), Int(98)])
+
+
+class TestOperators:
+    def test_left_associative_minus(self):
+        assert parse_term("1-2-3") == Struct(
+            "-", (Struct("-", (Int(1), Int(2))), Int(3)))
+
+    def test_right_associative_comma(self):
+        term = parse_term("(a, b, c)")
+        assert term == Struct(",", (Atom("a"),
+                                    Struct(",", (Atom("b"), Atom("c")))))
+
+    def test_precedence_mul_over_add(self):
+        assert parse_term("1+2*3") == Struct(
+            "+", (Int(1), Struct("*", (Int(2), Int(3)))))
+
+    def test_parentheses_override(self):
+        assert parse_term("(1+2)*3") == Struct(
+            "*", (Struct("+", (Int(1), Int(2))), Int(3)))
+
+    def test_clause_operator(self):
+        term = parse_term("a :- b, c")
+        assert term.name == ":-"
+        assert term.args[0] == Atom("a")
+
+    def test_prefix_minus(self):
+        assert parse_term("-(5)") == Struct("-", (Int(5),))
+        assert parse_term("- x") == Struct("-", (Atom("x"),))
+
+    def test_negative_literal(self):
+        assert parse_term("-5") == Int(-5)
+        assert parse_term("f(-5)") == Struct("f", (Int(-5),))
+
+    def test_negation_operator(self):
+        assert parse_term("\\+ a") == Struct("\\+", (Atom("a"),))
+
+    def test_comparison_is_xfx(self):
+        with pytest.raises(PrologSyntaxError):
+            parse_term("a = b = c")
+
+    def test_if_then_else_shape(self):
+        term = parse_term("(a -> b ; c)")
+        assert term.name == ";"
+        assert term.args[0].name == "->"
+
+    def test_operator_as_atom_in_args(self):
+        assert parse_term("f(+, -)") == Struct("f", (Atom("+"), Atom("-")))
+
+    def test_power_right_associative(self):
+        assert parse_term("2^3^4") == Struct(
+            "^", (Int(2), Struct("^", (Int(3), Int(4)))))
+
+    def test_bar_as_disjunction(self):
+        term = parse_term("(a | b)")
+        assert term == Struct(";", (Atom("a"), Atom("b")))
+
+
+class TestPrograms:
+    def test_multiple_clauses(self):
+        clauses = parse_program("a. b :- c. d(X) :- e(X).")
+        assert len(clauses) == 3
+
+    def test_empty_program(self):
+        assert parse_program("") == []
+        assert parse_program("  % only a comment\n") == []
+
+    def test_missing_dot_raises(self):
+        with pytest.raises(PrologSyntaxError):
+            parse_program("a :- b")
+
+    def test_error_carries_position(self):
+        try:
+            parse_term("f(a,")
+        except PrologSyntaxError as error:
+            assert error.line >= 1
+        else:
+            pytest.fail("expected a syntax error")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(PrologSyntaxError):
+            parse_term("f(a))")
+
+
+class TestRoundTrips:
+    CASES = [
+        "f(a, B, [1, 2|T])",
+        "a :- b, c ; d",
+        "- 1 + 2 * 3 - f(x)",
+        "[[], [[]], f([a|b])]",
+        "{x, y}",
+        "'quoted atom'(1)",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_parse_write_parse_fixpoint(self, text):
+        once = parse_term(text)
+        again = parse_term(term_to_text(once, quoted=True))
+        # Variable names keep their identity up to the _ prefix.
+        assert term_to_text(again, quoted=True) \
+            == term_to_text(once, quoted=True)

@@ -1,0 +1,165 @@
+"""Property-based tests of the full machine: unification laws, sorting
+correctness, backtracking state restoration."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.api import run_query
+from repro.prolog.terms import list_to_python
+from repro.prolog.writer import term_to_text
+from repro.prolog.parser import parse_term
+
+SMALL_INTS = st.integers(min_value=-999, max_value=999)
+
+APPEND = ("append([], L, L).\n"
+          "append([H|T], L, [H|R]) :- append(T, L, R).\n")
+
+QSORT = """
+qsort([X|L], R, R0) :-
+    partition(L, X, L1, L2), qsort(L2, R1, R0),
+    qsort(L1, R, [X|R1]).
+qsort([], R, R).
+partition([X|L], Y, [X|L1], L2) :- X =< Y, !, partition(L, Y, L1, L2).
+partition([X|L], Y, L1, [X|L2]) :- partition(L, Y, L1, L2).
+partition([], _, [], []).
+"""
+
+NREV = APPEND + """
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+"""
+
+
+def plist(values):
+    return "[" + ",".join(str(v) for v in values) + "]"
+
+
+def decoded_list(result, name):
+    return [t.value for t in list_to_python(result.solutions[0][name])]
+
+
+class TestListAlgebra:
+    @given(st.lists(SMALL_INTS, max_size=12), st.lists(SMALL_INTS,
+                                                       max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_append_concatenates(self, xs, ys):
+        result = run_query(APPEND, f"append({plist(xs)}, {plist(ys)}, R)")
+        assert decoded_list(result, "R") == xs + ys
+
+    @given(st.lists(SMALL_INTS, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_append_splits_every_way(self, xs):
+        result = run_query(APPEND, f"append(X, Y, {plist(xs)})",
+                           all_solutions=True)
+        splits = []
+        for s in result.solutions:
+            left = [t.value for t in list_to_python(s["X"])]
+            right = [t.value for t in list_to_python(s["Y"])]
+            splits.append((tuple(left), tuple(right)))
+        expected = [(tuple(xs[:i]), tuple(xs[i:]))
+                    for i in range(len(xs) + 1)]
+        assert splits == expected
+
+    @given(st.lists(SMALL_INTS, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_nrev_is_python_reverse(self, xs):
+        result = run_query(NREV, f"nrev({plist(xs)}, R)")
+        assert decoded_list(result, "R") == list(reversed(xs))
+
+    @given(st.lists(SMALL_INTS, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_double_reverse_is_identity(self, xs):
+        result = run_query(NREV, f"nrev({plist(xs)}, R1), nrev(R1, R2)")
+        assert decoded_list(result, "R2") == xs
+
+    @given(st.lists(SMALL_INTS, max_size=14))
+    @settings(max_examples=30, deadline=None)
+    def test_qsort_agrees_with_sorted(self, xs):
+        result = run_query(QSORT, f"qsort({plist(xs)}, R, [])")
+        assert decoded_list(result, "R") == sorted(xs)
+
+
+class TestUnificationLaws:
+    @given(st.lists(SMALL_INTS, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_unification_is_symmetric(self, xs):
+        text = plist(xs)
+        left = run_query("dummy.", f"X = {text}, X = Y")
+        right = run_query("dummy.", f"Y = X, X = {text}")
+        assert term_to_text(left.solutions[0]["Y"]) \
+            == term_to_text(right.solutions[0]["Y"])
+
+    @given(SMALL_INTS, SMALL_INTS)
+    @settings(max_examples=25, deadline=None)
+    def test_ground_unification_is_equality(self, a, b):
+        result = run_query("dummy.", f"f({a}, {b}) = f({a}, {b})")
+        assert result.succeeded
+        crossed = run_query("dummy.", f"f({a}) = f({b})")
+        assert crossed.succeeded == (a == b)
+
+    @given(st.lists(SMALL_INTS, min_size=1, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_unification_idempotent_after_binding(self, xs):
+        text = plist(xs)
+        assert run_query("dummy.", f"X = {text}, X = {text}").succeeded
+
+
+class TestBacktrackingInvariants:
+    MEMBER = ("member(X, [X|_]).\n"
+              "member(X, [_|T]) :- member(X, T).\n")
+
+    @given(st.lists(SMALL_INTS, min_size=1, max_size=8, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_member_enumerates_in_order(self, xs):
+        result = run_query(self.MEMBER, f"member(X, {plist(xs)})",
+                           all_solutions=True)
+        assert [s["X"].value for s in result.solutions] == xs
+
+    @given(st.lists(SMALL_INTS, min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_trail_restores_heap_between_solutions(self, xs):
+        # Each solution must decode independently of the bindings the
+        # previous alternatives made.
+        result = run_query(
+            self.MEMBER + APPEND,
+            f"append(A, B, {plist(xs)}), member(1, A)",
+            all_solutions=True)
+        for s in result.solutions:
+            a = [t.value for t in list_to_python(s["A"])]
+            b = [t.value for t in list_to_python(s["B"])]
+            assert a + b == xs
+            assert 1 in a
+
+    @given(st.integers(min_value=2, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_between_full_enumeration(self, n):
+        program = """
+        between(L, _, L).
+        between(L, H, X) :- L < H, L1 is L + 1, between(L1, H, X).
+        """
+        result = run_query(program, f"between(1, {n}, X)",
+                           all_solutions=True)
+        assert [s["X"].value for s in result.solutions] \
+            == list(range(1, n + 1))
+
+
+class TestMachineStateInvariants:
+    @given(st.lists(SMALL_INTS, max_size=8))
+    @settings(max_examples=20, deadline=None)
+    def test_stacks_unwind_to_base_on_exhaustion(self, xs):
+        result = run_query(TestBacktrackingInvariants.MEMBER,
+                           f"member(X, {plist(xs)})", all_solutions=True)
+        machine = result.machine
+        # After exhausting the search space, B is back at the bottom
+        # and the trail is empty.
+        assert machine.b == 0
+        assert machine.trail.top == machine.trail.base
+
+    @given(st.lists(SMALL_INTS, max_size=6), st.lists(SMALL_INTS,
+                                                      max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_cycle_count_is_deterministic(self, xs, ys):
+        query = f"append({plist(xs)}, {plist(ys)}, R)"
+        first = run_query(APPEND, query)
+        second = run_query(APPEND, query)
+        assert first.stats.cycles == second.stats.cycles
+        assert first.stats.inferences == second.stats.inferences

@@ -1,0 +1,63 @@
+"""Property-based tests: reader/writer round trips on random terms."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.prolog.parser import parse_term
+from repro.prolog.terms import Atom, Float, Int, Struct, Term, Var
+from repro.prolog.writer import term_to_text
+
+# -- term strategies ---------------------------------------------------------
+
+atom_names = st.one_of(
+    st.from_regex(r"[a-z][a-zA-Z0-9_]{0,8}", fullmatch=True),
+    st.sampled_from(["foo", "bar", "[]", "hello world", "it's",
+                     "+", "-", "*", "end_of_file"]),
+)
+
+var_names = st.from_regex(r"[A-Z][a-zA-Z0-9_]{0,6}", fullmatch=True)
+
+
+def terms(max_depth: int = 3):
+    base = st.one_of(
+        atom_names.map(Atom),
+        st.integers(min_value=-2**31, max_value=2**31 - 1).map(Int),
+        st.floats(allow_nan=False, allow_infinity=False, width=32,
+                  min_value=-1e6, max_value=1e6).map(Float),
+        var_names.map(Var),
+    )
+
+    def extend(children):
+        return st.builds(
+            lambda name, args: Struct(name, tuple(args)),
+            atom_names.filter(lambda n: n != "[]"),
+            st.lists(children, min_size=1, max_size=3))
+
+    return st.recursive(base, extend, max_leaves=12)
+
+
+class TestReaderWriterRoundTrip:
+    @given(terms())
+    @settings(max_examples=150, deadline=None)
+    def test_quoted_write_then_read_is_identity(self, term: Term):
+        text = term_to_text(term, quoted=True)
+        reparsed = parse_term(text)
+        assert term_to_text(reparsed, quoted=True) == text
+
+    @given(st.lists(st.integers(-1000, 1000), max_size=20))
+    @settings(max_examples=80, deadline=None)
+    def test_integer_lists_roundtrip(self, values):
+        text = "[" + ",".join(map(str, values)) + "]"
+        term = parse_term(text)
+        out = term_to_text(term)
+        assert parse_term(out) == term
+
+    @given(terms())
+    @settings(max_examples=100, deadline=None)
+    def test_writer_total_on_random_terms(self, term: Term):
+        # The writer never crashes and always yields non-empty text.
+        assert term_to_text(term, quoted=True)
+
+    @given(st.integers(min_value=-2**31, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_integer_literals(self, n):
+        assert parse_term(str(n)) == Int(n)

@@ -1,0 +1,99 @@
+"""Unit tests for the symbol tables and instruction metadata."""
+
+import pytest
+
+from repro.core.instruction import Instruction, disassemble_range
+from repro.core.opcodes import (
+    BRANCHING_OPS, Format, OP_INFO, Op,
+)
+from repro.core.symbols import SymbolTable
+from repro.core.tags import Type
+from repro.core.word import make_int
+
+
+class TestSymbolTable:
+    def test_atom_interning_is_stable(self):
+        table = SymbolTable()
+        first = table.atom_index("hello")
+        second = table.atom_index("hello")
+        assert first == second
+        assert table.atom_name(first) == "hello"
+
+    def test_nil_reserved_at_zero(self):
+        table = SymbolTable()
+        assert table.atom_index("[]") == 0
+
+    def test_atom_word_for_nil_is_nil_typed(self):
+        table = SymbolTable()
+        assert table.atom_word("[]").type is Type.NIL
+        assert table.atom_word("foo").type is Type.ATOM
+
+    def test_functor_keyed_by_name_and_arity(self):
+        table = SymbolTable()
+        f1 = table.functor_index("f", 1)
+        f2 = table.functor_index("f", 2)
+        assert f1 != f2
+        assert table.functor_key(f1) == ("f", 1)
+        assert table.functor_name(f2) == "f/2"
+
+    def test_counts(self):
+        table = SymbolTable()
+        table.atom_index("a")
+        table.functor_index("g", 3)
+        assert table.atom_count == 2           # '[]' plus 'a'
+        assert table.functor_count == 1
+
+    def test_describe_constant(self):
+        table = SymbolTable()
+        assert table.describe_constant(table.atom_word("abc")) == "abc"
+        assert table.describe_constant(make_int(9)) == "9"
+
+
+class TestOpcodeMetadata:
+    def test_every_opcode_has_info(self):
+        for op in Op:
+            assert op in OP_INFO
+
+    def test_formats_partition(self):
+        for op, info in OP_INFO.items():
+            assert info.format in (Format.R4, Format.ADDR)
+            assert info.base_words >= 1
+
+    def test_switch_on_term_is_two_words(self):
+        assert OP_INFO[Op.SWITCH_ON_TERM].base_words == 2
+
+    def test_branching_ops_use_address_format(self):
+        for op in BRANCHING_OPS:
+            assert OP_INFO[op].format is Format.ADDR
+
+
+class TestInstruction:
+    def test_size_defaults_from_opcode(self):
+        assert Instruction(Op.PROCEED).size == 1
+        assert Instruction(Op.SWITCH_ON_TERM, 1, 2, 3, 4).size == 2
+
+    def test_switch_table_grows_size(self):
+        table = {("k", i): i for i in range(5)}
+        instr = Instruction(Op.SWITCH_ON_CONSTANT, table, None)
+        assert instr.size == 1 + 5
+
+    def test_disassemble_shows_fields(self):
+        text = Instruction(Op.CALL, 42, 2).disassemble()
+        assert "call" in text and "42" in text and "2" in text
+
+    def test_disassemble_marks_inference_goals(self):
+        assert "; goal" in Instruction(Op.CALL, 0, 0,
+                                       infer=True).disassemble()
+
+    def test_disassemble_range_skips_padding(self):
+        code = [Instruction(Op.SWITCH_ON_TERM, 0, 1, 2, 3), None,
+                Instruction(Op.PROCEED)]
+        text = disassemble_range(code, 0, 3)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "switch_on_term" in lines[0]
+        assert "proceed" in lines[1]
+
+    def test_word_operand_rendered(self):
+        text = Instruction(Op.PUT_CONSTANT, make_int(7), 0).disassemble()
+        assert "INT" in text

@@ -1,0 +1,109 @@
+"""Unit tests for the word/address bit layout (paper figures 2 and 7)."""
+
+import pytest
+
+from repro.core import tags
+from repro.core.tags import Type, Zone
+
+
+class TestLayoutConstants:
+    def test_word_split_is_32_32(self):
+        assert tags.VALUE_BITS == 32
+        assert tags.TAG_BITS == 32
+        assert tags.WORD_BITS == 64
+
+    def test_type_field_is_bits_51_to_48(self):
+        assert tags.TYPE_SHIFT == 48
+        assert tags.TYPE_BITS == 4
+
+    def test_zone_field_is_bits_55_to_52(self):
+        assert tags.ZONE_SHIFT == 52
+        assert tags.ZONE_BITS == 4
+
+    def test_sixteen_types_and_zones_fit_their_fields(self):
+        assert len(Type) == 16
+        assert all(0 <= int(t) < 16 for t in Type)
+        assert all(0 <= int(z) < 16 for z in Zone)
+
+    def test_addresses_are_28_bits(self):
+        assert tags.ADDRESS_BITS == 28
+        assert tags.ADDRESS_MASK == (1 << 28) - 1
+
+    def test_page_size_is_16k_words(self):
+        assert tags.PAGE_SIZE_WORDS == 16 * 1024
+        assert tags.PAGE_NUMBER_BITS == 14
+
+    def test_zone_granule_is_4k_words(self):
+        assert tags.ZONE_GRANULE_WORDS == 4 * 1024
+
+
+class TestTagPacking:
+    @pytest.mark.parametrize("type_", list(Type))
+    def test_type_roundtrip(self, type_):
+        tag = tags.make_tag(type_)
+        assert tags.tag_type(tag) is type_
+
+    @pytest.mark.parametrize("zone", list(Zone))
+    def test_zone_roundtrip(self, zone):
+        tag = tags.make_tag(Type.REF, zone)
+        assert tags.tag_zone(tag) is zone
+        assert tags.tag_type(tag) is Type.REF
+
+    def test_gc_bits_independent(self):
+        tag = tags.make_tag(Type.LIST, Zone.GLOBAL, gc_mark=True)
+        assert tags.tag_gc_mark(tag)
+        assert not tags.tag_gc_link(tag)
+        tag = tags.with_gc_link(tag, True)
+        assert tags.tag_gc_mark(tag) and tags.tag_gc_link(tag)
+        tag = tags.with_gc_mark(tag, False)
+        assert not tags.tag_gc_mark(tag) and tags.tag_gc_link(tag)
+        # Type and zone untouched by GC-bit edits.
+        assert tags.tag_type(tag) is Type.LIST
+        assert tags.tag_zone(tag) is Zone.GLOBAL
+
+    def test_tag_fits_32_bits(self):
+        tag = tags.make_tag(Type.SPARE, Zone.SYSTEM, True, True)
+        assert 0 <= tag < (1 << 32)
+
+
+class TestAddressDecomposition:
+    def test_page_number_and_offset(self):
+        address = (5 << 14) | 123
+        assert tags.page_number(address) == 5
+        assert tags.page_offset(address) == 123
+
+    def test_page_offset_covers_full_page(self):
+        assert tags.page_offset(tags.PAGE_SIZE_WORDS - 1) \
+            == tags.PAGE_SIZE_WORDS - 1
+        assert tags.page_offset(tags.PAGE_SIZE_WORDS) == 0
+        assert tags.page_number(tags.PAGE_SIZE_WORDS) == 1
+
+    def test_address_in_range_rejects_high_bits(self):
+        assert tags.address_in_range(tags.ADDRESS_MASK)
+        assert not tags.address_in_range(tags.ADDRESS_MASK + 1)
+        assert not tags.address_in_range(-1)
+        assert tags.address_in_range(0)
+
+    def test_zone_granule_index(self):
+        assert tags.zone_granule(0) == 0
+        assert tags.zone_granule(4096) == 1
+        assert tags.zone_granule(4095) == 0
+
+
+class TestZoneTypeRules:
+    def test_numbers_never_address_anything(self):
+        for allowed in tags.ZONE_ADDRESS_TYPES.values():
+            assert Type.INT not in allowed
+            assert Type.FLOAT not in allowed
+
+    def test_lists_and_structures_only_into_global(self):
+        assert Type.LIST in tags.ZONE_ADDRESS_TYPES[Zone.GLOBAL]
+        assert Type.STRUCT in tags.ZONE_ADDRESS_TYPES[Zone.GLOBAL]
+        assert Type.LIST not in tags.ZONE_ADDRESS_TYPES[Zone.LOCAL]
+        assert Type.STRUCT not in tags.ZONE_ADDRESS_TYPES[Zone.LOCAL]
+
+    def test_local_accepts_references(self):
+        assert Type.REF in tags.ZONE_ADDRESS_TYPES[Zone.LOCAL]
+
+    def test_pointer_and_immediate_partition(self):
+        assert not (tags.POINTER_TYPES & tags.IMMEDIATE_TYPES)

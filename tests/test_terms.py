@@ -1,0 +1,77 @@
+"""Unit tests for the source-term representation and helpers."""
+
+import pytest
+
+from repro.prolog.terms import (
+    Atom, Int, Struct, Var, cons, functor_indicator, is_callable,
+    is_list_cell, list_to_python, make_list, rename_apart,
+    term_variables,
+)
+
+
+class TestConstruction:
+    def test_struct_requires_arguments(self):
+        with pytest.raises(ValueError):
+            Struct("f", ())
+
+    def test_indicator(self):
+        assert Struct("f", (Atom("a"), Atom("b"))).indicator == ("f", 2)
+        assert functor_indicator(Atom("x")) == ("x", 0)
+
+    def test_functor_indicator_rejects_numbers(self):
+        with pytest.raises(ValueError):
+            functor_indicator(Int(3))
+
+    def test_callable(self):
+        assert is_callable(Atom("a"))
+        assert is_callable(Struct("f", (Int(1),)))
+        assert not is_callable(Int(1))
+        assert not is_callable(Var("X"))
+
+
+class TestLists:
+    def test_make_and_unmake(self):
+        term = make_list([Int(1), Int(2)])
+        assert is_list_cell(term)
+        assert list_to_python(term) == [Int(1), Int(2)]
+
+    def test_empty_list(self):
+        assert list_to_python(Atom("[]")) == []
+
+    def test_partial_list_rejected(self):
+        with pytest.raises(ValueError):
+            list_to_python(cons(Int(1), Var("T")))
+
+    def test_custom_tail(self):
+        term = make_list([Int(1)], tail=Var("T"))
+        assert term.args[1] == Var("T")
+
+
+class TestVariables:
+    def test_first_occurrence_order(self):
+        term = Struct("f", (Var("B"), Struct("g", (Var("A"), Var("B")))))
+        assert [v.name for v in term_variables(term)] == ["B", "A"]
+
+    def test_deep_left_leaning_term(self):
+        term = Var("X0")
+        for i in range(2000):
+            term = Struct("f", (term, Var(f"X{i + 1}")))
+        names = term_variables(term)          # must not hit the Python
+        assert len(names) == 2001             # recursion limit
+
+    def test_rename_apart(self):
+        term = Struct("f", (Var("X"), Atom("a")))
+        renamed = rename_apart(term, "_1")
+        assert renamed.args[0] == Var("X_1")
+        assert renamed.args[1] == Atom("a")
+
+
+class TestHashing:
+    def test_terms_key_dictionaries(self):
+        table = {Atom("a"): 1, Int(1): 2, Struct("f", (Int(1),)): 3}
+        assert table[Atom("a")] == 1
+        assert table[Struct("f", (Int(1),))] == 3
+
+    def test_equality_distinguishes_types(self):
+        assert Atom("1") != Int(1)
+        assert Var("a") != Atom("a")

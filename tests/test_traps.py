@@ -1,0 +1,85 @@
+"""Run-time traps: stack overflow, cycle budget, zone violations
+through the full machine path."""
+
+import pytest
+
+from repro.api import compile_and_load, run_query
+from repro.core.machine import Machine
+from repro.core.symbols import SymbolTable
+from repro.core.tags import Zone
+from repro.errors import CycleLimitExceeded, StackOverflowTrap
+from repro.memory.layout import DEFAULT_LAYOUT, Region
+from repro.memory.memory_system import MemorySystem
+
+LOOP = """
+loop(N) :- M is N + 1, grow(M, _), loop(M).
+grow(N, f(N, N)).
+"""
+
+INFINITE = "spin :- spin."
+
+
+class TestCycleBudget:
+    def test_runaway_program_hits_the_budget(self):
+        with pytest.raises(CycleLimitExceeded):
+            run_query(INFINITE, "spin", max_cycles=10_000)
+
+    def test_budget_not_hit_by_normal_runs(self):
+        result = run_query("f(a).", "f(X)", max_cycles=10_000)
+        assert result.succeeded
+
+
+class TestStackOverflow:
+    def _tiny_heap_machine(self):
+        layout = dict(DEFAULT_LAYOUT)
+        layout[Zone.GLOBAL] = Region(Zone.GLOBAL,
+                                     DEFAULT_LAYOUT[Zone.GLOBAL].base,
+                                     0x4000)
+        memory = MemorySystem(layout=layout)
+        return Machine(symbols=SymbolTable(), memory=memory)
+
+    def test_heap_exhaustion_traps(self):
+        machine = self._tiny_heap_machine()
+        machine = compile_and_load(LOOP, "loop(0)", machine=machine)
+        with pytest.raises(StackOverflowTrap):
+            machine.run(machine.image.entry, answer_names=[])
+
+    def test_trap_names_the_zone(self):
+        machine = self._tiny_heap_machine()
+        machine = compile_and_load(LOOP, "loop(0)", machine=machine)
+        with pytest.raises(StackOverflowTrap, match="GLOBAL"):
+            machine.run(machine.image.entry, answer_names=[])
+
+    def test_zone_growth_allows_continuation(self):
+        """The runtime's stack-management policy: on overflow, grow the
+        zone limits (section 3.2.3: 'The limits of the zones may be
+        changed dynamically') and rerun."""
+        machine = self._tiny_heap_machine()
+        base = DEFAULT_LAYOUT[Zone.GLOBAL].base
+        program = """
+        build(0, []).
+        build(N, [N|T]) :- N > 0, M is N - 1, build(M, T).
+        """
+        machine = compile_and_load(program, "build(10000, L)",
+                                   machine=machine)
+        with pytest.raises(StackOverflowTrap):
+            machine.run(machine.image.entry, answer_names=["L"])
+        machine.memory.zones.set_limits(Zone.GLOBAL, base,
+                                        base + 0x100000)
+        stats = machine.run(machine.image.entry, answer_names=["L"])
+        assert machine.solutions
+
+
+class TestLocalStackDiscipline:
+    def test_deep_non_tail_recursion_uses_local_stack(self):
+        program = """
+        depth(0, 0).
+        depth(N, D) :- N > 0, M is N - 1, depth(M, D0), D is D0 + 1.
+        """
+        result = run_query(program, "depth(300, D)")
+        assert result.solutions[0]["D"].value == 300
+        machine = result.machine
+        # Every frame was popped on the way out: E is back at the
+        # bootstrap frame.  (local_top() can still sit high because a
+        # live choice point of the final depth(0, _) call protects it.)
+        assert machine.e == machine._stack_base[Zone.LOCAL]

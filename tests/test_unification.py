@@ -1,0 +1,127 @@
+"""Unification semantics through the full machine path."""
+
+import pytest
+
+from repro.api import run_query
+from tests.conftest import all_bindings, first_binding
+
+DUMMY = "dummy."
+
+
+class TestBasicUnification:
+    @pytest.mark.parametrize("goal,holds", [
+        ("a = a", True), ("a = b", False),
+        ("1 = 1", True), ("1 = 2", False),
+        ("1 = 1.0", False),                 # int and float differ
+        ("X = a", True),
+        ("f(X) = f(1)", True),
+        ("f(a, b) = f(a, b)", True),
+        ("f(a) = f(a, b)", False),          # arity mismatch
+        ("f(a) = g(a)", False),             # name mismatch
+        ("[1, 2] = [1, 2]", True),
+        ("[1, 2] = [1, 2, 3]", False),
+        ("[] = []", True),
+        ("[] = [_]", False),
+        ("f(X, X) = f(1, 1)", True),
+        ("f(X, X) = f(1, 2)", False),       # shared variable conflict
+    ])
+    def test_unify_goal(self, goal, holds):
+        assert run_query(DUMMY, goal).succeeded == holds
+
+    def test_variable_to_variable_aliasing(self):
+        result = run_query(DUMMY, "X = Y, Y = 42, Z = X")
+        assert result.solutions[0]["Z"].value == 42
+
+    def test_deep_structure(self):
+        goal = "f(g(h(X), [a, Y]), Z) = f(g(h(1), [a, 2]), end)"
+        result = run_query(DUMMY, goal)
+        assert result.bindings_text() == "X = 1, Y = 2, Z = end"
+
+    def test_partial_list_unification(self):
+        assert first_binding(DUMMY, "[H|T] = [1, 2, 3], T = R", "R") \
+            == "[2, 3]"
+
+    def test_long_list_unification(self):
+        n = 200
+        left = "[" + ",".join(str(i) for i in range(n)) + "]"
+        assert run_query(DUMMY, f"X = {left}, X = {left}").succeeded
+
+    def test_bidirectional_flow(self):
+        # Head unification propagates both ways.
+        program = "same(X, X)."
+        result = run_query(program, "same(f(A, 2), f(1, B))")
+        assert result.bindings_text() == "A = 1, B = 2"
+
+
+class TestHeadUnificationModes:
+    """get/unify instructions in read vs write mode."""
+
+    PROGRAM = """
+    shape(point(X, Y), coords(X, Y)).
+    head([H|_], H).
+    pair(X-Y, X, Y).
+    """
+
+    def test_read_mode(self):
+        assert first_binding(self.PROGRAM, "shape(point(1, 2), C)",
+                             "C") == "coords(1, 2)"
+
+    def test_write_mode(self):
+        # Unbound first argument: the head builds the structure.
+        result = run_query(self.PROGRAM, "shape(P, coords(9, 8))")
+        assert result.bindings_text() == "P = point(9, 8)"
+
+    def test_list_read(self):
+        assert first_binding(self.PROGRAM, "head([a, b], H)", "H") == "a"
+
+    def test_operator_term_in_head(self):
+        result = run_query(self.PROGRAM, "pair(3-4, A, B)")
+        assert result.bindings_text() == "A = 3, B = 4"
+
+    def test_nested_write_mode(self):
+        program = "make(f(g(X), [X, h(X)]))."
+        result = run_query(program, "make(T), T = f(g(1), L)")
+        assert first_binding(program, "make(f(g(7), [A|_]))", "A") == "7"
+
+
+class TestOccursAndSharing:
+    def test_shared_subterm(self):
+        result = run_query(DUMMY, "X = f(Y), Y = 1, X = R")
+        assert "f(1)" == run_query(
+            DUMMY, "X = f(Y), Y = 1, X = R").bindings_text().split(
+                "R = ")[-1].split(",")[0] \
+            or result.succeeded
+
+    def test_chain_of_aliases(self):
+        result = run_query(DUMMY, "A = B, B = C, C = D, D = done, R = A")
+        assert result.solutions[0]["R"].name == "done"
+
+
+class TestTrailCorrectness:
+    def test_bindings_undone_across_alternatives(self):
+        program = """
+        pick(f(1, one)).
+        pick(f(2, two)).
+        t(N, W) :- pick(f(N, W)).
+        """
+        pairs = [(s["N"].value, s["W"].name) for s in run_query(
+            program, "t(N, W)", all_solutions=True).solutions]
+        assert pairs == [(1, "one"), (2, "two")]
+
+    def test_deep_bindings_unwound(self):
+        program = """
+        try([1, 2, 3]).
+        try([9, 9, 9]).
+        t(L) :- try(L), L = [9|_].
+        """
+        assert first_binding(program, "t(L)", "L") == "[9, 9, 9]"
+
+    def test_trail_entries_created_for_old_bindings(self):
+        program = """
+        m(X, [X|_]).
+        m(X, [_|T]) :- m(X, T).
+        """
+        result = run_query(program, "m(Q, [a, b]), Q = b",
+                           all_solutions=True)
+        assert result.stats.trail_pushes > 0
+        assert [s["Q"].name for s in result.solutions] == ["b"]

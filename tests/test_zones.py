@@ -1,0 +1,106 @@
+"""Unit tests for the zone check (paper section 3.2.3)."""
+
+import pytest
+
+from repro.core.tags import Type, Zone
+from repro.errors import StackOverflowTrap, ZoneTrap
+from repro.memory.layout import DEFAULT_LAYOUT
+from repro.memory.zones import ZoneChecker
+
+
+@pytest.fixture
+def checker():
+    return ZoneChecker()
+
+
+GLOBAL_BASE = DEFAULT_LAYOUT[Zone.GLOBAL].base
+LOCAL_BASE = DEFAULT_LAYOUT[Zone.LOCAL].base
+
+
+class TestTypeRules:
+    def test_list_allowed_into_global(self, checker):
+        checker.check(Zone.GLOBAL, GLOBAL_BASE, Type.LIST, is_write=False)
+
+    def test_float_never_an_address(self, checker):
+        with pytest.raises(ZoneTrap):
+            checker.check(Zone.GLOBAL, GLOBAL_BASE, Type.FLOAT,
+                          is_write=False)
+
+    def test_integer_never_an_address(self, checker):
+        with pytest.raises(ZoneTrap):
+            checker.check(Zone.LOCAL, LOCAL_BASE, Type.INT, is_write=True)
+
+    def test_list_not_allowed_into_local(self, checker):
+        with pytest.raises(ZoneTrap):
+            checker.check(Zone.LOCAL, LOCAL_BASE, Type.LIST,
+                          is_write=False)
+
+    def test_reference_into_local_ok(self, checker):
+        checker.check(Zone.LOCAL, LOCAL_BASE, Type.REF, is_write=True)
+
+
+class TestLimits:
+    def test_below_zone_base_traps(self, checker):
+        with pytest.raises(StackOverflowTrap):
+            checker.check(Zone.GLOBAL, GLOBAL_BASE - 4096, Type.LIST,
+                          is_write=False)
+
+    def test_beyond_zone_limit_traps(self, checker):
+        limit = DEFAULT_LAYOUT[Zone.GLOBAL].limit
+        with pytest.raises(StackOverflowTrap):
+            checker.check(Zone.GLOBAL, limit + 4096, Type.LIST,
+                          is_write=False)
+
+    def test_granularity_is_4k(self, checker):
+        # Limits compare at 4K-word granularity: an address in the same
+        # granule as the limit still passes.
+        checker.set_limits(Zone.GLOBAL, GLOBAL_BASE, GLOBAL_BASE + 100)
+        checker.check(Zone.GLOBAL, GLOBAL_BASE + 4095, Type.REF,
+                      is_write=False)
+        with pytest.raises(StackOverflowTrap):
+            checker.check(Zone.GLOBAL, GLOBAL_BASE + 4096, Type.REF,
+                          is_write=False)
+
+    def test_dynamic_limit_change(self, checker):
+        new_max = GLOBAL_BASE + 8192
+        checker.set_limits(Zone.GLOBAL, GLOBAL_BASE, new_max)
+        checker.check(Zone.GLOBAL, new_max - 1, Type.REF, is_write=False)
+        with pytest.raises(StackOverflowTrap):
+            checker.check(Zone.GLOBAL, new_max + 4096, Type.REF,
+                          is_write=False)
+
+    def test_high_address_bits_must_be_zero(self, checker):
+        with pytest.raises(ZoneTrap):
+            checker.check(Zone.GLOBAL, 1 << 28, Type.REF, is_write=False)
+
+
+class TestWriteProtection:
+    def test_write_protected_zone_traps_on_write(self, checker):
+        checker.set_write_protected(Zone.STATIC, True)
+        base = DEFAULT_LAYOUT[Zone.STATIC].base
+        checker.check(Zone.STATIC, base, Type.REF, is_write=False)
+        with pytest.raises(ZoneTrap):
+            checker.check(Zone.STATIC, base, Type.REF, is_write=True)
+
+    def test_protection_can_be_lifted(self, checker):
+        checker.set_write_protected(Zone.STATIC, True)
+        checker.set_write_protected(Zone.STATIC, False)
+        checker.check(Zone.STATIC, DEFAULT_LAYOUT[Zone.STATIC].base,
+                      Type.REF, is_write=True)
+
+
+class TestBehaviour:
+    def test_disabled_checker_allows_anything(self):
+        checker = ZoneChecker(enabled=False)
+        checker.check(Zone.GLOBAL, 10, Type.FLOAT, is_write=True)
+
+    def test_unmapped_zone_traps(self, checker):
+        with pytest.raises(ZoneTrap):
+            checker.check(Zone.CODE, 0, Type.CODE_PTR, is_write=False)
+
+    def test_violations_counted(self, checker):
+        before = checker.violations
+        with pytest.raises(ZoneTrap):
+            checker.check(Zone.GLOBAL, GLOBAL_BASE, Type.INT,
+                          is_write=False)
+        assert checker.violations == before + 1
