@@ -17,11 +17,21 @@ from repro.core import (
 )
 from repro.compiler import Linker, link_program
 from repro.compiler.incremental import IncrementalLoader
-from repro.core.gc import HeapMarker, should_collect
+from repro.core import MachineCheckpoint, TrapReport, TrapVector
+from repro.core.gc import (
+    HeapCompactor, HeapMarker, should_collect,
+)
 from repro.core.monitor import (
     CycleProfiler, MacrocodeTracer, PortTracer, attach,
 )
+from repro.errors import (
+    CycleLimitExceeded, MachineError, MachineTrap, PageFault,
+    ProtectionFault, SpuriousTrap, StackOverflowTrap, ZoneTrap,
+)
 from repro.prolog import parse_program, parse_term, term_to_text
+from repro.recovery import (
+    FaultInjector, GrowthPolicy, install_default_recovery,
+)
 
 __version__ = "1.0.0"
 
@@ -30,8 +40,12 @@ __all__ = [
     "CostModel", "Features", "Machine", "RunStats", "SymbolTable",
     "Type", "Word", "Zone", "kcm_cost_model", "kcm_features",
     "Linker", "link_program", "IncrementalLoader",
-    "HeapMarker", "should_collect",
+    "HeapCompactor", "HeapMarker", "should_collect",
     "CycleProfiler", "MacrocodeTracer", "PortTracer", "attach",
     "parse_program", "parse_term", "term_to_text",
+    "MachineCheckpoint", "TrapReport", "TrapVector",
+    "MachineError", "MachineTrap", "ZoneTrap", "StackOverflowTrap",
+    "PageFault", "ProtectionFault", "SpuriousTrap", "CycleLimitExceeded",
+    "FaultInjector", "GrowthPolicy", "install_default_recovery",
     "__version__",
 ]

@@ -58,6 +58,12 @@ class QueryResult:
         """Text produced by write/1 and friends (real-I/O mode only)."""
         return "".join(self.machine.output)
 
+    @property
+    def trap_reports(self):
+        """Every trap the run delivered (recovered or fatal), as
+        :class:`repro.core.traps.TrapReport` objects in delivery order."""
+        return list(self.machine.trap_log)
+
     def bindings_text(self, index: int = 0) -> str:
         """Readable rendering of one solution's bindings."""
         solution = self.solutions[index]
@@ -87,17 +93,31 @@ def run_query(program: str, query: str,
               io_mode: str = "stub",
               costs: Optional[CostModel] = None,
               features: Optional[Features] = None,
-              max_cycles: Optional[int] = None) -> QueryResult:
+              max_cycles: Optional[int] = None,
+              recovery: bool = False,
+              injector=None) -> QueryResult:
     """Compile ``program``, run ``query``, return solutions and stats.
 
     ``all_solutions=True`` backtracks through the whole search space;
     the default stops at the first solution, like the benchmark runs.
+
+    ``recovery=True`` arms the machine with the production trap
+    handlers (:func:`repro.recovery.install_default_recovery`) so stack
+    overflows, page faults and heap overflows are repaired and the run
+    continues instead of aborting.  ``injector`` attaches a
+    :class:`repro.recovery.FaultInjector` for the run and implies
+    ``recovery`` unless the machine's trap vector is already armed.
     """
     machine = compile_and_load(program, query, machine=machine,
                                io_mode=io_mode, costs=costs,
                                features=features)
     if max_cycles is not None:
         machine.max_cycles = max_cycles
+    if (recovery or injector is not None) and not machine.trap_vector.armed:
+        from repro.recovery import install_default_recovery
+        install_default_recovery(machine)
+    if injector is not None:
+        injector.attach(machine)
     image: LinkedImage = machine.image
     stats = machine.run(image.entry, collect_all=all_solutions,
                         answer_names=image.query_variable_names)

@@ -15,6 +15,7 @@ from repro.core.registers import RegisterFile
 from repro.core.statistics import RunStats
 from repro.core.symbols import SymbolTable
 from repro.core.tags import Type, Zone
+from repro.core.traps import MachineCheckpoint, TrapReport, TrapVector
 from repro.core.word import Word
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "kcm_features", "Instruction", "disassemble_range", "Machine",
     "ArithOp", "Op", "TestOp", "RegisterFile", "RunStats", "SymbolTable",
     "Type", "Zone", "Word",
+    "MachineCheckpoint", "TrapReport", "TrapVector",
 ]

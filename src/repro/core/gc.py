@@ -10,9 +10,13 @@ diagnostics:
 
 - :class:`HeapMarker` marks every reachable global-stack cell via the
   ``gc_mark`` bit, reports live/dead statistics, and restores the heap
-  to its exact pre-mark state (the bits are cleared by a sweep), and
+  to its exact pre-mark state (the bits are cleared by a sweep),
 - :func:`should_collect` is the zone-monitoring trigger: collect when
-  the heap top crosses a configurable fraction of its zone.
+  the heap top crosses a configurable fraction of its zone, and
+- :class:`HeapCompactor` is a *reclaiming* collector: an
+  order-preserving sliding compaction that moves live cells to the
+  bottom of the global stack and relocates every referent, used by the
+  heap-overflow recovery handler (see :mod:`repro.recovery`).
 
 Root set: the argument/temporary registers, the environment chain
 (Y slots sized by the WAM trimming convention), every choice point's
@@ -24,6 +28,7 @@ registers are dead without compiler liveness maps.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import List
 
@@ -33,7 +38,7 @@ from repro.core.machine import (
 from repro.core.opcodes import Op
 from repro.core.registers import X_REGISTERS
 from repro.core.tags import Type, Zone
-from repro.core.word import Word
+from repro.core.word import Word, make_unbound
 
 
 @dataclass
@@ -148,6 +153,13 @@ class HeapMarker:
                         and heap_base <= word.value < heap_top:
                     store.write(word.value, functor.with_gc_mark(True))
                     live += 1
+                    # A structure pointer whose target is not a functor
+                    # cell is garbage from an interrupted heap write
+                    # (e.g. a trap between the STRUCT bind and the
+                    # functor push); mark the target conservatively but
+                    # do not walk arguments that were never written.
+                    if functor.type is not Type.FUNCTOR:
+                        continue
                     _, arity = machine.symbols.functor_key(
                         int(functor.value))
                     for i in range(1, arity + 1):
@@ -187,3 +199,141 @@ def should_collect(machine, threshold: float = 0.9) -> bool:
     region = machine.memory.layout[Zone.GLOBAL]
     used = machine.h - region.base
     return used >= threshold * region.size
+
+
+# ---------------------------------------------------------------------------
+# compaction (the reclaiming collector behind heap-overflow recovery)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CollectStats:
+    """Result of one compacting collection."""
+
+    heap_cells: int            # words between heap base and old H
+    live_cells: int            # cells that survived (new heap size)
+    roots_scanned: int
+
+    @property
+    def freed_cells(self) -> int:
+        """Words returned to the top of the global stack."""
+        return self.heap_cells - self.live_cells
+
+    @property
+    def freed_fraction(self) -> float:
+        """freed / total (0.0 on an empty heap)."""
+        if not self.heap_cells:
+            return 0.0
+        return self.freed_cells / self.heap_cells
+
+
+class HeapCompactor:
+    """Order-preserving sliding compaction of the global stack.
+
+    Marks via :class:`HeapMarker`, then slides every live cell down
+    toward the heap base *preserving address order* — the property that
+    keeps the WAM invariants alive: saved-H values in choice points
+    still delimit exactly the cells allocated after that choice point,
+    so backtracking's "reset H" reclamation stays correct (this is the
+    standard approach of SICStus-family collectors).
+
+    All referents are relocated: pointers inside surviving heap cells,
+    the register file (including the shadow H register), every
+    initialised cell outside the heap that carries a GLOBAL-zone
+    pointer (environments, choice-point saved fields, trail entries,
+    bound static cells), and the machine's H, HB, S and shadow-H
+    registers.  Boundary pointers at dead addresses (saved H marks)
+    forward to the new address of the first surviving cell at or above
+    them, which preserves segment boundaries.
+
+    Runs on the functional store directly: a real collection was host
+    software on KCM (section 2.2), so its cost is charged by the
+    recovery handler as a lump sum, not per simulated access.
+    """
+
+    #: cycles charged per heap cell examined by the collector (a
+    #: host-software mark-slide pass; deliberately coarse).
+    CYCLES_PER_CELL = 2
+
+    def __init__(self, machine):
+        self.machine = machine
+
+    def collect(self) -> CollectStats:
+        """Mark, slide, relocate; returns what was reclaimed."""
+        machine = self.machine
+        store = machine.memory.store
+        heap_base = machine._stack_base[Zone.GLOBAL]
+        old_top = machine.h
+
+        mark_stats = HeapMarker(machine).mark()
+        marked = [address for address in range(heap_base, old_top)
+                  if store.read(address).gc_mark]
+
+        def forward(address: int) -> int:
+            """New address for ``address``: its slide target when live,
+            else the slide target of the next live cell above it
+            (monotone, so segment boundaries survive)."""
+            return heap_base + bisect_left(marked, address)
+
+        def relocate(word: Word) -> Word:
+            # Inclusive of old_top: a GET_LIST/GET_STRUCTURE in write
+            # mode binds LIST(H)/STRUCT(H) *before* pushing the cells,
+            # so mid-clause a live pointer to the next allocation site
+            # is legal WAM state; forward(old_top) is exactly new_top.
+            if word.zone is Zone.GLOBAL \
+                    and word.type in _RELOCATABLE_TYPES \
+                    and heap_base <= word.value <= old_top:
+                return Word(word.tag, forward(word.value))
+            return word
+
+        # Slide the survivors (clearing mark bits as they move), then
+        # erase the reclaimed tail so stale words cannot leak back in.
+        compacted = []
+        for address in marked:
+            cell = store.read(address).with_gc_mark(False)
+            compacted.append(relocate(cell))
+        for offset, cell in enumerate(compacted):
+            store.write(heap_base + offset, cell)
+        new_top = heap_base + len(compacted)
+        for address in range(new_top, old_top):
+            store.write(address, make_unbound(address, Zone.GLOBAL))
+
+        # Relocate every referent outside the heap.
+        regs = machine.regs.cells
+        for index, word in enumerate(regs):
+            regs[index] = relocate(word)
+        self._relocate_store_outside_heap(relocate, heap_base, old_top)
+
+        machine.h = new_top
+        machine.hb = forward(machine.hb)
+        if heap_base <= machine.s <= old_top:
+            machine.s = forward(machine.s)
+        machine.shadow.h = forward(machine.shadow.h)
+
+        return CollectStats(heap_cells=old_top - heap_base,
+                            live_cells=len(compacted),
+                            roots_scanned=mark_stats.roots_scanned)
+
+    def _relocate_store_outside_heap(self, relocate, heap_base: int,
+                                     old_top: int) -> None:
+        """Rewrite GLOBAL-zone pointers in every initialised cell that
+        is not itself a heap cell (local stack, control stack, trail,
+        static/system areas)."""
+        store = self.machine.memory.store
+        chunk_words = store.CHUNK_WORDS
+        for key, chunk in store._chunks.items():
+            chunk_base = key * chunk_words
+            for offset, cell in enumerate(chunk):
+                if cell is None:
+                    continue
+                address = chunk_base + offset
+                if heap_base <= address < old_top:
+                    continue
+                moved = relocate(cell)
+                if moved is not cell:
+                    chunk[offset] = moved
+
+
+#: pointer types a compaction must forward when they target the heap.
+_RELOCATABLE_TYPES = frozenset(
+    {Type.REF, Type.STRUCT, Type.LIST, Type.DATA_PTR}
+)

@@ -55,11 +55,22 @@ from repro.core.word import (
     Word, make_code_ptr, make_data_ptr, make_float, make_functor, make_int,
     make_list, make_struct, make_unbound, to_single_precision, wrap_int32,
 )
+from repro.core.traps import MachineCheckpoint, TrapReport, TrapVector
 from repro.errors import (
     ArithmeticError_, CycleLimitExceeded, ExistenceError, InstructionError,
+    MachineError, MachineTrap,
 )
 from repro.memory.layout import initial_stack_pointer
 from repro.memory.memory_system import MemorySystem
+
+#: size of the recently-executed-addresses ring buffer kept by the run
+#: loop (power of two; the index mask below depends on it).
+RECENT_RING = 16
+_RECENT_MASK = RECENT_RING - 1
+
+#: consecutive recoveries of the same trap kind at the same PC before
+#: the trap vector declares a recovery livelock and aborts.
+MAX_TRAP_RETRIES = 8
 
 # Choice-point frame field offsets.
 CP_ARITY = 0
@@ -132,8 +143,25 @@ class Machine:
         #: optional execution monitor (see repro.core.monitor).
         self.tracer = None
 
+        #: trap-handler table (empty = every trap aborts, the seed
+        #: behaviour; see repro.recovery for ready-made handlers).
+        self.trap_vector = TrapVector()
+        #: optional deterministic fault injector (repro.recovery.inject).
+        self.injector = None
+        #: TrapReports of every delivered trap, recovered or fatal.
+        self.trap_log: List[TrapReport] = []
+
         self._dispatch = self._build_dispatch()
         self._stubs: Dict[int, int] = {}
+        self._recent_pcs: List[int] = [-1] * RECENT_RING
+        self._recent_index = 0
+        self._entry_name: Optional[str] = None
+        self._retry_pc = -1
+        self._retry_kind = ""
+        self._retry_count = 0
+        #: per-instruction write-undo log, active only inside
+        #: _loop_recovering (None ⇒ _write does no extra work).
+        self._undo_log: Optional[List[tuple]] = None
         self._reset_state()
 
     # ------------------------------------------------------------------
@@ -158,6 +186,13 @@ class Machine:
         self.running = False
         self.halted = False
         self.exhausted = False
+        self.trap_log = []
+        self._recent_pcs = [-1] * RECENT_RING
+        self._recent_index = 0
+        self._retry_pc = -1
+        self._retry_kind = ""
+        self._retry_count = 0
+        self._undo_log = None
 
     def reset(self) -> None:
         """Full reset of machine state and statistics (keeps code)."""
@@ -181,6 +216,11 @@ class Machine:
 
     def _write(self, address: int, word: Word, zone: Zone,
                word_type: Type = Type.DATA_PTR) -> None:
+        if self._undo_log is not None:
+            # A trap mid-instruction must be able to undo writes that
+            # succeeded functionally before the fault — including
+            # *untrailed* young bindings the trail cannot rewind.
+            self._undo_log.append((address, self.memory.store.peek(address)))
         cycles = self.memory.data_write(address, word, zone, word_type)
         self.cycles += cycles - 1
         self.stats.data_writes += 1
@@ -447,6 +487,12 @@ class Machine:
         The linker places a two-instruction stub (``call entry, 0`` then
         ``halt``) at the end of the code space; running starts there so
         CP conventions hold from the first instruction.
+
+        Every :class:`MachineError` escaping this method carries the
+        partial ``RunStats`` of the interrupted run and the program
+        counter at the fault (``err.stats`` / ``err.pc``); the stats
+        object is finalized (cycles, solutions, trail pushes) whether
+        the run completes or not.
         """
         self.collect_all = collect_all
         self.answer_names = answer_names or []
@@ -464,14 +510,69 @@ class Machine:
         self.e = e0
         self.lb = e0 + ENV_Y0
         self.cp = stub + 1
+        self._entry_name = self._describe_entry(entry)
 
         self.running = True
+        return self._execute()
+
+    def resume(self, extra_cycles: Optional[int] = None) -> RunStats:
+        """Continue the run loop from the machine's current state.
+
+        Used after a :class:`CycleLimitExceeded` watchdog stop (state is
+        intact at an instruction boundary; pass ``extra_cycles`` to
+        extend the budget) or after :meth:`restore` of a checkpoint.
+        Statistics keep accumulating into the same ``RunStats``.
+        """
+        if self.halted or self.exhausted:
+            return self.stats
+        if extra_cycles is not None:
+            self.max_cycles = self.cycles + extra_cycles
+        self.running = True
+        return self._execute()
+
+    def _execute(self) -> RunStats:
+        """Run the main loop until halt/exhaustion, finalizing stats and
+        annotating escaping errors no matter how the loop exits."""
+        stats = self.stats
+        try:
+            if self.trap_vector.armed or self.injector is not None:
+                self._loop_recovering()
+            else:
+                self._loop_fast()
+        except MachineError as err:
+            err.stats = stats
+            err.pc = self.p
+            if isinstance(err, MachineTrap) and err.report is None:
+                # Fast-loop (unarmed) traps skip _service_trap; give
+                # them the same audit trail on the way out.  The ring
+                # buffer holds the faulting instruction's address (self.p
+                # has already advanced past it).
+                pc = self._recent_pcs[(self._recent_index - 1)
+                                      & _RECENT_MASK] \
+                    if self._recent_index else self.p
+                report = self._build_report(err, pc)
+                err.report = report
+                self.trap_log.append(report)
+                stats.traps_raised += 1
+                stats.count_trap(report.kind)
+            raise
+        finally:
+            self.running = False
+            self._undo_log = None
+            stats.cycles = self.cycles
+            stats.solutions = len(self.solutions)
+            stats.trail_pushes = self.trail.pushes
+        return stats
+
+    def _loop_fast(self) -> None:
+        """The seed hot loop: any trap aborts the run."""
         dispatch = self._dispatch
         code = self.code
         costs = self.costs
         memory = self.memory
         stats = self.stats
         max_cycles = self.max_cycles
+        recent = self._recent_pcs
         while self.running:
             p = self.p
             instr = code[p]
@@ -479,6 +580,8 @@ class Machine:
                 raise InstructionError(f"execution fell into the middle of "
                                        f"a multi-word instruction at {p}")
             op = instr.op
+            recent[self._recent_index & _RECENT_MASK] = p
+            self._recent_index += 1
             self.p = p + instr.size
             self.cycles += costs.instruction_cost(op) \
                 + memory.code_fetch(p)
@@ -489,12 +592,231 @@ class Machine:
                 self.tracer.on_instruction(self, p, instr)
             dispatch[op](instr)
             if self.cycles > max_cycles:
-                raise CycleLimitExceeded(
-                    f"exceeded {max_cycles} cycles at P={self.p}")
-        stats.cycles = self.cycles
-        stats.solutions = len(self.solutions)
-        stats.trail_pushes = self.trail.pushes
-        return stats
+                raise self._cycle_limit_error(max_cycles)
+
+    def _loop_recovering(self) -> None:
+        """The trap-vector loop: traps at instruction boundaries are
+        delivered to registered handlers, and the faulting instruction
+        is restarted after a successful recovery.
+
+        Identical simulated-cycle accounting to :meth:`_loop_fast` on
+        the fault-free path; the extra per-instruction work (a register
+        snapshot for precise restart) is host-side only.
+        """
+        dispatch = self._dispatch
+        code = self.code
+        costs = self.costs
+        memory = self.memory
+        stats = self.stats
+        recent = self._recent_pcs
+        injector = self.injector
+        undo: list = []
+        while self.running:
+            p = self.p
+            instr = code[p]
+            if instr is None:
+                raise InstructionError(f"execution fell into the middle of "
+                                       f"a multi-word instruction at {p}")
+            snapshot = self._replay_snapshot(p)
+            del undo[:]
+            self._undo_log = undo
+            try:
+                if injector is not None:
+                    injector.before_instruction(self)
+                op = instr.op
+                recent[self._recent_index & _RECENT_MASK] = p
+                self._recent_index += 1
+                self.p = p + instr.size
+                self.cycles += costs.instruction_cost(op) \
+                    + memory.code_fetch(p)
+                stats.instructions += 1
+                if instr.infer:
+                    stats.inferences += 1
+                if self.tracer is not None:
+                    self.tracer.on_instruction(self, p, instr)
+                dispatch[op](instr)
+            except MachineTrap as trap:
+                if not self._service_trap(trap, p, snapshot):
+                    raise
+                continue
+            if self.cycles > self.max_cycles:
+                raise self._cycle_limit_error(self.max_cycles)
+
+    # ------------------------------------------------------------------
+    # trap delivery and recovery
+    # ------------------------------------------------------------------
+
+    def _replay_snapshot(self, p: int) -> tuple:
+        """The pre-instruction register state needed to restart the
+        instruction at ``p`` precisely after a trap."""
+        shadow = self.shadow
+        return (p, self.cp, self.e, self.b, self.b0, self.h, self.hb,
+                self.s, self.lb, self.mode_write, self.shallow_flag,
+                self.cp_flag, shadow.alt, shadow.h, shadow.tr,
+                self.trail.top, self.trail.pushes,
+                len(self.solutions), len(self.output),
+                list(self.regs.cells), self.cycles)
+
+    def _restore_replay(self, snapshot: tuple) -> None:
+        """Rewind to the snapshot: every memory write of the partially
+        executed instruction undone exactly (the write-undo log covers
+        *untrailed* young bindings the trail cannot rewind — without
+        it, a replayed GET_STRUCTURE would deref its own half-finished
+        binding and take READ mode over a half-built structure),
+        registers back, partial answers dropped."""
+        (p, cp, e, b, b0, h, hb, s, lb, mode_write, shallow_flag,
+         cp_flag, sh_alt, sh_h, sh_tr, tr_top, tr_pushes, n_solutions,
+         n_output, regs, _cycles_at_entry) = snapshot
+        undo = self._undo_log
+        if undo is not None:
+            # Disarm before replaying so the trap handler's own writes
+            # (GC compaction, limit moves) are never treated as part of
+            # the faulted instruction; the loop re-arms per iteration.
+            self._undo_log = None
+            store = self.memory.store
+            for address, old in reversed(undo):
+                store.poke(address, old)
+        self.trail.top = tr_top
+        self.trail.pushes = tr_pushes
+        self.p = p
+        self.cp = cp
+        self.e = e
+        self.b = b
+        self.b0 = b0
+        self.h = h
+        self.hb = hb
+        self.s = s
+        self.lb = lb
+        self.mode_write = mode_write
+        self.shallow_flag = shallow_flag
+        self.cp_flag = cp_flag
+        self.shadow.set(sh_alt, sh_h, sh_tr)
+        del self.solutions[n_solutions:]
+        del self.output[n_output:]
+        self.regs.cells[:] = regs
+
+    def _service_trap(self, trap: MachineTrap, p: int,
+                      snapshot: tuple) -> bool:
+        """Deliver one trap: rewind, report, dispatch to handlers.
+
+        Returns True when a handler recovered the fault (the loop then
+        restarts the instruction at ``p``); False aborts the run with
+        the original trap, now carrying its TrapReport.
+        """
+        stats = self.stats
+        report = self._build_report(trap, p)
+        trap.report = report
+        self.trap_log.append(report)
+        stats.traps_raised += 1
+        stats.count_trap(report.kind)
+
+        # Livelock guard: the same trap kind at the same PC recovering
+        # over and over means the handler is not actually fixing it.
+        if p == self._retry_pc and report.kind == self._retry_kind:
+            self._retry_count += 1
+        else:
+            self._retry_pc = p
+            self._retry_kind = report.kind
+            self._retry_count = 1
+        report.retry = self._retry_count
+        if self._retry_count > MAX_TRAP_RETRIES:
+            return False
+
+        vector = self.trap_vector
+        if not vector.armed:
+            return False
+
+        # The handler runs in system mode: zone checking is suspended
+        # (handlers legitimately touch memory the squeezed/overflowed
+        # zone would reject) and everything it costs — the faulted
+        # instruction's wasted partial attempt (re-paid on replay), the
+        # rewind, its own memory traffic, explicit cycle charges — is
+        # recovery overhead.  The window opens at the instruction's
+        # start, which the snapshot recorded.
+        cycles_before = snapshot[-1]
+        zones = self.memory.zones
+        zones_enabled = zones.enabled
+        zones.enabled = False
+        try:
+            self._restore_replay(snapshot)
+            recovered = vector.dispatch(self, trap, report)
+        finally:
+            zones.enabled = zones_enabled
+        self.cycles += vector.service_cycles
+        stats.recovery_cycles += self.cycles - cycles_before
+        if recovered:
+            report.recovered = True
+            stats.traps_recovered += 1
+        return recovered
+
+    def _build_report(self, trap: MachineTrap, p: int) -> TrapReport:
+        """Snapshot the machine state at a trap into a TrapReport."""
+        address = getattr(trap, "address", None)
+        zone = getattr(trap, "zone", None)
+        vpage = getattr(trap, "virtual_page", None)
+        return TrapReport(
+            kind=type(trap).__name__,
+            message=str(trap),
+            pc=p,
+            cycles=self.cycles,
+            instructions=self.stats.instructions,
+            faulting_address=address,
+            zone=zone,
+            virtual_page=vpage,
+            registers={
+                "p": p, "cp": self.cp, "e": self.e, "b": self.b,
+                "b0": self.b0, "h": self.h, "hb": self.hb,
+                "s": self.s, "lb": self.lb, "tr": self.trail.top,
+            },
+            injected=getattr(trap, "injected", False),
+        )
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, label: str = "") -> MachineCheckpoint:
+        """Snapshot all dynamic state (registers, stacks, trail, zone
+        limits, dirty store pages, statistics, answers) so the run can
+        be rolled back after a fatal trap or watchdog stop."""
+        return MachineCheckpoint.capture(self, label=label)
+
+    def restore(self, checkpoint: MachineCheckpoint) -> None:
+        """Roll the machine back to ``checkpoint``; :meth:`resume`
+        continues execution from the captured program counter."""
+        checkpoint.restore(self)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def recent_addresses(self) -> List[int]:
+        """The last executed code addresses, oldest first (the run
+        loop's ring buffer; at most RECENT_RING entries)."""
+        count = min(self._recent_index, RECENT_RING)
+        if not count:
+            return []
+        ring = self._recent_pcs
+        start = self._recent_index - count
+        return [ring[(start + i) & _RECENT_MASK] for i in range(count)]
+
+    def _describe_entry(self, entry: int) -> str:
+        """``name/arity`` of the predicate linked at ``entry``."""
+        for (name, arity), address in self.predicates.items():
+            if address == entry:
+                return f"{name}/{arity}"
+        return f"@{entry}"
+
+    def _cycle_limit_error(self, max_cycles: int) -> CycleLimitExceeded:
+        """Build the watchdog error with enough context to locate the
+        runaway loop without re-running under a tracer."""
+        recent = self.recent_addresses()
+        entry = self._entry_name or "?"
+        tail = ", ".join(str(a) for a in recent)
+        return CycleLimitExceeded(
+            f"exceeded {max_cycles} cycles at P={self.p} running {entry} "
+            f"(last {len(recent)} addresses: {tail})",
+            entry=entry, recent_addresses=recent)
 
     def _bootstrap_stub(self, entry: int) -> int:
         """Build (or reuse) the bootstrap call/halt stub for ``entry``

@@ -10,7 +10,7 @@ latter being the headline architectural claim of section 3.1.5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict
 
 
@@ -40,11 +40,29 @@ class RunStats:
 
     solutions: int = 0
 
+    # Trap-and-recovery behaviour (sections 2.2, 3.2.3, 3.2.5).
+    traps_raised: int = 0
+    traps_recovered: int = 0
+    recovery_cycles: int = 0          # cycles spent restoring + in handlers
+    faults_injected: int = 0          # deterministic fault-injection events
+
     per_opcode: Dict[str, int] = field(default_factory=dict)
+    per_trap: Dict[str, int] = field(default_factory=dict)
 
     def count_opcode(self, name: str) -> None:
         """Bump the per-opcode histogram (kept by name for readability)."""
         self.per_opcode[name] = self.per_opcode.get(name, 0) + 1
+
+    def count_trap(self, kind: str) -> None:
+        """Bump the per-trap-kind histogram."""
+        self.per_trap[kind] = self.per_trap.get(kind, 0) + 1
+
+    def copy(self) -> "RunStats":
+        """An independent snapshot (used by machine checkpoints)."""
+        duplicate = replace(self)
+        duplicate.per_opcode = dict(self.per_opcode)
+        duplicate.per_trap = dict(self.per_trap)
+        return duplicate
 
     # -- derived figures ---------------------------------------------------------
 
@@ -66,8 +84,12 @@ class RunStats:
 
     def summary(self) -> str:
         """A short human-readable digest."""
-        return (f"{self.inferences} inferences in {self.cycles} cycles; "
+        text = (f"{self.inferences} inferences in {self.cycles} cycles; "
                 f"{self.shallow_fails} shallow / {self.deep_fails} deep "
                 f"fails; {self.choice_points_created} CPs created, "
                 f"{self.choice_points_avoided} avoided; "
                 f"{self.solutions} solution(s)")
+        if self.traps_raised:
+            text += (f"; {self.traps_recovered}/{self.traps_raised} traps "
+                     f"recovered in {self.recovery_cycles} cycles")
+        return text

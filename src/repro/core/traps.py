@@ -1,0 +1,249 @@
+"""The trap vector: hardware-trap delivery to software handlers.
+
+The KCM survives its own faults by design: the zone check raises traps
+on bad or out-of-limits accesses (section 3.2.3), the RAM-resident page
+table turns missing translations into page faults the host services
+(sections 2.1 and 3.2.5), and the host interface delivers every trap to
+a software handler which may repair the cause — grow a stack, trigger
+garbage collection, map a page — and restart the faulting instruction
+(sections 2.2 and 4).  This module is that delivery layer:
+
+- :class:`TrapReport` — the structured machine-state snapshot built at
+  every trap (kind, PC, faulting address, register snapshot, cycle
+  count), attached to the trap exception and logged on the machine;
+- :class:`TrapVector` — the handler table.  Handlers are registered per
+  trap class and called most-recently-registered first; a handler
+  returns ``True`` when it repaired the fault (the machine restarts the
+  faulting instruction) or ``False``/``None`` to decline (the next
+  handler is tried, and the trap aborts the run when all decline);
+- :class:`MachineCheckpoint` — a full snapshot of the machine's dynamic
+  state (registers, stacks, trail, zone limits, dirty store pages) so
+  long runs can be resumed after a fatal trap or a watchdog stop.
+
+The hot path pays nothing for any of this: a machine whose trap vector
+has no handlers (and no fault injector) runs the exact seed loop, and
+simulated cycle counts are bit-identical.  Recovery costs cycles only
+when a trap actually fires; the accounting lands in
+``RunStats.recovery_cycles``.
+
+Handler contract (see ``docs/TRAPS.md``): ``handler(machine, trap,
+report) -> bool``.  Handlers run in *system mode* — the zone check is
+disabled around the call, as on the real machine where trap handlers
+execute privileged host/runtime code — and any memory traffic or
+explicit ``machine.cycles`` charges they make are attributed to
+recovery overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.tags import Zone
+from repro.core.word import Word
+
+#: handler signature: (machine, trap, report) -> recovered?
+TrapHandler = Callable[[object, BaseException, "TrapReport"], bool]
+
+#: cycles charged for trap delivery + handler dispatch itself (the
+#: host-interface round trip is far more expensive than a cache miss;
+#: this is deliberately conservative and configurable per vector).
+DEFAULT_SERVICE_CYCLES = 100
+
+
+@dataclass
+class TrapReport:
+    """Structured description of one delivered trap.
+
+    Built by the machine's trap dispatcher before handlers run;
+    attached to the trap exception (``trap.report``) and appended to
+    ``machine.trap_log``, so both recovered and fatal traps leave an
+    audit trail.
+    """
+
+    kind: str                          # trap class name, e.g. "PageFault"
+    message: str
+    pc: int                            # address of the faulting instruction
+    cycles: int                        # cycle count when the trap fired
+    instructions: int                  # instructions retired so far
+    faulting_address: Optional[int] = None
+    zone: Optional[Zone] = None
+    virtual_page: Optional[int] = None
+    registers: Dict[str, int] = field(default_factory=dict)
+    recovered: bool = False
+    handler: Optional[str] = None      # name of the handler that recovered
+    retry: int = 0                     # consecutive services at this PC
+    injected: bool = False             # raised by the fault injector
+
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        where = f"P={self.pc}, cycle {self.cycles}"
+        target = ""
+        if self.faulting_address is not None:
+            target = f", address {self.faulting_address:#x}"
+            if self.zone is not None:
+                target += f" ({self.zone.name})"
+        elif self.virtual_page is not None:
+            target = f", page {self.virtual_page}"
+        outcome = "recovered" if self.recovered else "fatal"
+        via = f" by {self.handler}" if self.handler else ""
+        return f"{self.kind} at {where}{target}: {outcome}{via}"
+
+
+class TrapVector:
+    """The software trap-handler table.
+
+    Registration is per trap *class*; delivery walks the registered
+    (class, handler) pairs most-recently-registered first and offers the
+    trap to every handler whose class matches (``isinstance``), stopping
+    at the first that returns ``True``.  Most-specific-wins therefore
+    falls out of registering specific handlers after generic ones, and
+    the default installer does exactly that.
+    """
+
+    def __init__(self, service_cycles: int = DEFAULT_SERVICE_CYCLES):
+        self._handlers: List[Tuple[type, TrapHandler, str]] = []
+        #: cycles charged per delivered trap for the dispatch itself.
+        self.service_cycles = service_cycles
+
+    @property
+    def armed(self) -> bool:
+        """Whether any handler is registered (the machine checks this
+        once per run to pick the zero-overhead loop when idle)."""
+        return bool(self._handlers)
+
+    def register(self, trap_type: type, handler: TrapHandler,
+                 name: Optional[str] = None) -> None:
+        """Install ``handler`` for ``trap_type`` and its subclasses."""
+        label = name or getattr(handler, "__name__",
+                                type(handler).__name__)
+        self._handlers.append((trap_type, handler, label))
+
+    def unregister(self, handler: TrapHandler) -> int:
+        """Remove every registration of ``handler``; returns how many
+        entries were removed."""
+        before = len(self._handlers)
+        self._handlers = [(t, h, n) for (t, h, n) in self._handlers
+                          if h is not handler]
+        return before - len(self._handlers)
+
+    def clear(self) -> None:
+        """Drop all handlers (returns the machine to abort-on-trap)."""
+        self._handlers = []
+
+    def dispatch(self, machine, trap: BaseException,
+                 report: TrapReport) -> bool:
+        """Offer ``trap`` to matching handlers; True when recovered."""
+        for trap_type, handler, label in reversed(self._handlers):
+            if isinstance(trap, trap_type):
+                if handler(machine, trap, report):
+                    report.handler = label
+                    return True
+        return False
+
+
+@dataclass
+class MachineCheckpoint:
+    """A restorable snapshot of everything dynamic in a machine.
+
+    Captures the register file, the dedicated state registers, the
+    dirty store pages (the chunked backing store, which holds all four
+    stacks and the trail contents), the zone limits, run statistics and
+    collected solutions.  Cache and page-table contents are *not*
+    captured: they are timing state, not functional state, so a restore
+    resumes with warm-ish caches — the same fidelity tradeoff the
+    paper's host-serviced process switch makes.
+
+    Use :meth:`repro.core.machine.Machine.checkpoint` /
+    :meth:`~repro.core.machine.Machine.restore`; after a restore,
+    :meth:`~repro.core.machine.Machine.resume` continues the run loop
+    from the captured program counter.
+    """
+
+    label: str
+    state: Dict[str, int]                      # named machine registers
+    registers: List[Word]                      # the 64-word register file
+    store_chunks: Dict[int, List[Optional[Word]]]
+    zone_limits: Dict[Zone, Tuple[int, int, bool]]
+    stats: object                              # RunStats copy
+    solutions: List[dict]
+    output: List[str]
+    answer_names: List[str]
+    collect_all: bool
+
+    @classmethod
+    def capture(cls, machine, label: str = "") -> "MachineCheckpoint":
+        """Snapshot ``machine`` (words are immutable, so page and
+        register copies are shallow)."""
+        shadow = machine.shadow
+        state = {
+            "p": machine.p, "cp": machine.cp, "e": machine.e,
+            "b": machine.b, "b0": machine.b0, "h": machine.h,
+            "hb": machine.hb, "s": machine.s, "lb": machine.lb,
+            "mode_write": machine.mode_write,
+            "shallow_flag": machine.shallow_flag,
+            "cp_flag": machine.cp_flag,
+            "shadow_alt": shadow.alt, "shadow_h": shadow.h,
+            "shadow_tr": shadow.tr,
+            "trail_top": machine.trail.top,
+            "trail_pushes": machine.trail.pushes,
+            "cycles": machine.cycles, "max_cycles": machine.max_cycles,
+            "running": machine.running, "halted": machine.halted,
+            "exhausted": machine.exhausted,
+        }
+        store = machine.memory.store
+        chunks = {key: list(chunk)
+                  for key, chunk in store._chunks.items()}
+        zones = {zone: (entry.min_address, entry.max_address,
+                        entry.write_protected)
+                 for zone, entry in machine.memory.zones.entries.items()}
+        return cls(
+            label=label,
+            state=state,
+            registers=list(machine.regs.cells),
+            store_chunks=chunks,
+            zone_limits=zones,
+            stats=machine.stats.copy(),
+            solutions=[dict(s) for s in machine.solutions],
+            output=list(machine.output),
+            answer_names=list(machine.answer_names),
+            collect_all=machine.collect_all,
+        )
+
+    def restore(self, machine) -> None:
+        """Put ``machine`` back into the captured state."""
+        state = self.state
+        machine.p = state["p"]
+        machine.cp = state["cp"]
+        machine.e = state["e"]
+        machine.b = state["b"]
+        machine.b0 = state["b0"]
+        machine.h = state["h"]
+        machine.hb = state["hb"]
+        machine.s = state["s"]
+        machine.lb = state["lb"]
+        machine.mode_write = state["mode_write"]
+        machine.shallow_flag = state["shallow_flag"]
+        machine.cp_flag = state["cp_flag"]
+        machine.shadow.set(state["shadow_alt"], state["shadow_h"],
+                           state["shadow_tr"])
+        machine.trail.top = state["trail_top"]
+        machine.trail.pushes = state["trail_pushes"]
+        machine.cycles = state["cycles"]
+        machine.max_cycles = state["max_cycles"]
+        machine.running = state["running"]
+        machine.halted = state["halted"]
+        machine.exhausted = state["exhausted"]
+        machine.regs.cells[:] = self.registers
+        store = machine.memory.store
+        store._chunks = {key: list(chunk)
+                         for key, chunk in self.store_chunks.items()}
+        zones = machine.memory.zones
+        for zone, (low, high, protected) in self.zone_limits.items():
+            zones.set_limits(zone, low, high)
+            zones.set_write_protected(zone, protected)
+        machine.stats = self.stats.copy()
+        machine.solutions = [dict(s) for s in self.solutions]
+        machine.output = list(self.output)
+        machine.answer_names = list(self.answer_names)
+        machine.collect_all = self.collect_all

@@ -5,9 +5,41 @@ Every error raised by the simulator, compiler or front end derives from
 with a single ``except`` clause.  Traps that the real hardware would raise
 (zone violations, page faults, stack overflows) are modelled as dedicated
 exception classes so tests can assert on the precise trap kind.
+
+Traps carry *structured* fault information (zone, faulting address,
+virtual page) in addition to their message, because the trap-and-recovery
+subsystem (:mod:`repro.core.traps`, :mod:`repro.recovery`) dispatches on
+it: a software handler cannot parse prose to find out which zone
+overflowed.  Runtime errors escaping :meth:`Machine.run` additionally
+carry the partial :class:`~repro.core.statistics.RunStats` and the program
+counter at the fault (``stats`` / ``pc`` attributes), so callers can
+report how far execution got before the error.
+
+See ``docs/TRAPS.md`` for the trap vector and handler contract.
 """
 
 from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "KCMError",
+    "PrologSyntaxError",
+    "CompileError",
+    "LinkError",
+    "MachineError",
+    "MachineTrap",
+    "ZoneTrap",
+    "StackOverflowTrap",
+    "PageFault",
+    "ProtectionFault",
+    "SpuriousTrap",
+    "InstructionError",
+    "ArithmeticError_",
+    "ExistenceError",
+    "CycleLimitExceeded",
+    "UnrecoverableTrap",
+]
 
 
 class KCMError(Exception):
@@ -37,16 +69,54 @@ class LinkError(KCMError):
 
 
 class MachineError(KCMError):
-    """Base class for runtime errors inside the simulated machine."""
+    """Base class for runtime errors inside the simulated machine.
+
+    When one escapes :meth:`Machine.run`, the machine attaches:
+
+    - ``stats`` — the partial :class:`RunStats` of the interrupted run
+      (cycles, instructions, ... up to the fault), and
+    - ``pc`` — the program counter at the point of the error,
+
+    so callers can report how far execution got.  Both are ``None`` for
+    errors raised outside a run.
+    """
+
+    #: partial run statistics, attached by Machine.run on the way out.
+    stats: Optional[object] = None
+    #: program counter at the fault, attached by Machine.run.
+    pc: Optional[int] = None
 
 
 class MachineTrap(MachineError):
-    """Base class for conditions the hardware signals as traps."""
+    """Base class for conditions the hardware signals as traps.
+
+    A trap is recoverable in principle: the host interface delivers it
+    to a software handler which may repair the cause (grow a zone, map
+    a page, collect garbage) and restart the faulting instruction
+    (paper sections 2.2 and 4).  The trap-vector layer in
+    :class:`repro.core.machine.Machine` implements exactly that; a trap
+    with no registered handler aborts the run.
+
+    ``report`` is filled in by the trap dispatcher with the
+    :class:`repro.core.traps.TrapReport` describing the machine state
+    at the fault.
+    """
+
+    #: structured machine-state snapshot, attached by the trap vector.
+    report: Optional[object] = None
 
 
 class ZoneTrap(MachineTrap):
     """Zone check violation: bad type for a zone, limits exceeded, or a
     write to a write-protected zone (paper section 3.2.3)."""
+
+    def __init__(self, message: str, zone=None,
+                 address: Optional[int] = None):
+        super().__init__(message)
+        #: the :class:`repro.core.tags.Zone` the access went through.
+        self.zone = zone
+        #: the faulting word address, when known.
+        self.address = address
 
 
 class StackOverflowTrap(ZoneTrap):
@@ -55,11 +125,40 @@ class StackOverflowTrap(ZoneTrap):
 
 
 class PageFault(MachineTrap):
-    """Access to a virtual page with no valid translation (section 3.2.5)."""
+    """Access to a virtual page with no valid translation (section 3.2.5).
+
+    Carries the faulting ``virtual_page`` and whether the access went
+    through the ``code_space`` table, so the page-fault handler can
+    service the miss without re-deriving the address.
+    """
+
+    def __init__(self, message: str, virtual_page: Optional[int] = None,
+                 code_space: bool = False):
+        super().__init__(message)
+        self.virtual_page = virtual_page
+        self.code_space = code_space
 
 
 class ProtectionFault(MachineTrap):
     """MMU-level access-rights violation on a physical page."""
+
+    def __init__(self, message: str, virtual_page: Optional[int] = None,
+                 code_space: bool = False):
+        super().__init__(message)
+        self.virtual_page = virtual_page
+        self.code_space = code_space
+
+
+class SpuriousTrap(MachineTrap):
+    """A trap with no underlying fault.
+
+    Raised only by the deterministic fault-injection harness
+    (:mod:`repro.recovery.inject`) to exercise the dispatch/resume path:
+    the correct handler action is to do nothing and restart the
+    instruction.  The real hardware can produce the equivalent (e.g. a
+    transient parity trap), which is why resuming from a no-fault trap
+    must work.
+    """
 
 
 class InstructionError(MachineError):
@@ -79,5 +178,30 @@ class CycleLimitExceeded(MachineError):
     """The machine ran longer than the configured cycle budget.
 
     Guards tests and benchmarks against accidental infinite loops in
-    compiled programs; the real hardware has no such notion.
+    compiled programs; the real hardware has no such notion.  The
+    message names the entry predicate and the most recently executed
+    code addresses (a small ring buffer kept by the run loop) so a
+    runaway loop can be located without re-running under a tracer.
+    The machine state is left intact, so after raising this a caller
+    may extend the budget and :meth:`Machine.resume` the run.
     """
+
+    def __init__(self, message: str, entry: Optional[str] = None,
+                 recent_addresses: Optional[list] = None):
+        super().__init__(message)
+        #: ``name/arity`` of the predicate the run was started from.
+        self.entry = entry
+        #: last executed code addresses, oldest first.
+        self.recent_addresses = recent_addresses or []
+
+
+class UnrecoverableTrap(MachineError):
+    """A trap reached the trap vector but no handler could recover it.
+
+    Wraps the original trap (``__cause__``) and carries its
+    :class:`~repro.core.traps.TrapReport` as ``report``.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report

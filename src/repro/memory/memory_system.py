@@ -39,11 +39,18 @@ class MemorySystem:
                  sectioned_cache: bool = True,
                  zone_check: bool = True,
                  timing_enabled: bool = True,
-                 page_fault_cycles: int = 0):
+                 page_fault_cycles: int = 0,
+                 demand_paging: bool = True):
         # page_fault_cycles defaults to 0: benchmark timings assume a
         # warm machine whose working set the host has already wired
         # (section 2.1's paging server); the paging experiments pass an
         # explicit host round-trip cost.
+        #
+        # demand_paging=True maps missing pages implicitly inside the
+        # MMU (the warm-machine shortcut).  demand_paging=False makes a
+        # missing translation raise a PageFault trap instead, which the
+        # recovery subsystem's page-fault handler services — the
+        # faithful model of the host paging server of section 2.1.
         self.layout = layout if layout is not None else DEFAULT_LAYOUT
         self.store = DataStore()
         self.zones = ZoneChecker(self.layout, enabled=zone_check)
@@ -51,7 +58,8 @@ class MemorySystem:
         self.data_cache = DataCache(self.main_memory,
                                     sectioned=sectioned_cache)
         self.code_cache = CodeCache(self.main_memory)
-        self.mmu = MMU(page_fault_cycles=page_fault_cycles)
+        self.mmu = MMU(page_fault_cycles=page_fault_cycles,
+                       demand_paging=demand_paging)
         self.timing_enabled = timing_enabled
 
     # -- the data path ---------------------------------------------------------
@@ -103,6 +111,19 @@ class MemorySystem:
         if not self.timing_enabled:
             return 1
         return 1 + self.code_cache.write(address)
+
+    # -- trap servicing ----------------------------------------------------------
+
+    def service_page_fault(self, virtual_page: int,
+                           code_space: bool = False) -> int:
+        """Map a faulted page in (the page-fault handler's primitive);
+        returns the host service cost in cycles.  Raises
+        :class:`~repro.errors.PageFault` when physical memory is
+        exhausted — that one really is fatal."""
+        self.mmu.map_page(virtual_page, code_space=code_space,
+                          writable=True)
+        self.mmu.faults += 1
+        return self.mmu.page_fault_cycles
 
     # -- statistics --------------------------------------------------------------
 

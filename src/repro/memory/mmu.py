@@ -81,7 +81,9 @@ class MMU:
         """Install a translation; allocates a physical page if needed."""
         if physical_page is None:
             if self.next_free_page >= self.physical_pages:
-                raise PageFault("out of physical memory (32 MB board full)")
+                raise PageFault("out of physical memory (32 MB board full)",
+                                virtual_page=virtual_page,
+                                code_space=code_space)
             physical_page = self.next_free_page
             self.next_free_page += 1
         entry = self._table(code_space)[virtual_page]
@@ -92,15 +94,28 @@ class MMU:
 
     def unmap_page(self, virtual_page: int, code_space: bool = False) -> None:
         """Invalidate a translation (used when re-zoning a data page into
-        the code space after batch compilation, section 3.2.1)."""
+        the code space after batch compilation, section 3.2.1, and by the
+        fault injector to plant transient page faults)."""
         self._table(code_space)[virtual_page].status = 0
+
+    def resident_pages(self, code_space: bool = False) -> "List[int]":
+        """Virtual pages with a valid translation, ascending (used by
+        the fault injector to pick an eviction victim and by paging
+        diagnostics)."""
+        return [vpage for vpage, entry
+                in enumerate(self._table(code_space)) if entry.valid]
+
+    def is_mapped(self, virtual_page: int, code_space: bool = False) -> bool:
+        """Whether a virtual page currently has a valid translation."""
+        return self._table(code_space)[virtual_page].valid
 
     def rezone_data_page_to_code(self, virtual_page: int) -> None:
         """The section 3.2.1 hand-over: invalidate the virtual data page
         and attach its physical page to the code space."""
         data_entry = self.data_table[virtual_page]
         if not data_entry.valid:
-            raise PageFault(f"data page {virtual_page} not mapped")
+            raise PageFault(f"data page {virtual_page} not mapped",
+                            virtual_page=virtual_page)
         physical = data_entry.physical_page
         data_entry.status = 0
         self.map_page(virtual_page, code_space=True, writable=False,
@@ -125,7 +140,8 @@ class MMU:
             if not self.demand_paging:
                 raise PageFault(
                     f"no translation for virtual page {vpage} "
-                    f"({'code' if code_space else 'data'} space)")
+                    f"({'code' if code_space else 'data'} space)",
+                    virtual_page=vpage, code_space=code_space)
             self.faults += 1
             self.map_page(vpage, code_space=code_space, writable=True)
             entry = self._table(code_space)[vpage]
@@ -133,7 +149,8 @@ class MMU:
         if is_write and not (entry.status & WRITABLE):
             raise ProtectionFault(
                 f"write to read-only page {vpage} "
-                f"({'code' if code_space else 'data'} space)")
+                f"({'code' if code_space else 'data'} space)",
+                virtual_page=vpage, code_space=code_space)
         entry.status |= REFERENCED | (DIRTY if is_write else 0)
         physical = entry.physical_page * PAGE_SIZE_WORDS \
             + page_offset(address)

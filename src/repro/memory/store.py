@@ -53,6 +53,33 @@ class DataStore:
             self._chunks[key] = chunk
         chunk[address & 0xFFFF] = word
 
+    def peek(self, address: int) -> Optional[Word]:
+        """Raw cell contents, ``None`` when never written.
+
+        Unlike :meth:`read` this does not count an uninitialised read:
+        it is for host-side bookkeeping (the trap replay's write-undo
+        log), not simulated accesses.
+        """
+        chunk = self._chunks.get(address >> 16)
+        return chunk[address & 0xFFFF] if chunk is not None else None
+
+    def poke(self, address: int, word: Optional[Word]) -> None:
+        """Raw overwrite; ``None`` restores the never-written state.
+
+        Host-side counterpart of :meth:`peek` — no zone checks, no
+        cycle accounting.
+        """
+        key = address >> 16
+        chunk = self._chunks.get(key)
+        if chunk is None:
+            if word is None:
+                return
+            if not 0 <= address < self.size:
+                raise IndexError(f"address {address:#x} outside data space")
+            chunk = [None] * self.CHUNK_WORDS
+            self._chunks[key] = chunk
+        chunk[address & 0xFFFF] = word
+
     def initialised(self, address: int) -> bool:
         """Whether ``address`` has been written (test inspection)."""
         chunk = self._chunks.get(address >> 16)

@@ -26,7 +26,8 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional
 
 from repro.core.tags import (
-    Type, Zone, ZONE_ADDRESS_TYPES, ZONE_GRANULE_WORDS, address_in_range,
+    ADDRESS_MASK, Type, Zone, ZONE_ADDRESS_TYPES, ZONE_GRANULE_WORDS,
+    address_in_range,
 )
 from repro.errors import StackOverflowTrap, ZoneTrap
 from repro.memory.layout import DEFAULT_LAYOUT, Region
@@ -86,6 +87,56 @@ class ZoneChecker:
         entry.min_address = min_address
         entry.max_address = max_address
 
+    def move_limits(self, zone: Zone, min_address: int,
+                    max_address: int) -> None:
+        """Validated limit move: the primitive the stack-growth trap
+        handlers use (see :mod:`repro.recovery`).
+
+        Unlike the raw :meth:`set_limits`, this refuses (``ValueError``)
+        a move that would make the zone's *granule* range — what the
+        hardware comparators actually see — collide with another zone's,
+        or that is degenerate (``min > max``) or outside the 28-bit
+        address space.  Stacks may therefore grow beyond their initial
+        layout region into unclaimed address space, but never into one
+        another.
+        """
+        if min_address > max_address:
+            raise ValueError(
+                f"degenerate limits for zone {zone.name}: "
+                f"[{min_address:#x}, {max_address:#x})")
+        if not (address_in_range(min_address)
+                and address_in_range(max_address)):
+            raise ValueError(
+                f"limits for zone {zone.name} outside the 28-bit "
+                f"address space")
+        new_low = _granule_floor(min_address)
+        new_high = _granule_ceil(max_address)
+        for other, entry in self.entries.items():
+            if other is zone:
+                continue
+            low = _granule_floor(entry.min_address)
+            high = _granule_ceil(entry.max_address)
+            if new_low < high and low < new_high:
+                raise ValueError(
+                    f"zone {zone.name} limits [{min_address:#x}, "
+                    f"{max_address:#x}) would overlap zone {other.name} "
+                    f"[{entry.min_address:#x}, {entry.max_address:#x})")
+        self.set_limits(zone, min_address, max_address)
+
+    def headroom(self, zone: Zone) -> int:
+        """Words the zone's granule ceiling could grow before colliding
+        with the nearest zone above (or the end of the address space)."""
+        entry = self.entries[zone]
+        top = _granule_ceil(entry.max_address)
+        nearest = ADDRESS_MASK + 1
+        for other, candidate in self.entries.items():
+            if other is zone:
+                continue
+            low = _granule_floor(candidate.min_address)
+            if low >= top:
+                nearest = min(nearest, low)
+        return nearest - top
+
     def set_write_protected(self, zone: Zone, protected: bool) -> None:
         """Toggle write protection on a whole zone."""
         self.entries[zone].write_protected = protected
@@ -104,24 +155,26 @@ class ZoneChecker:
         if not address_in_range(address):
             raise ZoneTrap(
                 f"address {address:#x} has non-zero high bits (zone "
-                f"{zone.name})")
+                f"{zone.name})", zone=zone, address=address)
         entry = self.entries.get(zone)
         if entry is None:
             self.violations += 1
             raise ZoneTrap(f"access through unmapped zone {zone.name} "
-                           f"at {address:#x}")
+                           f"at {address:#x}", zone=zone, address=address)
         entry.checks += 1
         if word_type not in entry.allowed_types:
             self.violations += 1
             raise ZoneTrap(
                 f"type {word_type.name} not allowed as an address into "
-                f"zone {zone.name} (address {address:#x})")
+                f"zone {zone.name} (address {address:#x})",
+                zone=zone, address=address)
         if not entry.contains(address):
             self.violations += 1
             raise StackOverflowTrap(
                 f"address {address:#x} outside zone {zone.name} limits "
-                f"[{entry.min_address:#x}, {entry.max_address:#x})")
+                f"[{entry.min_address:#x}, {entry.max_address:#x})",
+                zone=zone, address=address)
         if is_write and entry.write_protected:
             self.violations += 1
             raise ZoneTrap(f"write to write-protected zone {zone.name} "
-                           f"at {address:#x}")
+                           f"at {address:#x}", zone=zone, address=address)

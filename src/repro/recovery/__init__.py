@@ -1,0 +1,33 @@
+"""Trap recovery: the software side of KCM's trap-and-resume design.
+
+The hardware raises traps (zone check, MMU); the host-resident runtime
+system repairs the cause and restarts the faulting instruction
+(sections 2.1, 2.2, 3.2.3, 3.2.5).  This package is that runtime
+system for the simulator:
+
+- :mod:`repro.recovery.handlers` — the three production handlers
+  (stack growth with a configurable policy, page-fault servicing,
+  heap overflow = garbage collection with growth fallback) and
+  :func:`install_default_recovery` to arm a machine with all of them;
+- :mod:`repro.recovery.inject` — the deterministic fault-injection
+  harness: seeded transient page faults, zone-limit squeezes and
+  spurious traps at chosen cycle counts, so every recovery path can be
+  exercised reproducibly by tests and benchmarks.
+
+The dispatch layer itself lives in :mod:`repro.core.traps`; the
+handler contract and policies are documented in ``docs/TRAPS.md``.
+"""
+
+from repro.recovery.handlers import (
+    GrowthPolicy, HeapRecoveryHandler, PageFaultHandler,
+    StackGrowthHandler, SpuriousTrapHandler, grow_zone,
+    install_default_recovery,
+)
+from repro.recovery.inject import FaultInjector, InjectedFault
+
+__all__ = [
+    "GrowthPolicy", "HeapRecoveryHandler", "PageFaultHandler",
+    "StackGrowthHandler", "SpuriousTrapHandler", "grow_zone",
+    "install_default_recovery",
+    "FaultInjector", "InjectedFault",
+]

@@ -1,0 +1,211 @@
+"""The production trap handlers.
+
+Each handler follows the :mod:`repro.core.traps` contract —
+``handler(machine, trap, report) -> bool`` — and runs in system mode
+(zone checks suspended, every cycle it spends attributed to
+``RunStats.recovery_cycles``).  A handler that returns ``True`` has
+repaired the cause; the machine restarts the faulting instruction.
+
+The three production handlers mirror what KCM's host runtime did:
+
+- :class:`StackGrowthHandler` — a stack pointer crossed its zone limit;
+  move the limit out (section 3.2.3: "The limits of the zones may be
+  changed dynamically") under a :class:`GrowthPolicy` with a hard
+  ceiling, refusing ever to overlap another zone;
+- :class:`PageFaultHandler` — a missing translation; have the host map
+  the page in and charge the VME round trip (sections 2.1, 3.2.5);
+- :class:`HeapRecoveryHandler` — the global stack overflowed; run the
+  compacting collector (:class:`repro.core.gc.HeapCompactor`) and
+  retry, falling back to zone growth when collection frees too little
+  — the SICStus-style GC-on-overflow discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.gc import CollectStats, HeapCompactor
+from repro.core.tags import Zone, ZONE_GRANULE_WORDS
+from repro.errors import PageFault, SpuriousTrap, StackOverflowTrap
+
+#: zones whose limits a growth handler may move.
+GROWABLE_ZONES = (Zone.GLOBAL, Zone.LOCAL, Zone.CONTROL, Zone.TRAIL)
+
+
+def _granule_ceil(address: int) -> int:
+    return -(-address // ZONE_GRANULE_WORDS) * ZONE_GRANULE_WORDS
+
+
+@dataclass
+class GrowthPolicy:
+    """How far and how fast a zone may grow on overflow.
+
+    ``factor`` scales the current zone size each time (doubling by
+    default, so N overflows cost O(log N) growths); ``min_increment``
+    guarantees progress on tiny zones; ``ceilings`` caps individual
+    zones at an absolute ``max_address`` (the hard ceiling — beyond it
+    the trap is fatal).  Whatever the policy asks for is additionally
+    clamped so the zone never overlaps a neighbour
+    (:meth:`repro.memory.zones.ZoneChecker.move_limits` enforces it).
+    """
+
+    factor: float = 2.0
+    min_increment: int = ZONE_GRANULE_WORDS
+    ceilings: Dict[Zone, int] = field(default_factory=dict)
+    #: host round-trip cost charged per successful limit move.
+    cycles_per_grow: int = 500
+
+
+def grow_zone(machine, zone: Zone, needed_address: Optional[int],
+              policy: GrowthPolicy) -> bool:
+    """Grow ``zone`` per ``policy`` so ``needed_address`` (when known)
+    becomes legal; returns False when no legal growth can cover it."""
+    if zone not in GROWABLE_ZONES:
+        return False
+    zones = machine.memory.zones
+    entry = zones.entries[zone]
+    size = entry.max_address - entry.min_address
+    target = entry.min_address + max(int(size * policy.factor),
+                                     size + policy.min_increment)
+    if needed_address is not None:
+        target = max(target, needed_address + 1)
+    cap = policy.ceilings.get(zone)
+    if cap is not None:
+        target = min(target, cap)
+    target = _granule_ceil(target)
+    # Never into a neighbour: clamp to the available headroom.
+    room = zones.headroom(zone)
+    max_legal = _granule_ceil(entry.max_address) + room
+    target = min(target, max_legal)
+    if target <= entry.max_address:
+        return False
+    if needed_address is not None and needed_address >= target:
+        return False          # even the hard ceiling cannot cover it
+    try:
+        zones.move_limits(zone, entry.min_address, target)
+    except ValueError:
+        return False
+    machine.cycles += policy.cycles_per_grow
+    return True
+
+
+class StackGrowthHandler:
+    """Recover a :class:`StackOverflowTrap` by moving the zone limit."""
+
+    def __init__(self, policy: Optional[GrowthPolicy] = None):
+        self.policy = policy or GrowthPolicy()
+        #: successful growths per zone (diagnostics).
+        self.growths: Dict[Zone, int] = {}
+
+    def __call__(self, machine, trap, report) -> bool:
+        if not isinstance(trap, StackOverflowTrap) or trap.zone is None:
+            return False
+        if not grow_zone(machine, trap.zone, trap.address, self.policy):
+            return False
+        self.growths[trap.zone] = self.growths.get(trap.zone, 0) + 1
+        return True
+
+
+class PageFaultHandler:
+    """Service a :class:`PageFault` by mapping the page in (the host
+    paging server of section 2.1).  ``service_cycles`` overrides the
+    memory system's configured host round-trip cost."""
+
+    def __init__(self, service_cycles: Optional[int] = None):
+        self.service_cycles = service_cycles
+        #: pages mapped in by this handler (diagnostics).
+        self.serviced = 0
+
+    def __call__(self, machine, trap, report) -> bool:
+        if not isinstance(trap, PageFault) or trap.virtual_page is None:
+            return False
+        try:
+            cost = machine.memory.service_page_fault(
+                trap.virtual_page, code_space=trap.code_space)
+        except PageFault:
+            return False      # physical memory exhausted: really fatal
+        machine.cycles += (self.service_cycles
+                           if self.service_cycles is not None else cost)
+        self.serviced += 1
+        return True
+
+
+class HeapRecoveryHandler:
+    """Recover a global-stack overflow by collecting garbage first.
+
+    Runs the order-preserving compacting collector; when it frees at
+    least ``min_freed_fraction`` of the heap *and* the heap top is back
+    inside the zone, the faulting instruction simply retries.  When
+    collection frees too little (the heap is genuinely live), falls
+    back to zone growth under ``growth``.
+    """
+
+    def __init__(self, min_freed_fraction: float = 0.2,
+                 growth: Optional[GrowthPolicy] = None):
+        self.min_freed_fraction = min_freed_fraction
+        self.growth = growth or GrowthPolicy()
+        #: every collection this handler ran (diagnostics).
+        self.collections: List[CollectStats] = []
+
+    def __call__(self, machine, trap, report) -> bool:
+        if not isinstance(trap, StackOverflowTrap) \
+                or trap.zone is not Zone.GLOBAL:
+            return False
+        stats = HeapCompactor(machine).collect()
+        machine.cycles += stats.heap_cells * HeapCompactor.CYCLES_PER_CELL
+        self.collections.append(stats)
+        entry = machine.memory.zones.entries[Zone.GLOBAL]
+        if stats.freed_fraction >= self.min_freed_fraction \
+                and entry.contains(machine.h):
+            return True
+        # Collection freed too little: the heap really is that big.
+        return grow_zone(machine, Zone.GLOBAL, trap.address, self.growth)
+
+
+class SpuriousTrapHandler:
+    """Resume after a trap with no underlying fault (the injection
+    harness raises these; real hardware has transient equivalents)."""
+
+    def __init__(self):
+        self.resumed = 0
+
+    def __call__(self, machine, trap, report) -> bool:
+        if not isinstance(trap, SpuriousTrap):
+            return False
+        self.resumed += 1
+        return True
+
+
+def install_default_recovery(machine,
+                             growth: Optional[GrowthPolicy] = None,
+                             heap_min_freed_fraction: float = 0.2,
+                             page_faults: bool = True,
+                             ) -> Dict[str, object]:
+    """Arm ``machine`` with the production handler set; returns the
+    handlers by name so callers can read their diagnostics.
+
+    Registration order matters: the trap vector tries handlers
+    most-recently-registered first, so the heap handler (GLOBAL-zone
+    specific, registered last) shadows plain growth for heap overflows
+    while other stacks still get plain growth.
+    """
+    vector = machine.trap_vector
+    policy = growth or GrowthPolicy()
+    stack_handler = StackGrowthHandler(policy)
+    heap_handler = HeapRecoveryHandler(
+        min_freed_fraction=heap_min_freed_fraction, growth=policy)
+    spurious_handler = SpuriousTrapHandler()
+    vector.register(StackOverflowTrap, stack_handler, "stack-growth")
+    vector.register(StackOverflowTrap, heap_handler, "heap-gc")
+    vector.register(SpuriousTrap, spurious_handler, "spurious-resume")
+    handlers: Dict[str, object] = {
+        "stack-growth": stack_handler,
+        "heap-gc": heap_handler,
+        "spurious-resume": spurious_handler,
+    }
+    if page_faults:
+        page_handler = PageFaultHandler()
+        vector.register(PageFault, page_handler, "page-service")
+        handlers["page-service"] = page_handler
+    return handlers

@@ -1,0 +1,129 @@
+"""Property-based tests of the zone-check limit-move primitives.
+
+The trap handlers lean on two guarantees (see ``docs/TRAPS.md``):
+``move_limits`` never lets two zones' granule ranges overlap no matter
+what sequence of moves is attempted, and the overflow trap fires
+exactly at the granule boundary the hardware comparators see."""
+
+from hypothesis import given, settings, strategies as st
+import pytest
+
+from repro.core.tags import Type, Zone, ZONE_GRANULE_WORDS
+from repro.errors import StackOverflowTrap
+from repro.memory.zones import ZoneChecker, _granule_ceil, _granule_floor
+
+STACK_ZONES = [Zone.GLOBAL, Zone.LOCAL, Zone.CONTROL, Zone.TRAIL]
+
+# A move attempt: which zone, how many granules past its own base the
+# new max should sit.  Large spans are deliberately allowed so many
+# attempts collide with a neighbour and must be refused.
+moves = st.lists(
+    st.tuples(st.sampled_from(STACK_ZONES),
+              st.integers(min_value=1, max_value=0x400)),
+    min_size=1, max_size=40)
+
+
+def granule_ranges(checker):
+    return {zone: (_granule_floor(entry.min_address),
+                   _granule_ceil(entry.max_address))
+            for zone, entry in checker.entries.items()}
+
+
+class TestMoveLimitsProperties:
+    @given(moves)
+    @settings(max_examples=80, deadline=None)
+    def test_zones_never_overlap(self, sequence):
+        """After any sequence of move attempts — accepted or refused —
+        every pair of zone granule ranges is disjoint."""
+        checker = ZoneChecker()
+        for zone, granules in sequence:
+            entry = checker.entries[zone]
+            new_max = entry.min_address + granules * ZONE_GRANULE_WORDS
+            try:
+                checker.move_limits(zone, entry.min_address, new_max)
+            except ValueError:
+                pass
+            spans = sorted(granule_ranges(checker).values())
+            for (_, high), (low, _) in zip(spans, spans[1:]):
+                assert high <= low
+
+    @given(moves)
+    @settings(max_examples=80, deadline=None)
+    def test_accepted_moves_took_effect(self, sequence):
+        """A move that does not raise really moved the limit; a refused
+        move left it untouched."""
+        checker = ZoneChecker()
+        for zone, granules in sequence:
+            entry = checker.entries[zone]
+            before = (entry.min_address, entry.max_address)
+            new_max = entry.min_address + granules * ZONE_GRANULE_WORDS
+            try:
+                checker.move_limits(zone, entry.min_address, new_max)
+            except ValueError:
+                assert (entry.min_address, entry.max_address) == before
+            else:
+                assert entry.max_address == new_max
+
+    @given(st.sampled_from(STACK_ZONES))
+    @settings(max_examples=20, deadline=None)
+    def test_headroom_is_exact(self, zone):
+        """Growing by exactly the reported headroom succeeds; one more
+        granule collides with a neighbour (or leaves the address space)
+        and is refused."""
+        checker = ZoneChecker()
+        entry = checker.entries[zone]
+        room = checker.headroom(zone)
+        top = _granule_ceil(entry.max_address)
+        checker.move_limits(zone, entry.min_address, top + room)
+        with pytest.raises(ValueError):
+            checker.move_limits(zone, entry.min_address,
+                                top + room + ZONE_GRANULE_WORDS)
+
+    @given(st.sampled_from(STACK_ZONES))
+    @settings(max_examples=20, deadline=None)
+    def test_degenerate_moves_are_refused(self, zone):
+        checker = ZoneChecker()
+        entry = checker.entries[zone]
+        with pytest.raises(ValueError):
+            checker.move_limits(zone, entry.min_address,
+                                entry.min_address - 1)
+
+
+class TestOverflowBoundaryProperties:
+    @given(st.sampled_from(STACK_ZONES),
+           st.integers(min_value=1, max_value=0x40),
+           st.integers(min_value=-3, max_value=3))
+    @settings(max_examples=120, deadline=None)
+    def test_trap_fires_exactly_at_the_granule_boundary(
+            self, zone, granules, offset):
+        """Accesses below ``granule_ceil(max_address)`` pass; the first
+        address at the boundary raises StackOverflowTrap — exactly the
+        comparator semantics of section 3.2.3."""
+        checker = ZoneChecker()
+        entry = checker.entries[zone]
+        new_max = entry.min_address + granules * ZONE_GRANULE_WORDS
+        checker.move_limits(zone, entry.min_address, new_max)
+        boundary = _granule_ceil(new_max)
+        address = boundary + offset
+        word_type = next(iter(entry.allowed_types))
+        if _granule_floor(entry.min_address) <= address < boundary:
+            checker.check(zone, address, word_type, is_write=False)
+        else:
+            with pytest.raises(StackOverflowTrap):
+                checker.check(zone, address, word_type, is_write=False)
+
+    @given(st.sampled_from(STACK_ZONES),
+           st.integers(min_value=0, max_value=ZONE_GRANULE_WORDS - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_unaligned_max_rounds_up_to_its_granule(self, zone, slack):
+        """An unaligned max_address still protects through the end of
+        its granule: the hardware compares bits 27..12 only."""
+        checker = ZoneChecker()
+        entry = checker.entries[zone]
+        new_max = entry.min_address + ZONE_GRANULE_WORDS + slack
+        checker.move_limits(zone, entry.min_address, new_max)
+        word_type = next(iter(entry.allowed_types))
+        last_legal = _granule_ceil(new_max) - 1
+        checker.check(zone, last_legal, word_type, is_write=False)
+        with pytest.raises(StackOverflowTrap):
+            checker.check(zone, last_legal + 1, word_type, is_write=False)

@@ -70,6 +70,26 @@ class TestStackOverflow:
         assert machine.solutions
 
 
+class TestTrapAuditTrail:
+    def test_fatal_trap_is_logged_with_a_report(self):
+        """Even an unhandled trap leaves a TrapReport on the machine's
+        trap log (the recovery subsystem's audit trail, docs/TRAPS.md)."""
+        machine = TestStackOverflow()._tiny_heap_machine()
+        machine = compile_and_load(LOOP, "loop(0)", machine=machine)
+        with pytest.raises(StackOverflowTrap) as excinfo:
+            machine.run(machine.image.entry, answer_names=[])
+        assert len(machine.trap_log) == 1
+        report = machine.trap_log[0]
+        assert report is excinfo.value.report
+        assert not report.recovered
+        assert report.zone is Zone.GLOBAL
+        assert "fatal" in report.describe()
+
+    def test_cycle_limit_message_names_entry_and_addresses(self):
+        with pytest.raises(CycleLimitExceeded, match="last .* addresses"):
+            run_query(INFINITE, "spin", max_cycles=10_000)
+
+
 class TestLocalStackDiscipline:
     def test_deep_non_tail_recursion_uses_local_stack(self):
         program = """
