@@ -1,0 +1,154 @@
+"""Host throughput of the simulator itself: fast path vs ablation.
+
+Unlike every other file in this package, which reports *simulated*
+figures (cycles at 80 ns, Klips as the paper defines them), this module
+measures how fast the simulator runs on the *host*: wall-clock per
+suite program and host KLIPS (simulated logical inferences per host
+second), under the predecoded threaded-dispatch fast path
+(``Machine(fast_path=True)``, the default) and under the ablation
+(``fast_path=False``, the seed per-instruction interpreter).  See
+docs/PERF.md for the design of the fast path and the methodology notes
+behind the numbers.
+
+Methodology: both configurations are loaded and warmed first, then
+measured in alternating order with the pair's order flipped every
+round, taking the per-program best-of-N.  Alternation matters: on a
+warmed-up host a fixed A-then-B slot assignment systematically biases
+whichever side runs behind the other's cache/branch-predictor
+footprint by tens of percent on millisecond-scale programs.
+
+Every measurement round also cross-checks that the two configurations
+produced bit-identical simulated results (cycles, instructions,
+inferences, data accesses, solutions) — a throughput number for a fast
+path that diverges from the reference semantics would be meaningless.
+
+The report is emitted as ``BENCH_host_throughput.json``; the committed
+copy at the repository root is the regression baseline CI gates on
+(dimensionless speedup ratio, not absolute wall-clock, so runner
+hardware does not matter).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Dict, List, Optional
+
+from repro.bench.programs import SUITE_ORDER
+from repro.bench.runner import SuiteRunner
+from repro.core.machine import Machine
+
+
+#: Subset used by the CI smoke run: two short and two medium programs.
+QUICK_PROGRAMS = ["con6", "nrev1", "qs4", "times10"]
+
+
+def _identity_key(runner: SuiteRunner, name: str, variant: str):
+    """The simulated observables one measured run must reproduce."""
+    machine = runner.load(name, variant)
+    stats = machine.stats
+    return (stats.cycles, stats.instructions, stats.inferences,
+            stats.data_reads, stats.data_writes,
+            len(machine.solutions))
+
+
+def measure_suite(programs: Optional[List[str]] = None,
+                  variant: str = "pure",
+                  reps: int = 5) -> Dict:
+    """Measure host wall-clock for ``programs`` (default: full suite).
+
+    Returns the report dict (see module docstring for the shape).
+    Raises ``AssertionError`` if the fast path's simulated statistics
+    ever diverge from the ablation's.
+    """
+    names = list(programs) if programs is not None else list(SUITE_ORDER)
+    fast = SuiteRunner(machine_factory=lambda s: Machine(symbols=s,
+                                                         fast_path=True))
+    ablation = SuiteRunner(machine_factory=lambda s: Machine(
+        symbols=s, fast_path=False))
+
+    # Load, warm and identity-check every program up front.
+    for name in names:
+        fast.run(name, variant, warm=True)
+        ablation.run(name, variant, warm=True)
+        assert _identity_key(fast, name, variant) \
+            == _identity_key(ablation, name, variant), \
+            f"{name}: fast path diverged from the ablation"
+
+    best_fast = {name: float("inf") for name in names}
+    best_ablation = {name: float("inf") for name in names}
+    for rep in range(reps):
+        for name in names:
+            pair = ((fast, best_fast), (ablation, best_ablation))
+            if rep % 2:
+                pair = tuple(reversed(pair))
+            for runner, best in pair:
+                t0 = time.perf_counter()
+                runner.run(name, variant, warm=False)
+                best[name] = min(best[name], time.perf_counter() - t0)
+            assert _identity_key(fast, name, variant) \
+                == _identity_key(ablation, name, variant), \
+                f"{name}: fast path diverged from the ablation"
+
+    rows = {}
+    ratios = []
+    for name in names:
+        f_s, a_s = best_fast[name], best_ablation[name]
+        inferences = fast.load(name, variant).stats.inferences
+        speedup = a_s / f_s
+        ratios.append(speedup)
+        rows[name] = {
+            "fast_ms": round(f_s * 1e3, 4),
+            "ablation_ms": round(a_s * 1e3, 4),
+            "speedup": round(speedup, 3),
+            "inferences": inferences,
+            "host_klips_fast": round(inferences / f_s / 1e3, 2),
+            "host_klips_ablation": round(inferences / a_s / 1e3, 2),
+        }
+    total_fast = sum(best_fast.values())
+    total_ablation = sum(best_ablation.values())
+    return {
+        "suite": f"kcm-{variant}",
+        "reps": reps,
+        "programs": rows,
+        "aggregate": {
+            "fast_ms_total": round(total_fast * 1e3, 3),
+            "ablation_ms_total": round(total_ablation * 1e3, 3),
+            "speedup": round(total_ablation / total_fast, 3),
+            "geomean_speedup": round(
+                math.exp(sum(math.log(r) for r in ratios) / len(ratios)),
+                3),
+        },
+        "identity_checked": True,
+    }
+
+
+def write_report(report: Dict, path: str) -> None:
+    """Write ``report`` as the JSON artifact."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def check_regression(report: Dict, baseline_path: str,
+                     max_regression: float = 0.25) -> str:
+    """Compare ``report`` against a committed baseline report.
+
+    The gated quantity is the *aggregate speedup ratio* — dimensionless,
+    so it transfers across runner hardware, unlike absolute wall-clock.
+    Raises ``AssertionError`` when the current ratio has lost more than
+    ``max_regression`` of the committed one; returns a one-line summary
+    otherwise.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    committed = baseline["aggregate"]["speedup"]
+    current = report["aggregate"]["speedup"]
+    floor = committed * (1.0 - max_regression)
+    assert current >= floor, (
+        f"host-throughput regression: aggregate speedup {current:.3f}x "
+        f"is below {floor:.3f}x ({100 * max_regression:.0f}% under the "
+        f"committed {committed:.3f}x)")
+    return (f"aggregate speedup {current:.3f}x vs committed "
+            f"{committed:.3f}x (floor {floor:.3f}x) — ok")

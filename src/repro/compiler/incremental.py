@@ -145,6 +145,9 @@ class IncrementalLoader:
 
         machine.predicates.update(new_predicates)
         machine.builtins.update(handlers)
+        # The code zone grew: the machine's predecoded dispatch table
+        # (repro.core.predecode) no longer covers the new addresses.
+        machine.invalidate_predecode()
 
     def _needed_builtins(self, clauses, new_predicates):
         from repro.compiler.goals import is_inline

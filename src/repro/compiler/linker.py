@@ -85,6 +85,9 @@ class LinkedImage:
         machine.predicates = dict(self.predicates)
         machine.builtins = dict(self.builtin_handlers)
         machine._stubs = {}
+        # The code zone changed wholesale: the predecoded dispatch
+        # table (repro.core.predecode) is stale.
+        machine.invalidate_predecode()
 
 
 class Linker:

@@ -136,6 +136,20 @@ class CostModel:
         """Base cycles for ``op`` including interpretation overhead."""
         return self.base[op] + self.dispatch_overhead
 
+    def static_cost_table(self) -> Dict[Op, int]:
+        """The full opcode -> :meth:`instruction_cost` map, precomputed.
+
+        The predecoder (:mod:`repro.core.predecode`) bakes these into
+        its step tuples so the hot loop never calls back into the cost
+        model.  The table is a snapshot: mutating ``base`` or
+        ``dispatch_overhead`` afterwards requires re-predecoding (the
+        machine rebuilds its table per :meth:`Machine.run` entry only
+        when the code zone changed, so reconfigure costs between
+        machines, not mid-flight — exactly the hardware constraint).
+        """
+        overhead = self.dispatch_overhead
+        return {op: cost + overhead for op, cost in self.base.items()}
+
     def scaled(self, **changes) -> "CostModel":
         """A copy with the given fields replaced (baseline construction)."""
         return replace(self, **changes)

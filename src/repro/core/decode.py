@@ -27,13 +27,17 @@ def decode_word(machine, word: Word,
     """
     store = machine.memory.store
     symbols = machine.symbols
-
-    def read(address: int) -> Word:
-        return store.read(address)
+    read = store.read
 
     def walk(w: Word, budget: list) -> Term:
-        # Dereference without cycle cost.
+        # Dereference without simulated cycle cost — but charge the
+        # host-side budget per hop: a REF loop longer than one cell
+        # (a->b->a) never hits the direct self-reference test below and
+        # would otherwise spin forever.
         while w.type is Type.REF:
+            budget[0] -= 1
+            if budget[0] < 0:
+                raise ValueError("term too large to decode (cyclic?)")
             cell = read(w.value)
             if cell.type is Type.REF and cell.value == w.value:
                 if names and w.value in names:
@@ -62,7 +66,13 @@ def decode_word(machine, word: Word,
                 if budget[0] < 0:
                     raise ValueError("term too large to decode (cyclic?)")
                 tail = read(w.value + 1)
+                # Same per-hop budget charge as above: a cyclic tail
+                # REF chain must error out, not hang the host.
                 while tail.type is Type.REF:
+                    budget[0] -= 1
+                    if budget[0] < 0:
+                        raise ValueError(
+                            "term too large to decode (cyclic?)")
                     cell = read(tail.value)
                     if cell.type is Type.REF and cell.value == tail.value:
                         break

@@ -55,6 +55,7 @@ from repro.core.word import (
     Word, make_code_ptr, make_data_ptr, make_float, make_functor, make_int,
     make_list, make_struct, make_unbound, to_single_precision, wrap_int32,
 )
+from repro.core.predecode import PredecodedCode, predecode
 from repro.core.traps import MachineCheckpoint, TrapReport, TrapVector
 from repro.errors import (
     ArithmeticError_, CycleLimitExceeded, ExistenceError, InstructionError,
@@ -99,7 +100,8 @@ class Machine:
                  features: Optional[Features] = None,
                  memory: Optional[MemorySystem] = None,
                  stagger_stacks: bool = True,
-                 max_cycles: int = 500_000_000):
+                 max_cycles: int = 500_000_000,
+                 fast_path: bool = True):
         self.symbols = symbols if symbols is not None else SymbolTable()
         self.costs = costs if costs is not None else kcm_cost_model()
         self.features = features if features is not None else kcm_features()
@@ -110,6 +112,10 @@ class Machine:
         self.memory = memory
         self.stagger_stacks = stagger_stacks
         self.max_cycles = max_cycles
+        #: use the predecoded threaded-dispatch loop (docs/PERF.md).
+        #: ``False`` is the ablation: the seed per-instruction
+        #: interpreter, bit-identical in every simulated statistic.
+        self.fast_path = fast_path
 
         # Code space: word-addressed list of Instruction (None for the
         # continuation words of multi-word instructions).
@@ -152,6 +158,9 @@ class Machine:
         self.trap_log: List[TrapReport] = []
 
         self._dispatch = self._build_dispatch()
+        #: predecoded block table (repro.core.predecode), built lazily
+        #: per code image and dropped whenever the code zone changes.
+        self._predecoded: Optional[PredecodedCode] = None
         self._stubs: Dict[int, int] = {}
         self._recent_pcs: List[int] = [-1] * RECENT_RING
         self._recent_index = 0
@@ -206,6 +215,10 @@ class Machine:
     # ------------------------------------------------------------------
     # memory access helpers (all cycle-accounted)
     # ------------------------------------------------------------------
+
+    # NOTE: under fast_path, _execute shadows _read/_write for the
+    # duration of one run with the memory system's fused single-frame
+    # closures (MemorySystem.fused_data_path); same observables.
 
     def _read(self, address: int, zone: Zone,
               word_type: Type = Type.DATA_PTR) -> Word:
@@ -534,9 +547,22 @@ class Machine:
         """Run the main loop until halt/exhaustion, finalizing stats and
         annotating escaping errors no matter how the loop exits."""
         stats = self.stats
+        # Under fast_path, shadow _read/_write with the memory system's
+        # fused single-frame closures for the duration of this run —
+        # same observables (docs/PERF.md), so the ablation keeps the
+        # seed layered path.  Installed here rather than in __init__
+        # because the closures capture this run's RunStats; the finally
+        # below uninstalls them so accesses between runs (bootstrap
+        # frame setup, tests poking _read directly) take the layered
+        # class methods again.
+        if self.fast_path:
+            self._read, self._write, self.deref = \
+                self.memory.fused_data_path(self)
         try:
             if self.trap_vector.armed or self.injector is not None:
                 self._loop_recovering()
+            elif self.fast_path and self.tracer is None:
+                self._loop_predecoded()
             else:
                 self._loop_fast()
         except MachineError as err:
@@ -559,10 +585,130 @@ class Machine:
         finally:
             self.running = False
             self._undo_log = None
+            self.__dict__.pop("_read", None)
+            self.__dict__.pop("_write", None)
+            self.__dict__.pop("deref", None)
             stats.cycles = self.cycles
             stats.solutions = len(self.solutions)
             stats.trail_pushes = self.trail.pushes
         return stats
+
+    # -- predecode cache management ------------------------------------
+
+    def invalidate_predecode(self) -> None:
+        """Drop the predecoded block table; every code-zone writer
+        (linker install, incremental loader, bootstrap-stub allocator)
+        calls this, and :meth:`_ensure_predecoded` re-checks the code
+        length defensively."""
+        self._predecoded = None
+
+    def _ensure_predecoded(self) -> PredecodedCode:
+        """The predecoded table for the current code zone, rebuilt only
+        when the code changed since the last build."""
+        table = self._predecoded
+        if table is None or not table.valid_for(self.code):
+            table = predecode(self.code, self._dispatch,
+                              self.costs.static_cost_table())
+            self._predecoded = table
+        return table
+
+    def _loop_predecoded(self) -> None:
+        """The predecoded threaded-dispatch hot loop (docs/PERF.md).
+
+        Executes basic blocks of bound step tuples: the block's static
+        cycles / instruction count / inference count are charged once
+        at block entry and the unexecuted suffix is uncharged when a
+        step transfers control early (failure, builtin redirect, trap),
+        so every simulated statistic is bit-identical to
+        :meth:`_loop_fast`.  The watchdog check runs once per block:
+        :class:`CycleLimitExceeded` may therefore surface up to one
+        block later than under the seed loop, but always at an
+        instruction boundary with exact accounting (``resume`` works
+        unchanged).  Code-fetch timing still runs per instruction —
+        the code cache is stateful — with the hit path inlined and its
+        two counters batched locally, flushed on every exit path.
+        """
+        entries = self._ensure_predecoded().entries
+        memory = self.memory
+        stats = self.stats
+        recent = self._recent_pcs
+        idx = self._recent_index
+        max_cycles = self.max_cycles
+        timing = memory.timing_enabled
+        code_fetch = memory.code_fetch
+        line_tags, index_mask, tag_shift = memory.code_probe_state()
+        cache_stats = memory.code_cache.stats
+        hits = 0
+        try:
+            while self.running:
+                p = self.p
+                entry = entries[p]
+                if entry is None:
+                    raise InstructionError(
+                        f"execution fell into the middle of "
+                        f"a multi-word instruction at {p}")
+                steps, block_cost, block_instr, block_infer = entry
+                self.cycles += block_cost
+                stats.instructions += block_instr
+                stats.inferences += block_infer
+                i = 0
+                n = len(steps)
+                try:
+                    while True:
+                        step = steps[i]
+                        handler, _, _, next_p, instr = step
+                        recent[idx & _RECENT_MASK] = p
+                        idx += 1
+                        if timing:
+                            if line_tags[p & index_mask] \
+                                    == p >> tag_shift:
+                                hits += 1
+                            else:
+                                try:
+                                    self.cycles += code_fetch(p)
+                                except MachineError:
+                                    # Seed ordering: a code-fetch trap
+                                    # happens before the instruction is
+                                    # charged or counted, so take back
+                                    # this step's share too (the outer
+                                    # handler takes back the suffix).
+                                    self.cycles -= step[1]
+                                    stats.instructions -= 1
+                                    stats.inferences -= step[2]
+                                    raise
+                        self.p = next_p
+                        handler(instr)
+                        i += 1
+                        if i == n:
+                            break
+                        if self.p != next_p or not self.running:
+                            # Early transfer out of the block: the
+                            # suffix sums are the table entry at the
+                            # fall-through address.
+                            _, cost, n_instr, n_infer = entries[next_p]
+                            self.cycles -= cost
+                            stats.instructions -= n_instr
+                            stats.inferences -= n_infer
+                            break
+                        p = next_p
+                except MachineError:
+                    # The faulting step at index ``i`` was charged and
+                    # counted before dispatch, exactly as in the seed
+                    # loop; uncharge only the unexecuted suffix.
+                    if i + 1 < n:
+                        _, cost, n_instr, n_infer = entries[next_p]
+                        self.cycles -= cost
+                        stats.instructions -= n_instr
+                        stats.inferences -= n_infer
+                    raise
+                if self.cycles > max_cycles:
+                    self._recent_index = idx  # error reads the ring
+                    raise self._cycle_limit_error(max_cycles)
+        finally:
+            self._recent_index = idx
+            if hits:
+                cache_stats.reads += hits
+                cache_stats.read_hits += hits
 
     def _loop_fast(self) -> None:
         """The seed hot loop: any trap aborts the run."""
@@ -601,7 +747,14 @@ class Machine:
 
         Identical simulated-cycle accounting to :meth:`_loop_fast` on
         the fault-free path; the extra per-instruction work (a register
-        snapshot for precise restart) is host-side only.
+        snapshot for precise restart) is host-side only.  When
+        ``fast_path`` is on, dispatch and static costs come from the
+        predecoded step table — the per-instruction snapshot, injector
+        and tracer hooks are kept, so only host work changes.
+
+        Trapped instructions are re-executed after recovery: the retry
+        runs with ``replay=True`` on the tracer hook so monitors can
+        collapse the aborted attempt and its replay into one event.
         """
         dispatch = self._dispatch
         code = self.code
@@ -610,35 +763,53 @@ class Machine:
         stats = self.stats
         recent = self._recent_pcs
         injector = self.injector
+        entries = self._ensure_predecoded().entries if self.fast_path \
+            else None
         undo: list = []
+        replay = False
         while self.running:
             p = self.p
-            instr = code[p]
-            if instr is None:
-                raise InstructionError(f"execution fell into the middle of "
-                                       f"a multi-word instruction at {p}")
+            if entries is not None:
+                entry = entries[p]
+                if entry is None:
+                    raise InstructionError(
+                        f"execution fell into the middle of "
+                        f"a multi-word instruction at {p}")
+                handler, cost, infer, next_p, instr = entry[0][0]
+            else:
+                instr = code[p]
+                if instr is None:
+                    raise InstructionError(
+                        f"execution fell into the middle of "
+                        f"a multi-word instruction at {p}")
+                op = instr.op
+                handler = dispatch[op]
+                cost = costs.instruction_cost(op)
+                infer = 1 if instr.infer else 0
+                next_p = p + instr.size
             snapshot = self._replay_snapshot(p)
             del undo[:]
             self._undo_log = undo
             try:
                 if injector is not None:
                     injector.before_instruction(self)
-                op = instr.op
                 recent[self._recent_index & _RECENT_MASK] = p
                 self._recent_index += 1
-                self.p = p + instr.size
-                self.cycles += costs.instruction_cost(op) \
-                    + memory.code_fetch(p)
+                self.p = next_p
+                self.cycles += cost + memory.code_fetch(p)
                 stats.instructions += 1
-                if instr.infer:
+                if infer:
                     stats.inferences += 1
                 if self.tracer is not None:
-                    self.tracer.on_instruction(self, p, instr)
-                dispatch[op](instr)
+                    self.tracer.on_instruction(self, p, instr,
+                                               replay=replay)
+                handler(instr)
             except MachineTrap as trap:
                 if not self._service_trap(trap, p, snapshot):
                     raise
+                replay = True
                 continue
+            replay = False
             if self.cycles > self.max_cycles:
                 raise self._cycle_limit_error(self.max_cycles)
 
@@ -648,14 +819,28 @@ class Machine:
 
     def _replay_snapshot(self, p: int) -> tuple:
         """The pre-instruction register state needed to restart the
-        instruction at ``p`` precisely after a trap."""
+        instruction at ``p`` precisely after a trap.
+
+        ``stats.instructions`` / ``stats.inferences`` are part of the
+        snapshot: the loop counts an instruction *before* dispatching
+        it, so an aborted attempt must be un-counted on replay or every
+        trapped instruction inflates the LIPS-bearing counters by one.
+        ``cycles`` is snapshotted (last element, read by
+        :meth:`_service_trap`) but deliberately **not** restored: the
+        wasted attempt took real machine time, which stays on the clock
+        and is attributed to ``stats.recovery_cycles`` — so fault-free
+        and faulted runs of the same program agree on *functional*
+        counters (instructions, inferences, solutions) while cycles
+        honestly include the recovery overhead."""
         shadow = self.shadow
+        stats = self.stats
         return (p, self.cp, self.e, self.b, self.b0, self.h, self.hb,
                 self.s, self.lb, self.mode_write, self.shallow_flag,
                 self.cp_flag, shadow.alt, shadow.h, shadow.tr,
                 self.trail.top, self.trail.pushes,
                 len(self.solutions), len(self.output),
-                list(self.regs.cells), self.cycles)
+                list(self.regs.cells),
+                stats.instructions, stats.inferences, self.cycles)
 
     def _restore_replay(self, snapshot: tuple) -> None:
         """Rewind to the snapshot: every memory write of the partially
@@ -663,10 +848,13 @@ class Machine:
         *untrailed* young bindings the trail cannot rewind — without
         it, a replayed GET_STRUCTURE would deref its own half-finished
         binding and take READ mode over a half-built structure),
-        registers back, partial answers dropped."""
+        registers back, partial answers dropped, instruction/inference
+        counters rewound (cycles intentionally kept — see
+        :meth:`_replay_snapshot`)."""
         (p, cp, e, b, b0, h, hb, s, lb, mode_write, shallow_flag,
          cp_flag, sh_alt, sh_h, sh_tr, tr_top, tr_pushes, n_solutions,
-         n_output, regs, _cycles_at_entry) = snapshot
+         n_output, regs, n_instructions, n_inferences,
+         _cycles_at_entry) = snapshot
         undo = self._undo_log
         if undo is not None:
             # Disarm before replaying so the trap handler's own writes
@@ -694,6 +882,8 @@ class Machine:
         del self.solutions[n_solutions:]
         del self.output[n_output:]
         self.regs.cells[:] = regs
+        self.stats.instructions = n_instructions
+        self.stats.inferences = n_inferences
 
     def _service_trap(self, trap: MachineTrap, p: int,
                       snapshot: tuple) -> bool:
@@ -828,6 +1018,7 @@ class Machine:
         self.code.append(Instruction(Op.CALL, entry, 0, None))
         self.code.append(Instruction(Op.HALT))
         self._stubs[entry] = stub
+        self.invalidate_predecode()
         return stub
 
     # ------------------------------------------------------------------

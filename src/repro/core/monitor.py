@@ -51,12 +51,21 @@ class MacrocodeTracer:
         self.dropped = 0
 
     def on_instruction(self, machine, address: int,
-                       instr: Instruction) -> None:
-        """Machine hook: called before each instruction executes."""
+                       instr: Instruction, replay: bool = False) -> None:
+        """Machine hook: called before each instruction executes.
+
+        ``replay=True`` marks the re-execution of an instruction whose
+        previous attempt trapped and was rolled back; the aborted
+        attempt's record is replaced so each architecturally executed
+        instruction appears exactly once in the trace.
+        """
         if self.window is not None:
             low, high = self.window
             if not low <= address < high:
                 return
+        if replay and self.records \
+                and self.records[-1].address == address:
+            self.records.pop()
         if len(self.records) >= self.limit:
             self.dropped += 1
             return
@@ -113,8 +122,17 @@ class PortTracer:
                                          machine.cycles))
 
     def on_instruction(self, machine, address: int,
-                       instr: Instruction) -> None:
-        """Machine hook."""
+                       instr: Instruction, replay: bool = False) -> None:
+        """Machine hook.
+
+        A replayed instruction already emitted its port event (and any
+        depth change) during the aborted attempt — which the rollback
+        machinery undid architecturally but this monitor, a pure event
+        consumer, cannot — so the retry is ignored to keep one event
+        per architectural execution.
+        """
+        if replay:
+            return
         op = instr.op
         names = self._predicate_names(machine)
         if op in (Op.CALL, Op.EXECUTE):
@@ -172,8 +190,11 @@ class CycleProfiler:
         return owner
 
     def on_instruction(self, machine, address: int,
-                       instr: Instruction) -> None:
-        """Machine hook."""
+                       instr: Instruction, replay: bool = False) -> None:
+        """Machine hook.  Attribution is delta-based, so a replayed
+        instruction cannot double-count cycles; the delta covering the
+        aborted attempt and its recovery lands on the predicate that
+        faulted, which is where the overhead belongs."""
         elapsed = machine.cycles - self._last_cycles
         if elapsed > 0:
             self.cycles_by_predicate[self._current] = \

@@ -1,0 +1,119 @@
+"""Predecoded threaded-dispatch code representation.
+
+The seed interpreter re-decodes every instruction on every execution:
+an ``Op`` dict dispatch, a cost-table call, attribute loads on the
+:class:`~repro.core.instruction.Instruction` and a per-instruction
+cycle-limit branch.  KCM itself pays decode cost once per code word —
+the prefetch unit of section 3.1.3 — and the bytecode-interpreter
+literature (Körner et al., PAPERS.md) shows predecoding plus
+threaded-style dispatch is the dominant host-side win for this
+interpreter shape.
+
+This module translates the code zone once, at load time, into *bound
+step tuples*::
+
+    (handler, static_cost, infer, next_p, instr)
+
+where ``handler`` is the machine's already-bound ``_op_*`` method,
+``static_cost`` the precomputed ``CostModel.instruction_cost`` for the
+opcode, ``infer`` 0/1 for the inference counter, and ``next_p`` the
+fall-through address.  Steps are grouped into *basic blocks*: for every
+code address the table holds the straight-line run of steps from that
+address to the next block-ending instruction, together with the block's
+summed static cost / instruction count / inference count.  The hot loop
+(:meth:`Machine._loop_predecoded`) charges those sums once per block
+and "uncharges" the unexecuted suffix — whose sums are exactly the
+table entry of the fall-through address — when a mid-block failure or
+trap transfers control early.  Simulated cycle accounting is therefore
+bit-identical to the seed loop; only host work changes.
+
+The table is a pure cache over ``machine.code``: anything that writes
+the code zone (the linker's :meth:`LinkedImage.install`, the
+incremental loader, the bootstrap-stub allocator) must call
+``machine.invalidate_predecode()``.  A code-length check catches
+stragglers defensively.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.opcodes import Op
+
+#: Opcodes that always (or typically) end a straight-line block: every
+#: unconditional control transfer, plus ESCAPE because builtins may
+#: redirect P (call/1) or stop the machine ('$answer', halt/0) without
+#: touching P.  Conditional transfers — unification failure, TEST,
+#: arithmetic faults — need no entry here: the block loop detects any
+#: deviation of P (or of ``running``) after each step and settles the
+#: accounts then.
+BLOCK_ENDERS = frozenset({
+    Op.CALL, Op.EXECUTE, Op.PROCEED, Op.JUMP, Op.FAIL, Op.HALT,
+    Op.TRY, Op.RETRY, Op.TRUST,
+    Op.SWITCH_ON_TERM, Op.SWITCH_ON_CONSTANT, Op.SWITCH_ON_STRUCTURE,
+    Op.ESCAPE,
+})
+
+#: One predecoded instruction: (handler, static_cost, infer, next_p, instr).
+Step = Tuple[Callable, int, int, int, object]
+
+#: One table entry: (steps-from-here-to-block-end, static-cycle sum,
+#: instruction count, inference count).
+BlockView = Tuple[Tuple[Step, ...], int, int, int]
+
+
+class PredecodedCode:
+    """The per-address block table for one machine's code zone."""
+
+    __slots__ = ("entries", "code_len")
+
+    def __init__(self, entries: List[Optional[BlockView]], code_len: int):
+        self.entries = entries
+        self.code_len = code_len
+
+    def valid_for(self, code: list) -> bool:
+        """Cheap staleness check: the code zone is append-mostly, so a
+        length change catches every install/extend that forgot the
+        explicit ``invalidate_predecode`` call."""
+        return self.code_len == len(code)
+
+
+def predecode(code: list, dispatch: Dict[Op, Callable],
+              static_costs: Dict[Op, int]) -> PredecodedCode:
+    """Translate ``code`` into a :class:`PredecodedCode` table.
+
+    ``dispatch`` maps opcodes to bound handlers (the machine's dispatch
+    table); ``static_costs`` maps opcodes to their fixed per-execution
+    cycle charge (:meth:`CostModel.static_cost_table`).
+
+    Entries are built right to left so each address's block view shares
+    the step tuples (not the tuples-of-steps) of its suffix addresses:
+    the suffix sums needed for mid-block uncharging are then simply the
+    table entry at the fall-through address.
+    """
+    n = len(code)
+    steps: List[Optional[Step]] = [None] * n
+    for address, instr in enumerate(code):
+        if instr is None:
+            continue  # continuation word of a multi-word instruction
+        op = instr.op
+        steps[address] = (dispatch[op], static_costs[op],
+                          1 if instr.infer else 0,
+                          address + instr.size, instr)
+
+    entries: List[Optional[BlockView]] = [None] * n
+    for address in range(n - 1, -1, -1):
+        step = steps[address]
+        if step is None:
+            continue
+        next_p = step[3]
+        if (code[address].op in BLOCK_ENDERS
+                or next_p >= n or entries[next_p] is None):
+            entries[address] = ((step,), step[1], 1, step[2])
+        else:
+            tail_steps, tail_cost, tail_instr, tail_infer = entries[next_p]
+            entries[address] = ((step,) + tail_steps,
+                                step[1] + tail_cost,
+                                1 + tail_instr,
+                                step[2] + tail_infer)
+    return PredecodedCode(entries, n)

@@ -154,14 +154,30 @@ def make_tag(type_: Type, zone: Zone = Zone.NONE,
     return tag
 
 
+# Precomputed field-decode tables.  Tag-field extraction sits on the
+# hottest paths of the whole simulator (every deref, bind, zone check
+# and unification type-dispatch goes through it); indexing a tuple is
+# several times cheaper on the host than calling the enum constructor,
+# and is exactly the 16-way decode ROM the hardware TVM uses.
+TAG_TYPE_SHIFT = TYPE_SHIFT - VALUE_BITS
+TAG_ZONE_SHIFT = ZONE_SHIFT - VALUE_BITS
+TYPE_BY_INDEX = tuple(Type(i) for i in range(16))
+#: Zone uses only 8 of its 16 encodings; the spare slots keep the
+#: invalid-value ValueError of the enum constructor.
+ZONE_BY_INDEX = tuple(Zone(i) if i < 8 else None for i in range(16))
+
+
 def tag_type(tag: int) -> Type:
     """Extract the 4-bit type field from a 32-bit tag part."""
-    return Type((tag >> (TYPE_SHIFT - VALUE_BITS)) & TYPE_MASK)
+    return TYPE_BY_INDEX[(tag >> TAG_TYPE_SHIFT) & TYPE_MASK]
 
 
 def tag_zone(tag: int) -> Zone:
     """Extract the 4-bit zone field from a 32-bit tag part."""
-    return Zone((tag >> (ZONE_SHIFT - VALUE_BITS)) & ZONE_MASK)
+    zone = ZONE_BY_INDEX[(tag >> TAG_ZONE_SHIFT) & ZONE_MASK]
+    if zone is None:
+        return Zone((tag >> TAG_ZONE_SHIFT) & ZONE_MASK)  # raises
+    return zone
 
 
 def tag_gc_mark(tag: int) -> bool:

@@ -17,6 +17,9 @@ import struct
 from typing import Union
 
 from repro.core.tags import (
+    TAG_TYPE_SHIFT,
+    TYPE_BY_INDEX,
+    TYPE_MASK,
     Type,
     Zone,
     make_tag,
@@ -56,18 +59,19 @@ class Word:
     immutable; memory cells are replaced, never mutated.
     """
 
-    __slots__ = ("tag", "value")
+    __slots__ = ("tag", "value", "type")
 
     def __init__(self, tag: int, value: Union[int, float]):
         self.tag = tag
         self.value = value
+        #: The 4-bit type field, decoded eagerly: reading ``.type`` is
+        #: the single hottest operation in the simulator (deref, bind,
+        #: zone check, MWAC dispatch) and outnumbers Word creations, so
+        #: a plain slot beats a property frame per access.  Total over
+        #: the 16 possible field values — never raises.
+        self.type = TYPE_BY_INDEX[(tag >> TAG_TYPE_SHIFT) & TYPE_MASK]
 
     # -- field accessors ----------------------------------------------------
-
-    @property
-    def type(self) -> Type:
-        """The 4-bit type field of this word."""
-        return tag_type(self.tag)
 
     @property
     def zone(self) -> Zone:
@@ -133,63 +137,78 @@ class Word:
 # Constructors for the common word shapes
 # ---------------------------------------------------------------------------
 
+# Tag constants, precomputed once per (type, zone): the constructors
+# below run inside the interpreter's hottest handlers, and packing the
+# tag through make_tag on every call was measurable host overhead.
+_INT_TAG = make_tag(Type.INT)
+_FLOAT_TAG = make_tag(Type.FLOAT)
+_ATOM_TAG = make_tag(Type.ATOM)
+_NIL_TAG = make_tag(Type.NIL)
+_FUNCTOR_TAG = make_tag(Type.FUNCTOR)
+_CODE_PTR_TAG = make_tag(Type.CODE_PTR, Zone.CODE)
+_REF_TAGS = {zone: make_tag(Type.REF, zone) for zone in Zone}
+_LIST_TAGS = {zone: make_tag(Type.LIST, zone) for zone in Zone}
+_STRUCT_TAGS = {zone: make_tag(Type.STRUCT, zone) for zone in Zone}
+_DATA_PTR_TAGS = {zone: make_tag(Type.DATA_PTR, zone) for zone in Zone}
+
+
 def make_int(n: int) -> Word:
     """An immediate 32-bit signed integer word (wraps like the ALU)."""
-    return Word(make_tag(Type.INT), wrap_int32(n))
+    return Word(_INT_TAG, wrap_int32(n))
 
 
 def make_float(x: float) -> Word:
     """An immediate 32-bit IEEE float word (rounded to single precision)."""
-    return Word(make_tag(Type.FLOAT), to_single_precision(x))
+    return Word(_FLOAT_TAG, to_single_precision(x))
 
 
 def make_atom(atom_index: int) -> Word:
     """An atom constant; the value is an index into the atom table."""
-    return Word(make_tag(Type.ATOM), atom_index)
+    return Word(_ATOM_TAG, atom_index)
 
 
 def make_nil() -> Word:
     """The empty-list constant ``[]``."""
-    return Word(make_tag(Type.NIL), 0)
+    return Word(_NIL_TAG, 0)
 
 
 def make_ref(address: int, zone: Zone) -> Word:
     """A reference (possibly unbound variable) pointing at ``address``."""
-    return Word(make_tag(Type.REF, zone), address)
+    return Word(_REF_TAGS[zone], address)
 
 
 def make_unbound(address: int, zone: Zone) -> Word:
     """An unbound variable: a REF whose value is its own address (the
     standard WAM self-reference representation)."""
-    return Word(make_tag(Type.REF, zone), address)
+    return Word(_REF_TAGS[zone], address)
 
 
 def make_list(address: int, zone: Zone = Zone.GLOBAL) -> Word:
     """A list pointer to a cons cell (two consecutive words) on the
     global stack."""
-    return Word(make_tag(Type.LIST, zone), address)
+    return Word(_LIST_TAGS[zone], address)
 
 
 def make_struct(address: int, zone: Zone = Zone.GLOBAL) -> Word:
     """A structure pointer to a functor cell on the global stack."""
-    return Word(make_tag(Type.STRUCT, zone), address)
+    return Word(_STRUCT_TAGS[zone], address)
 
 
 def make_functor(functor_index: int) -> Word:
     """A functor descriptor cell (name/arity id into the functor table)."""
-    return Word(make_tag(Type.FUNCTOR), functor_index)
+    return Word(_FUNCTOR_TAG, functor_index)
 
 
 def make_data_ptr(address: int, zone: Zone) -> Word:
     """An untyped data pointer used by the runtime system (stack links,
     choice-point fields, trail entries)."""
-    return Word(make_tag(Type.DATA_PTR, zone), address)
+    return Word(_DATA_PTR_TAGS[zone], address)
 
 
 def make_code_ptr(address: int) -> Word:
     """A pointer into the code address space (continuation pointers,
     alternative-clause addresses in choice points)."""
-    return Word(make_tag(Type.CODE_PTR, Zone.CODE), address)
+    return Word(_CODE_PTR_TAG, address)
 
 
 #: A fixed all-zero word used to initialise memory; reads of it in tests

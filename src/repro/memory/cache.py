@@ -192,5 +192,7 @@ class CodeCache:
 
     def invalidate(self) -> None:
         """Invalidate the whole cache (batch code generation hand-over,
-        section 3.2.1)."""
-        self.tags = [None] * self.TOTAL_WORDS
+        section 3.2.1).  In place: the run loop's inlined hit probe
+        (:meth:`MemorySystem.code_probe_state`) holds a reference to
+        the tag list."""
+        self.tags[:] = [None] * self.TOTAL_WORDS

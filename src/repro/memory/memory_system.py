@@ -19,10 +19,13 @@ used by tests that don't care about cycles.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
-from repro.core.tags import Type, Zone
-from repro.core.word import Word
+from repro.core.tags import (
+    ADDRESS_MASK, TAG_TYPE_SHIFT, TAG_ZONE_SHIFT, Type, Zone,
+    ZONE_BY_INDEX, ZONE_GRANULE_WORDS,
+)
+from repro.core.word import Word, ZERO_WORD
 from repro.memory.cache import CodeCache, DataCache
 from repro.memory.layout import DEFAULT_LAYOUT, Region
 from repro.memory.main_memory import MainMemory
@@ -92,6 +95,212 @@ class MemorySystem:
             penalty += fault
         return penalty
 
+    # -- the fused data path (predecoded execution layer) ----------------------
+
+    def fused_data_path(self, machine) \
+            -> "tuple[Callable, Callable, Callable]":
+        """Build single-frame replacements for the machine's data
+        accessors; returns ``(read, write, deref)`` closures.
+
+        The layered path above costs around eight Python frames per
+        access (machine wrapper, zone check, containment, store, miss
+        accounting, cache, index split), which dominates host time in a
+        cycle-accurate interpreter.  The closures fold the *happy* path
+        — zone check passes, cache hits — into one frame, including the
+        machine-side cycle/statistics accounting the seed keeps in
+        :meth:`Machine._read` / :meth:`Machine._write`, and fall back
+        to :meth:`ZoneChecker.check` for every violation so traps,
+        messages and every counter (zone ``checks``/``violations``,
+        cache hit/miss/write-back statistics, ``uninitialised_reads``,
+        MMU faults, ``RunStats`` data accesses) are bit-identical.
+
+        :meth:`Machine._execute` installs the pair for the duration of
+        one run when ``fast_path`` is on and removes it afterwards; the
+        ablation (``fast_path=False``) never sees them.  Built per run
+        because the closures capture the run's ``RunStats``; everything
+        else captured (zone table, store chunks, cache tag/dirty lists,
+        counters objects) is mutated in place and never rebound.  The
+        property tests in ``tests/test_props_fastpath.py`` pin the
+        equivalence, including under injected faults.
+        """
+        zones = self.zones
+        zone_enabled = zones.enabled
+        entries = zones.entries
+        zone_check = zones.check
+        store = self.store
+        chunks = store._chunks
+        timing = self.timing_enabled
+        cache = self.data_cache
+        cstats = cache.stats
+        tags = cache.tags
+        dirty = cache.dirty
+        sectioned = cache.sectioned
+        main = cache.memory
+        translate = self.mmu.translate
+        stats = machine.stats
+        granule = ZONE_GRANULE_WORDS
+        address_mask = ADDRESS_MASK
+        DATA_PTR = Type.DATA_PTR
+
+        def read(address, zone, word_type=DATA_PTR):
+            # Counter ordering mirrors the layered path exactly: the
+            # store/zone/cache counters move before a trap can escape,
+            # stats.data_reads and machine.cycles only after the access
+            # is known to complete (an MMU page-fault trap on the miss
+            # path must leave them untouched, as data_read would).
+            if zone_enabled:
+                entry = entries.get(zone)
+                if (entry is not None and 0 <= address <= address_mask
+                        and word_type in entry.allowed_types
+                        and (entry.min_address
+                             - entry.min_address % granule) <= address
+                        < -(-entry.max_address // granule) * granule):
+                    entry.checks += 1
+                else:
+                    zone_check(zone, address, word_type, False)  # raises
+            chunk = chunks.get(address >> 16)
+            word = chunk[address & 0xFFFF] if chunk is not None else None
+            if word is None:
+                store.uninitialised_reads += 1
+                word = ZERO_WORD
+            if not timing:
+                stats.data_reads += 1
+                return word           # 1 cycle, folded into instr cost
+            cstats.reads += 1
+            if sectioned:
+                index = ((zone & 7) << 10) | (address & 1023)
+                tag = address >> 10
+            else:
+                index = address & 8191
+                tag = address >> 13
+            if tags[index] == tag:
+                cstats.read_hits += 1
+                stats.data_reads += 1
+                return word
+            cstats.misses += 1
+            penalty = 0
+            if tags[index] is not None and dirty[index]:
+                cstats.write_backs += 1
+                penalty += main.write_words(1)
+            penalty += main.read_words(1)
+            tags[index] = tag
+            dirty[index] = False
+            _, fault = translate(address, False)
+            machine.cycles += penalty + fault
+            stats.data_reads += 1
+            return word
+
+        def write(address, word, zone, word_type=DATA_PTR):
+            undo = machine._undo_log
+            if undo is not None:
+                # Before anything else, exactly like Machine._write: a
+                # trap mid-instruction must be able to undo writes that
+                # succeeded functionally before the fault.
+                undo.append((address, store.peek(address)))
+            if zone_enabled:
+                entry = entries.get(zone)
+                if (entry is not None and 0 <= address <= address_mask
+                        and word_type in entry.allowed_types
+                        and not entry.write_protected
+                        and (entry.min_address
+                             - entry.min_address % granule) <= address
+                        < -(-entry.max_address // granule) * granule):
+                    entry.checks += 1
+                else:
+                    zone_check(zone, address, word_type, True)  # raises
+            chunk = chunks.get(address >> 16)
+            if chunk is None:
+                store.write(address, word)  # allocates the chunk
+            else:
+                chunk[address & 0xFFFF] = word
+            if not timing:
+                stats.data_writes += 1
+                return
+            cstats.writes += 1
+            if sectioned:
+                index = ((zone & 7) << 10) | (address & 1023)
+                tag = address >> 10
+            else:
+                index = address & 8191
+                tag = address >> 13
+            if tags[index] == tag:
+                cstats.write_hits += 1
+                dirty[index] = True
+                stats.data_writes += 1
+                return
+            cstats.misses += 1
+            penalty = 0
+            if tags[index] is not None and dirty[index]:
+                cstats.write_backs += 1
+                penalty += main.write_words(1)
+            penalty += main.read_words(1)
+            tags[index] = tag
+            dirty[index] = True
+            _, fault = translate(address, True)
+            machine.cycles += penalty + fault
+            stats.data_writes += 1
+
+        # Reference-chain walking is the single hottest compound
+        # operation (one read per link), so it gets its own closure
+        # implementing Machine.deref semantics with the *hit* read
+        # inlined per hop.  The inline path commits no counter until
+        # every condition has passed; any edge (zone violation, cache
+        # miss, uninitialised cell, timing off, zone checking off)
+        # leaves all state untouched and re-runs the hop through
+        # ``read`` above, which owns those cases.
+        type_shift = TAG_TYPE_SHIFT
+        zone_shift = TAG_ZONE_SHIFT
+        zone_table = ZONE_BY_INDEX
+        REF_TYPE = Type.REF
+        ref_index = int(REF_TYPE)
+        deref_cost = machine.costs.deref_per_link
+
+        def deref(word):
+            while True:
+                wtag = word.tag
+                if (wtag >> type_shift) & 15 != ref_index:
+                    return word
+                address = word.value
+                zone = zone_table[(wtag >> zone_shift) & 15]
+                if zone is None:
+                    zone = word.zone        # raises, as the seed would
+                cell = None
+                if zone_enabled and timing:
+                    entry = entries.get(zone)
+                    if (entry is not None and 0 <= address <= address_mask
+                            and REF_TYPE in entry.allowed_types
+                            and (entry.min_address
+                                 - entry.min_address % granule) <= address
+                            < -(-entry.max_address // granule) * granule):
+                        chunk = chunks.get(address >> 16)
+                        if chunk is not None:
+                            cell = chunk[address & 0xFFFF]
+                if cell is not None:
+                    if sectioned:
+                        index = ((zone & 7) << 10) | (address & 1023)
+                        line = address >> 10
+                    else:
+                        index = address & 8191
+                        line = address >> 13
+                    if tags[index] == line:
+                        entry.checks += 1
+                        cstats.reads += 1
+                        cstats.read_hits += 1
+                        stats.data_reads += 1
+                    else:
+                        cell = None         # miss: layered hop below
+                if cell is None:
+                    cell = read(address, zone, REF_TYPE)
+                machine.cycles += deref_cost
+                stats.dereference_links += 1
+                ctag = cell.tag
+                if (ctag >> type_shift) & 15 == ref_index \
+                        and cell.value == address:
+                    return cell             # unbound variable
+                word = cell
+
+        return read, write, deref
+
     # -- the code path ---------------------------------------------------------
 
     def code_fetch(self, address: int) -> int:
@@ -105,6 +314,23 @@ class MemorySystem:
                                           code_space=True)
             penalty += fault
         return penalty
+
+    def code_probe_state(self) -> "tuple[list, int, int]":
+        """State for an inlined code-fetch *hit* probe:
+        ``(line_tags, index_mask, tag_shift)``.
+
+        The predecoded run loop (:meth:`Machine._loop_predecoded`)
+        tests ``line_tags[address & index_mask] == address >> tag_shift``
+        itself — a hit costs zero penalty cycles and touches nothing
+        but the read counters, which the loop batches and flushes
+        through :attr:`code_cache` ``.stats`` — and falls back to the
+        full :meth:`code_fetch` path on a miss, so miss/prefetch/MMU
+        behaviour and every counter stay bit-identical to the seed
+        loop.  The tag list is mutated in place by the cache, never
+        rebound, so the reference stays valid across the run.
+        """
+        cache = self.code_cache
+        return cache.tags, cache.TOTAL_WORDS - 1, 13
 
     def code_write(self, address: int) -> int:
         """Incremental code generation write (straight to code cache)."""

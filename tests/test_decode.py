@@ -8,7 +8,7 @@ from repro.core.registers import RegisterFile, X_REGISTERS
 from repro.core.symbols import SymbolTable
 from repro.core.tags import Zone
 from repro.core.trail import Trail
-from repro.core.word import make_int, make_unbound
+from repro.core.word import make_int, make_list, make_ref, make_unbound
 from repro.prolog.parser import parse_term
 from repro.prolog.writer import term_to_text
 
@@ -115,3 +115,32 @@ class TestTrail:
         assert cells[10] == make_int(10)             # still bound
         assert cells[11] == make_unbound(11, Zone.GLOBAL)
         assert cells[12] == make_unbound(12, Zone.GLOBAL)
+
+
+class TestDecodeRefCycles:
+    """Regression: decode_word used to hang on REF chains that loop
+    without a direct self-reference (a -> b -> a never trips the
+    unbound-variable test).  The per-hop budget turns both cycle shapes
+    into the standard 'too large to decode' error."""
+
+    def test_two_cell_ref_loop_errors(self, machine):
+        store = machine.memory.store
+        store.poke(100, make_ref(101, Zone.GLOBAL))
+        store.poke(101, make_ref(100, Zone.GLOBAL))
+        with pytest.raises(ValueError, match="cyclic"):
+            decode_word(machine, make_ref(100, Zone.GLOBAL))
+
+    def test_cyclic_tail_ref_chain_errors(self, machine):
+        store = machine.memory.store
+        store.poke(200, make_int(1))                  # cons head
+        store.poke(201, make_ref(202, Zone.GLOBAL))   # cons tail ...
+        store.poke(202, make_ref(203, Zone.GLOBAL))   # ... into a
+        store.poke(203, make_ref(202, Zone.GLOBAL))   # 2-cycle
+        with pytest.raises(ValueError, match="cyclic"):
+            decode_word(machine, make_list(200))
+
+    def test_self_reference_still_decodes_as_var(self, machine):
+        store = machine.memory.store
+        store.poke(300, make_unbound(300, Zone.GLOBAL))
+        decoded = decode_word(machine, make_ref(300, Zone.GLOBAL))
+        assert decoded.name == "_300"

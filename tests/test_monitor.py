@@ -124,3 +124,36 @@ class TestCycleProfiler:
         profiler = CycleProfiler()
         run_traced(APPEND, "append([a], [], X)", profiler)
         assert "%" in profiler.report()
+
+
+class TestReplayTracing:
+    """Regression: monitors used to see a trapped-and-replayed
+    instruction twice.  The recovering loop now passes ``replay=True``
+    on the second delivery so traces match the fault-free run."""
+
+    QUERY = "append([a,b,c,d,e,f], [g], X)"
+
+    def _trace(self, injector=None):
+        from repro.recovery import install_default_recovery
+        tracer = MacrocodeTracer()
+        machine = compile_and_load(APPEND, self.QUERY)
+        attach(machine, tracer)
+        if injector is not None:
+            install_default_recovery(machine)
+            injector.attach(machine)
+        machine.run(machine.image.entry,
+                    answer_names=machine.image.query_variable_names)
+        return machine, tracer
+
+    def test_macrocode_trace_identical_under_replay(self):
+        from repro.recovery import FaultInjector
+        plain_machine, plain = self._trace()
+        # Page faults surface mid-dispatch — after the tracer has seen
+        # the instruction — so the replay is what delivers them again.
+        injector = FaultInjector(seed=7, page_faults=3, spurious=1,
+                                 horizon=plain_machine.cycles)
+        faulted_machine, faulted = self._trace(injector)
+        assert faulted_machine.stats.traps_recovered > 0
+        assert [r.address for r in faulted.records] \
+            == [r.address for r in plain.records]
+        assert len(faulted.records) == faulted_machine.stats.instructions

@@ -1,0 +1,158 @@
+"""The predecoded threaded-dispatch layer: block table shape,
+invalidation contract, ablation equivalence, watchdog semantics."""
+
+import pytest
+
+from repro.api import compile_and_load, run_query
+from repro.compiler.incremental import IncrementalLoader
+from repro.core.machine import Machine
+from repro.core.predecode import BLOCK_ENDERS, predecode
+from repro.core.symbols import SymbolTable
+from repro.errors import CycleLimitExceeded, InstructionError
+from repro.prolog.writer import term_to_text
+
+APPEND = ("append([], L, L).\n"
+          "append([H|T], L, [H|R]) :- append(T, L, R).\n")
+QUERY = "append([1,2,3], [4,5], R)"
+
+
+def loaded_machine(fast_path=True):
+    return compile_and_load(APPEND, QUERY,
+                            machine=Machine(symbols=SymbolTable(),
+                                            fast_path=fast_path))
+
+
+class TestBlockTable:
+    def test_entries_cover_instruction_starts_only(self):
+        machine = loaded_machine()
+        table = machine._ensure_predecoded()
+        assert table.valid_for(machine.code)
+        pc = 0
+        while pc < len(machine.code):
+            instr = machine.code[pc]
+            assert instr is not None
+            assert table.entries[pc] is not None
+            for middle in range(pc + 1, pc + instr.size):
+                assert machine.code[middle] is None
+                assert table.entries[middle] is None
+            pc += instr.size
+
+    def test_block_sums_match_member_steps(self):
+        machine = loaded_machine()
+        table = machine._ensure_predecoded()
+        costs = machine.costs.static_cost_table()
+        for entry in table.entries:
+            if entry is None:
+                continue
+            steps, cycle_sum, instr_count, infer_count = entry
+            assert instr_count == len(steps)
+            assert cycle_sum == sum(step[1] for step in steps)
+            assert infer_count == sum(step[2] for step in steps)
+            for handler, cost, infer, next_p, instr in steps:
+                assert handler is machine._dispatch[instr.op]
+                assert cost == costs[instr.op]
+                assert infer == (1 if instr.infer else 0)
+            for step in steps[:-1]:
+                # Only the last step of a block may transfer control.
+                assert step[4].op not in BLOCK_ENDERS
+
+    def test_blocks_end_at_enders_or_boundaries(self):
+        machine = loaded_machine()
+        table = machine._ensure_predecoded()
+        for entry in table.entries:
+            if entry is None:
+                continue
+            last = entry[0][-1]
+            next_p = last[3]
+            assert (last[4].op in BLOCK_ENDERS
+                    or next_p >= len(machine.code)
+                    or table.entries[next_p] is not None)
+
+    def test_static_cost_table_matches_dynamic_costs(self):
+        machine = loaded_machine()
+        table = machine.costs.static_cost_table()
+        for op, cost in table.items():
+            assert cost == machine.costs.instruction_cost(op)
+
+
+class TestInvalidation:
+    def test_incremental_load_invalidates(self):
+        machine = loaded_machine()
+        machine.run(machine.image.entry,
+                    answer_names=machine.image.query_variable_names)
+        stale = machine._predecoded
+        assert stale is not None
+
+        loader = IncrementalLoader(machine)
+        loader.add_program("color(red).\ncolor(green).\n")
+        assert machine._predecoded is None, \
+            "incremental install must drop the predecode table"
+        entry, names = loader.query("color(C)")
+        machine.run(entry, collect_all=True, answer_names=names)
+        rebuilt = machine._predecoded
+        assert rebuilt is not None and rebuilt is not stale
+        assert rebuilt.valid_for(machine.code)
+        values = sorted(term_to_text(s["C"]) for s in machine.solutions)
+        assert values == ["green", "red"]
+
+    def test_stale_table_rebuilt_defensively(self):
+        # Even without an invalidate() call, a table built for a
+        # different code length is never used.
+        machine = loaded_machine()
+        machine.run(machine.image.entry,
+                    answer_names=machine.image.query_variable_names)
+        table = machine._predecoded
+        machine.code.append(None)   # simulate an unannounced writer
+        assert not table.valid_for(machine.code)
+        assert machine._ensure_predecoded() is not table
+
+    def test_predecode_standalone_rejects_nothing(self):
+        machine = loaded_machine()
+        table = predecode(machine.code, machine._dispatch,
+                          machine.costs.static_cost_table())
+        assert table.code_len == len(machine.code)
+
+
+class TestExecutionSemantics:
+    def test_fast_and_ablation_agree(self):
+        keys = []
+        for fast_path in (True, False):
+            machine = loaded_machine(fast_path=fast_path)
+            stats = machine.run(
+                machine.image.entry,
+                answer_names=machine.image.query_variable_names)
+            keys.append((stats.cycles, stats.instructions,
+                         stats.inferences, stats.data_reads,
+                         stats.data_writes, str(machine.solutions)))
+        assert keys[0] == keys[1]
+
+    def test_jump_into_middle_of_instruction_raises(self):
+        machine = loaded_machine()
+        multi = next(pc for pc, instr in enumerate(machine.code)
+                     if instr is not None and instr.size > 1)
+        with pytest.raises(InstructionError,
+                           match="middle of a multi-word"):
+            machine.run(multi + 1)
+
+    def test_cycle_limit_stops_at_instruction_boundary(self):
+        machine = loaded_machine()
+        machine.max_cycles = 60
+        with pytest.raises(CycleLimitExceeded) as excinfo:
+            machine.run(machine.image.entry,
+                        answer_names=machine.image.query_variable_names)
+        err = excinfo.value
+        assert err.recent_addresses, "watchdog lost the address ring"
+        assert machine.cycles > 60
+        # State is intact at an instruction boundary: the run can be
+        # resumed with a bigger budget and completes normally.
+        stats = machine.resume(extra_cycles=1_000_000)
+        assert stats.solutions == 1
+        reference = run_query(APPEND, QUERY)
+        assert stats.cycles == reference.stats.cycles
+
+    def test_ablation_flag_selects_seed_loop(self):
+        machine = loaded_machine(fast_path=False)
+        machine.run(machine.image.entry,
+                    answer_names=machine.image.query_variable_names)
+        assert machine._predecoded is None, \
+            "the ablation must never build a predecode table"

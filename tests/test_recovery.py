@@ -197,6 +197,22 @@ class TestFaultInjection:
         assert spurious and all(r.injected for r in spurious)
         assert all(r.handler == "spurious-resume" for r in spurious)
 
+    def test_replayed_instructions_counted_once(self):
+        """Regression: a trapped-and-replayed instruction used to bump
+        stats.instructions (and .inferences) twice — once on the aborted
+        attempt, once on the replay.  The replay snapshot now rewinds
+        both, so a faulted run reports exactly the fault-free counts.
+        (Cycles legitimately differ: trap delivery and handler work are
+        real simulated time, charged on top.)"""
+        baseline = run_query(NREV, NREV_QUERY)
+        injector = FaultInjector(seed=5, page_faults=3, zone_squeezes=2,
+                                 spurious=3,
+                                 horizon=baseline.stats.cycles)
+        faulted = run_query(NREV, NREV_QUERY, injector=injector)
+        assert faulted.stats.traps_recovered > 0
+        assert faulted.stats.instructions == baseline.stats.instructions
+        assert faulted.stats.inferences == baseline.stats.inferences
+
 
 class TestZeroCostWhenIdle:
     def test_armed_vector_without_faults_charges_nothing(self):
