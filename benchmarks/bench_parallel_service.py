@@ -1,0 +1,103 @@
+"""Query-service throughput: compile-once cache + worker pool vs the
+seed per-query path.
+
+Measures end-to-end queries/sec over a short-query-heavy PLM-suite
+batch under the seed path (recompile + fresh machine per query), the
+warm in-process service (``workers=0``) and multiprocess pools of
+increasing size, cross-checking on every pass that all modes produce
+identical solutions and bit-identical simulated statistics (see
+repro/bench/parallel_service.py and docs/SERVING.md).  Emits
+``BENCH_parallel_service.json``; the committed copy at the repository
+root is the CI regression baseline, gated on the dimensionless
+speedup-vs-naive ratio so runner hardware does not matter.
+
+Run under pytest-benchmark (``pytest benchmarks/bench_parallel_service.py
+--benchmark-only``) or standalone for the CI smoke check::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_service.py --quick \
+        --baseline BENCH_parallel_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _report(report: dict) -> None:
+    batch = report["batch"]
+    print(f"\n  batch: {batch['queries']} queries over "
+          f"{len(batch['programs'])} programs "
+          f"(short x{batch['short_reps']})")
+    print(f"  {'mode':>20} {'seconds':>9} {'queries/s':>10} "
+          f"{'vs naive':>9}")
+    for mode, row in report["modes"].items():
+        print(f"  {mode:>20} {row['seconds']:>9.3f} "
+              f"{row['queries_per_second']:>10.1f} "
+              f"{row['speedup_vs_naive']:>8.2f}x")
+    gate = report["gate"]
+    print(f"  gate: {gate['mode']} at {gate['speedup_vs_naive']:.2f}x "
+          f"vs naive")
+
+
+# -- pytest-benchmark harness ------------------------------------------------
+
+def test_parallel_service(benchmark):
+    from repro.bench.parallel_service import QUICK_PROGRAMS, QUICK_REPS, \
+        measure_service
+
+    report = benchmark.pedantic(
+        lambda: measure_service(programs=QUICK_PROGRAMS, short_reps=2,
+                                reps=QUICK_REPS, workers=(2,)),
+        rounds=1, iterations=1)
+    _report(report)
+    benchmark.extra_info["gate_speedup"] = \
+        report["gate"]["speedup_vs_naive"]
+    assert report["identity_checked"]
+    # Amortizing compilation and engine construction must actually
+    # pay: a service slower than recompiling per query is pointless.
+    assert report["modes"]["cached_sequential"]["speedup_vs_naive"] > 1.0
+
+
+# -- standalone CI smoke -----------------------------------------------------
+
+def main(argv=None) -> int:
+    from repro.bench.parallel_service import (
+        FULL_REPS, QUICK_PROGRAMS, QUICK_REPS, check_regression,
+        measure_service, write_report,
+    )
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="short programs, fewer reps (CI smoke)")
+    parser.add_argument("--output", default="BENCH_parallel_service.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--baseline", default=None,
+                        help="committed report to gate the speedup "
+                             "ratio against")
+    parser.add_argument("--max-regression", type=float, default=0.35,
+                        help="allowed fractional loss of the committed "
+                             "speedup ratio (default 0.35)")
+    parser.add_argument("--workers", type=int, nargs="+",
+                        default=[1, 2, 4],
+                        help="pool sizes to measure (default 1 2 4)")
+    args = parser.parse_args(argv)
+
+    programs = QUICK_PROGRAMS if args.quick else None
+    reps = QUICK_REPS if args.quick else FULL_REPS
+    report = measure_service(programs=programs, reps=reps,
+                             workers=tuple(args.workers))
+    _report(report)
+    write_report(report, args.output)
+    print(f"\n  report written to {args.output}")
+    if args.baseline:
+        print("  " + check_regression(report, args.baseline,
+                                      args.max_regression))
+    return 0
+
+
+if __name__ == "__main__":
+    import os
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__),
+                                    os.pardir, "src"))
+    sys.exit(main())

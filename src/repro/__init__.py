@@ -32,6 +32,9 @@ from repro.prolog import parse_program, parse_term, term_to_text
 from repro.recovery import (
     FaultInjector, GrowthPolicy, install_default_recovery,
 )
+from repro.serve import (
+    ImageCache, QueryService, ServiceResult, default_image_cache,
+)
 
 __version__ = "1.0.0"
 
@@ -47,5 +50,6 @@ __all__ = [
     "MachineError", "MachineTrap", "ZoneTrap", "StackOverflowTrap",
     "PageFault", "ProtectionFault", "SpuriousTrap", "CycleLimitExceeded",
     "FaultInjector", "GrowthPolicy", "install_default_recovery",
+    "ImageCache", "QueryService", "ServiceResult", "default_image_cache",
     "__version__",
 ]

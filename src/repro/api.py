@@ -17,7 +17,7 @@ configuration) is available by constructing :class:`repro.Machine` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.compiler.linker import LinkedImage, Linker
@@ -31,12 +31,50 @@ from repro.prolog.writer import term_to_text
 
 @dataclass
 class QueryResult:
-    """Everything one query execution produced."""
+    """Everything one query execution produced.
+
+    A result normally keeps the machine and image alive so callers can
+    inspect them; :meth:`detach` releases both (capturing the derived
+    observables first) for batch paths where retaining one heap per
+    result is unaffordable — the query service returns detached-style
+    results exclusively.
+    """
 
     solutions: List[Dict[str, Term]]
     stats: RunStats
-    machine: Machine
-    image: LinkedImage
+    machine: Optional[Machine]
+    image: Optional[LinkedImage]
+    _cycle_seconds: Optional[float] = field(default=None, repr=False)
+    _output: Optional[str] = field(default=None, repr=False)
+    _trap_reports: Optional[list] = field(default=None, repr=False)
+
+    def detach(self) -> "QueryResult":
+        """Release the machine and image (idempotent); returns ``self``.
+
+        Captures the machine-derived observables (``output``,
+        ``trap_reports``, the cycle time behind ``milliseconds`` /
+        ``klips``) so every property keeps working; only direct
+        ``result.machine`` / ``result.image`` access is given up.
+        """
+        if self.machine is not None:
+            self._cycle_seconds = self.machine.costs.cycle_seconds
+            self._output = "".join(self.machine.output)
+            self._trap_reports = list(self.machine.trap_log)
+            self.machine = None
+            self.image = None
+        return self
+
+    @property
+    def detached(self) -> bool:
+        """Whether :meth:`detach` has released the machine."""
+        return self.machine is None
+
+    def _cycle_time(self) -> float:
+        if self.machine is not None:
+            return self.machine.costs.cycle_seconds
+        if self._cycle_seconds is None:
+            raise ValueError("result was created without a machine")
+        return self._cycle_seconds
 
     @property
     def succeeded(self) -> bool:
@@ -46,22 +84,26 @@ class QueryResult:
     @property
     def milliseconds(self) -> float:
         """Wall-clock time at the machine's cycle time."""
-        return self.stats.milliseconds(self.machine.costs.cycle_seconds)
+        return self.stats.milliseconds(self._cycle_time())
 
     @property
     def klips(self) -> float:
         """Kilo logical inferences per second (section 4.2 definition)."""
-        return self.stats.klips(self.machine.costs.cycle_seconds)
+        return self.stats.klips(self._cycle_time())
 
     @property
     def output(self) -> str:
         """Text produced by write/1 and friends (real-I/O mode only)."""
+        if self.machine is None:
+            return self._output or ""
         return "".join(self.machine.output)
 
     @property
     def trap_reports(self):
         """Every trap the run delivered (recovered or fatal), as
         :class:`repro.core.traps.TrapReport` objects in delivery order."""
+        if self.machine is None:
+            return list(self._trap_reports or [])
         return list(self.machine.trap_log)
 
     def bindings_text(self, index: int = 0) -> str:
@@ -75,13 +117,31 @@ def compile_and_load(program: str, query: str,
                      machine: Optional[Machine] = None,
                      io_mode: str = "stub",
                      costs: Optional[CostModel] = None,
-                     features: Optional[Features] = None) -> Machine:
+                     features: Optional[Features] = None,
+                     use_cache: bool = True) -> Machine:
     """Compile, link and install; returns the loaded machine with the
-    image stashed at ``machine.image``."""
-    symbols = machine.symbols if machine is not None else SymbolTable()
-    image = Linker(symbols=symbols, io_mode=io_mode).link(program, query)
+    image stashed at ``machine.image``.
+
+    When no machine is passed, the image comes from the process-global
+    compile-once cache (:mod:`repro.serve.cache`): identical
+    (program, query, io_mode) requests after the first reuse the linked
+    image and its symbol table and do zero compiler work.  Passing an
+    existing ``machine`` forces a fresh link against that machine's
+    symbol table (an image is only installable into machines sharing
+    its symbols); ``use_cache=False`` forces a fresh link outright.
+    """
+    if machine is not None:
+        image = Linker(symbols=machine.symbols, io_mode=io_mode).link(
+            program, query)
+    elif use_cache:
+        from repro.serve.cache import default_image_cache
+        image = default_image_cache().get(program, query, io_mode=io_mode)
+    else:
+        image = Linker(symbols=SymbolTable(), io_mode=io_mode).link(
+            program, query)
     if machine is None:
-        machine = Machine(symbols=symbols, costs=costs, features=features)
+        machine = Machine(symbols=image.symbols, costs=costs,
+                          features=features)
     image.install(machine)
     machine.image = image
     return machine
@@ -95,11 +155,18 @@ def run_query(program: str, query: str,
               features: Optional[Features] = None,
               max_cycles: Optional[int] = None,
               recovery: bool = False,
-              injector=None) -> QueryResult:
+              injector=None,
+              use_cache: bool = True) -> QueryResult:
     """Compile ``program``, run ``query``, return solutions and stats.
 
     ``all_solutions=True`` backtracks through the whole search space;
     the default stops at the first solution, like the benchmark runs.
+
+    Repeated calls with identical (program, query, io_mode) reuse the
+    linked image from the compile-once cache and skip the compiler
+    entirely (``use_cache=False`` restores the recompile-every-call
+    seed behaviour; a caller-supplied ``machine`` implies it, since the
+    image must link against that machine's symbol table).
 
     ``recovery=True`` arms the machine with the production trap
     handlers (:func:`repro.recovery.install_default_recovery`) so stack
@@ -110,7 +177,7 @@ def run_query(program: str, query: str,
     """
     machine = compile_and_load(program, query, machine=machine,
                                io_mode=io_mode, costs=costs,
-                               features=features)
+                               features=features, use_cache=use_cache)
     if max_cycles is not None:
         machine.max_cycles = max_cycles
     if (recovery or injector is not None) and not machine.trap_vector.armed:

@@ -12,11 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
-from repro.api import compile_and_load
 from repro.bench.programs import SUITE, SUITE_ORDER, Benchmark
 from repro.core.machine import Machine
 from repro.core.statistics import RunStats
 from repro.core.symbols import SymbolTable
+from repro.serve.cache import default_image_cache
 
 
 @dataclass
@@ -62,17 +62,26 @@ class SuiteRunner:
         self._loaded: Dict[str, Machine] = {}
 
     def load(self, name: str, variant: str = "pure") -> Machine:
-        """Compile/link ``name`` in ``variant`` onto a fresh machine."""
+        """Install ``name`` in ``variant`` onto a fresh machine.
+
+        The linked image comes from the process-global compile-once
+        cache (:mod:`repro.serve.cache`), so several runners — the
+        fast/ablation pair of the host-throughput bench, the service
+        benchmarks — compile each suite program exactly once between
+        them; the machine is built around the cached image's symbol
+        table.
+        """
         key = f"{name}:{variant}"
         machine = self._loaded.get(key)
         if machine is not None:
             return machine
         benchmark = SUITE[name]
         source, query = self._select(benchmark, variant)
-        symbols = SymbolTable()
-        machine = self.machine_factory(symbols)
-        machine = compile_and_load(source, query, machine=machine,
-                                   io_mode=self.io_mode)
+        image = default_image_cache().get(source, query,
+                                          io_mode=self.io_mode)
+        machine = self.machine_factory(image.symbols)
+        image.install(machine)
+        machine.image = image
         self._loaded[key] = machine
         return machine
 

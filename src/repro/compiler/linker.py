@@ -60,6 +60,37 @@ class LinkedImage:
     #: per program predicate: (instructions, words).
     sizes: Dict[Tuple[str, int], Tuple[int, int]] = field(
         default_factory=dict)
+    #: builtin id -> (name, arity); the picklable description of
+    #: ``builtin_handlers``, from which the handlers are rebuilt on
+    #: unpickle (see ``__getstate__``).
+    builtin_specs: Dict[int, Tuple[str, int]] = field(default_factory=dict)
+
+    # -- pickling (images ship to service workers, see repro.serve) ----
+
+    def __getstate__(self) -> dict:
+        """Ship the handler table as (name, arity) specs, not callables.
+
+        The handlers are currently all module-level functions and would
+        pickle by reference, but the wire format must not depend on
+        handler identity: workers rebuild the table from the specs via
+        :func:`repro.core.builtins.builtin_for`, so an image links
+        against the *receiving* process's builtin implementations.
+        """
+        state = self.__dict__.copy()
+        state["builtin_handlers"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        handlers: Dict[int, object] = {}
+        for builtin_id, (name, arity) in self.builtin_specs.items():
+            implementation = builtin_for(name, arity)
+            if implementation is None:
+                raise LinkError(
+                    f"unpickled image references unknown builtin "
+                    f"{name}/{arity}")
+            handlers[builtin_id] = implementation
+        self.builtin_handlers = handlers
 
     @property
     def program_instructions(self) -> int:
@@ -93,6 +124,11 @@ class LinkedImage:
 class Linker:
     """Compile + link a program and one query."""
 
+    #: process-wide count of full compile+link pipelines ever run; the
+    #: hook the image cache's zero-recompile regression tests read
+    #: (tests/test_serve_cache.py).
+    links_performed = 0
+
     def __init__(self, symbols: Optional[SymbolTable] = None,
                  io_mode: str = "stub"):
         if io_mode not in ("stub", "real"):
@@ -111,6 +147,7 @@ class Linker:
 
     def link_clauses(self, program: NormalizedProgram, query_clause: Clause,
                      query_names: List[str]) -> LinkedImage:
+        Linker.links_performed += 1
         groups = group_program(program)
         predicate_codes: List[PredicateCode] = []
         for (name, arity), clauses in groups.items():
@@ -123,8 +160,8 @@ class Linker:
         defined = {p.indicator for p in predicate_codes}
         referenced = self._referenced_predicates(
             list(program.clauses) + [query_clause])
-        library_codes, builtin_handlers = self._runtime_library(
-            referenced - defined)
+        library_codes, builtin_handlers, builtin_specs = \
+            self._runtime_library(referenced - defined)
 
         all_codes = predicate_codes + library_codes + [query_code]
         code, addresses = self._assemble(all_codes)
@@ -146,6 +183,7 @@ class Linker:
             symbols=self.symbols,
             query_variable_names=query_names,
             sizes=sizes,
+            builtin_specs=builtin_specs,
         )
 
     def _query_clause(self, query_text: str, program: NormalizedProgram
@@ -183,9 +221,11 @@ class Linker:
     # -- runtime library -----------------------------------------------------------
 
     def _runtime_library(self, needed: "set[Tuple[str, int]]"
-                         ) -> Tuple[List[PredicateCode], Dict[int, object]]:
+                         ) -> Tuple[List[PredicateCode], Dict[int, object],
+                                    Dict[int, Tuple[str, int]]]:
         library: List[PredicateCode] = []
         handlers: Dict[int, object] = {}
+        specs: Dict[int, Tuple[str, int]] = {}
         next_id = 0
         for name, arity in sorted(needed):
             if self.io_mode == "stub" and (name, arity) in IO_STUB_PREDICATES:
@@ -198,6 +238,7 @@ class Linker:
             builtin_id = next_id
             next_id += 1
             handlers[builtin_id] = implementation
+            specs[builtin_id] = (name, arity)
             code = PredicateCode(name, arity)
             code.entry = Label(f"builtin:{name}/{arity}")
             code.items = [
@@ -206,7 +247,7 @@ class Linker:
                 Instruction(Op.PROCEED),
             ]
             library.append(code)
-        return library, handlers
+        return library, handlers, specs
 
     def _unit_clause_stub(self, name: str, arity: int) -> PredicateCode:
         """write/1 etc. as a unit clause: neck + proceed = the minimal

@@ -231,21 +231,46 @@ def _bi_tab(machine, arity: int) -> bool:
     return True
 
 
-def _type_test(predicate):
-    def test(machine, arity: int) -> bool:
-        return predicate(machine.deref(machine.regs.x(0)))
-    return test
+# The type tests are module-level ``def`` statements (not closures
+# from a factory) so every handler in BUILTIN_TABLE pickles by
+# reference — linked images and machines cross process boundaries in
+# the query service (repro.serve), and a closure cannot.
+
+def _type_of_first(machine) -> Type:
+    return machine.deref(machine.regs.x(0)).type
 
 
-_bi_var = _type_test(lambda w: w.type is Type.REF)
-_bi_nonvar = _type_test(lambda w: w.type is not Type.REF)
-_bi_atom = _type_test(lambda w: w.type in (Type.ATOM, Type.NIL))
-_bi_number = _type_test(lambda w: w.type in (Type.INT, Type.FLOAT))
-_bi_integer = _type_test(lambda w: w.type is Type.INT)
-_bi_float = _type_test(lambda w: w.type is Type.FLOAT)
-_bi_atomic = _type_test(
-    lambda w: w.type in (Type.ATOM, Type.NIL, Type.INT, Type.FLOAT))
-_bi_compound = _type_test(lambda w: w.type in (Type.LIST, Type.STRUCT))
+def _bi_var(machine, arity: int) -> bool:
+    return _type_of_first(machine) is Type.REF
+
+
+def _bi_nonvar(machine, arity: int) -> bool:
+    return _type_of_first(machine) is not Type.REF
+
+
+def _bi_atom(machine, arity: int) -> bool:
+    return _type_of_first(machine) in (Type.ATOM, Type.NIL)
+
+
+def _bi_number(machine, arity: int) -> bool:
+    return _type_of_first(machine) in (Type.INT, Type.FLOAT)
+
+
+def _bi_integer(machine, arity: int) -> bool:
+    return _type_of_first(machine) is Type.INT
+
+
+def _bi_float(machine, arity: int) -> bool:
+    return _type_of_first(machine) is Type.FLOAT
+
+
+def _bi_atomic(machine, arity: int) -> bool:
+    return _type_of_first(machine) in (Type.ATOM, Type.NIL,
+                                       Type.INT, Type.FLOAT)
+
+
+def _bi_compound(machine, arity: int) -> bool:
+    return _type_of_first(machine) in (Type.LIST, Type.STRUCT)
 
 
 def _bi_struct_eq(machine, arity: int) -> bool:

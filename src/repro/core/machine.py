@@ -212,6 +212,62 @@ class Machine:
         self.trail.pushes = 0
         self.trail.checks = 0
 
+    def reset_for_reuse(self) -> None:
+        """:meth:`reset` hardened into a true engine-reuse path.
+
+        ``reset`` clears run state and statistics but leaves behind
+        everything else a run dirtied: warm cache lines, mapped pages,
+        zone limits moved by growth handlers or the fault injector, the
+        register file, an attached injector.  Any of those makes the
+        next run's simulated statistics diverge from a fresh machine's.
+        This restores the full power-on state while keeping the
+        host-side assets that are expensive to rebuild and purely
+        deterministic: the linked code image, the bootstrap stubs, the
+        dispatch table and the predecoded block table (a pure function
+        of the unchanged code zone).  The warm machine pool
+        (:mod:`repro.serve`) relies on the resulting guarantee, pinned
+        by ``tests/test_warm_reuse.py``: run-after-reuse is
+        bit-identical to run-on-fresh, including under injected faults.
+
+        Host-side instrumentation that the caller attached explicitly
+        (``tracer``, ``trap_vector`` handlers) is left in place; the
+        injector is detached because its schedule is consumed by a run
+        and its attach side effects (working-set premap, demand-paging
+        switch) are undone here — re-attach a rewound injector for a
+        faulted replay.
+        """
+        self.memory.reset_for_reuse()
+        self.regs.clear()
+        self.shadow.set(0, 0, 0)
+        self.injector = None
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # pickling (spawn-safe worker shipping, see repro.serve)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Drop the unpicklable/derived host-side state.
+
+        The fused memory closures (installed as instance attributes
+        ``_read``/``_write``/``deref`` for the duration of one run),
+        the dispatch table of bound methods and lambdas, and the
+        predecoded block table are all excluded; every one is rebuilt
+        deterministically — the dispatch table eagerly on unpickle,
+        the closures on the next run, the predecode table lazily by
+        :meth:`_ensure_predecoded`.
+        """
+        state = self.__dict__.copy()
+        for derived in ("_read", "_write", "deref"):
+            state.pop(derived, None)
+        state["_dispatch"] = None
+        state["_predecoded"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._dispatch = self._build_dispatch()
+
     # ------------------------------------------------------------------
     # memory access helpers (all cycle-accounted)
     # ------------------------------------------------------------------

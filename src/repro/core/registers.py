@@ -43,6 +43,11 @@ class RegisterFile:
     def __init__(self):
         self.cells: List[Word] = [ZERO_WORD] * FILE_SIZE
 
+    def clear(self) -> None:
+        """Zero every cell in place (engine reuse: a reused machine
+        must present the same power-on register file as a fresh one)."""
+        self.cells[:] = [ZERO_WORD] * FILE_SIZE
+
     def read(self, index: int) -> Word:
         """Read one register."""
         return self.cells[index]

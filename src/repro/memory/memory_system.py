@@ -351,6 +351,29 @@ class MemorySystem:
         self.mmu.faults += 1
         return self.mmu.page_fault_cycles
 
+    # -- engine reuse ------------------------------------------------------------
+
+    def reset_for_reuse(self) -> None:
+        """Return the whole hierarchy to its just-constructed state.
+
+        The warm-machine-pool path (:meth:`Machine.reset_for_reuse`):
+        a reused engine must present *cold* caches, an empty store,
+        layout-pristine zone limits and a clean MMU, or its simulated
+        statistics diverge from a fresh machine's.  Every container is
+        mutated in place, never rebound — the fused data path and the
+        predecoded loop's code probe capture ``store._chunks``,
+        ``data_cache.tags``/``dirty`` and ``code_cache.tags`` by
+        reference.
+        """
+        self.store._chunks.clear()
+        self.store.uninitialised_reads = 0
+        self.zones.reset_limits()
+        self.data_cache.tags[:] = [None] * DataCache.TOTAL_WORDS
+        self.data_cache.dirty[:] = [False] * DataCache.TOTAL_WORDS
+        self.code_cache.invalidate()
+        self.mmu.reset()
+        self.reset_statistics()
+
     # -- statistics --------------------------------------------------------------
 
     def reset_statistics(self) -> None:

@@ -66,9 +66,16 @@ class MMU:
         self.physical_pages = physical_pages
         self.page_fault_cycles = page_fault_cycles
         self.demand_paging = demand_paging
+        self._demand_paging_default = demand_paging
         self.next_free_page = 0
         self.faults = 0
         self.translations = 0
+        # Every (virtual_page, code_space) pair ever installed, so
+        # reset() can clear exactly the entries that were touched
+        # instead of rebuilding 32K PageTableEntry objects — the
+        # rebuild would cost milliseconds per reuse, longer than a
+        # short query runs.
+        self._touched: set = set()
 
     # -- host/runtime interface ------------------------------------------------
 
@@ -90,7 +97,26 @@ class MMU:
         entry.physical_page = physical_page
         entry.status = VALID | (WRITABLE if writable else 0) \
             | (CODE_SPACE if code_space else 0)
+        self._touched.add((virtual_page, code_space))
         return physical_page
+
+    def reset(self) -> None:
+        """Return the MMU to its just-constructed state (engine reuse).
+
+        Clears only the page-table entries :meth:`map_page` ever
+        touched, zeroes the fault/translation counters, releases every
+        physical page and restores the constructor's ``demand_paging``
+        setting (the fault injector flips it while attached).
+        """
+        for virtual_page, code_space in self._touched:
+            entry = self._table(code_space)[virtual_page]
+            entry.status = 0
+            entry.physical_page = 0
+        self._touched.clear()
+        self.next_free_page = 0
+        self.faults = 0
+        self.translations = 0
+        self.demand_paging = self._demand_paging_default
 
     def unmap_page(self, virtual_page: int, code_space: bool = False) -> None:
         """Invalidate a translation (used when re-zoning a data page into

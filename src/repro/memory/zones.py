@@ -67,6 +67,7 @@ class ZoneChecker:
                  enabled: bool = True):
         layout = layout if layout is not None else DEFAULT_LAYOUT
         self.enabled = enabled
+        self._layout: Dict[Zone, Region] = dict(layout)
         self.entries: Dict[Zone, ZoneEntry] = {}
         for zone, region in layout.items():
             allowed = ZONE_ADDRESS_TYPES.get(zone, frozenset())
@@ -76,6 +77,23 @@ class ZoneChecker:
                 max_address=region.limit,
                 allowed_types=allowed,
             )
+        self.violations = 0
+
+    def reset_limits(self) -> None:
+        """Restore every zone to its constructor layout (engine reuse).
+
+        Growth handlers and the fault injector move limits during a
+        run; a reused machine must start from the pristine layout or
+        its overflow traps fire at different addresses than a fresh
+        machine's would.  Entries are mutated in place — the fused data
+        path captures the ``entries`` dict.
+        """
+        for zone, region in self._layout.items():
+            entry = self.entries[zone]
+            entry.min_address = region.base
+            entry.max_address = region.limit
+            entry.write_protected = False
+            entry.checks = 0
         self.violations = 0
 
     # -- dynamic reconfiguration (runtime system interface) ------------------

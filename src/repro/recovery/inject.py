@@ -87,6 +87,10 @@ class FaultInjector:
         events.sort(key=lambda ev: (ev.cycle, KINDS.index(ev.kind)))
         self.events = events
         self._rng = rng
+        # Fire-time draws (victim pages, squeeze zones) continue from
+        # the post-schedule rng state; rewind must restart from here,
+        # not from the bare seed, or replays diverge.
+        self._rng_state = rng.getstate()
         self._next = 0
 
     # -- lifecycle -------------------------------------------------------------
@@ -123,7 +127,7 @@ class FaultInjector:
             event.fired = False
             event.effective = False
             event.detail = ""
-        self._rng = random.Random(self.seed)
+        self._rng.setstate(self._rng_state)
         self._next = 0
 
     @property

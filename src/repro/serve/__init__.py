@@ -1,0 +1,24 @@
+"""Query serving: compile-once image cache + warm multiprocess pool.
+
+See docs/SERVING.md for the architecture, the spawn-safety rules and
+the benchmark methodology.
+"""
+
+from repro.serve.cache import (
+    ImageCache, ImageCacheStats, default_image_cache, image_key,
+)
+from repro.serve.service import (
+    DEFAULT_PROGRAM, EnginePool, QueryError, QueryService, ServiceResult,
+)
+
+__all__ = [
+    "DEFAULT_PROGRAM",
+    "EnginePool",
+    "ImageCache",
+    "ImageCacheStats",
+    "QueryError",
+    "QueryService",
+    "ServiceResult",
+    "default_image_cache",
+    "image_key",
+]

@@ -1,0 +1,139 @@
+"""The compile-once image cache.
+
+The host toolchain (parse → normalize → compile → link,
+:mod:`repro.compiler`) costs milliseconds per program — about as long
+as a short suite query takes to *run* — and the seed
+:func:`repro.api.run_query` paid it on every call.  The cache keys a
+:class:`~repro.compiler.linker.LinkedImage` by a content hash of the
+program source, the query text and the compiler options, so each
+distinct (program, query) pair is compiled and linked exactly once per
+process tree: :func:`repro.api.run_query`, the bench
+:class:`~repro.bench.runner.SuiteRunner` and the query service
+(:mod:`repro.serve.service`) all route through one process-global
+instance, and service workers receive the parent's images pickled
+rather than recompiling.
+
+Images are immutable once linked — ``install`` copies the code list
+and the handler table into the machine — so one cached image may back
+any number of machines; they share the image's append-only
+:class:`~repro.core.symbols.SymbolTable`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.compiler.linker import LinkedImage, Linker
+from repro.core.symbols import SymbolTable
+
+
+@dataclass
+class ImageCacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = self.misses = self.evictions = 0
+
+
+def image_key(program_text: str, query_text: str,
+              io_mode: str = "stub") -> str:
+    """Content hash identifying one compiled image.
+
+    Covers everything the compile+link pipeline reads: the program
+    source, the query text (compiled into the hidden ``'$query'/0``
+    driver) and the linker options (today just ``io_mode``).
+    """
+    digest = hashlib.sha256()
+    for part in (io_mode, program_text, query_text):
+        encoded = part.encode("utf-8")
+        digest.update(str(len(encoded)).encode("ascii"))
+        digest.update(b":")
+        digest.update(encoded)
+    return digest.hexdigest()
+
+
+class ImageCache:
+    """LRU cache of linked images keyed by :func:`image_key`.
+
+    Thread-safe: the query service's result collector and user code
+    may compile concurrently.  ``max_entries`` bounds the cache; each
+    image holds its code list and symbol table, tens of kilobytes for
+    suite-sized programs.
+    """
+
+    def __init__(self, max_entries: int = 128):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.stats = ImageCacheStats()
+        self._images: "OrderedDict[str, LinkedImage]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, program_text: str, query_text: str,
+            io_mode: str = "stub") -> LinkedImage:
+        """The image for ``(program, query, options)``; compiled on the
+        first request, served from the cache afterwards."""
+        key = image_key(program_text, query_text, io_mode)
+        with self._lock:
+            image = self._images.get(key)
+            if image is not None:
+                self._images.move_to_end(key)
+                self.stats.hits += 1
+                return image
+        # Compile outside the lock: linking is milliseconds, and a
+        # concurrent miss on the same key merely does the work twice —
+        # the loser's image wins the dict slot, which is harmless
+        # because images are interchangeable values of the same key.
+        image = Linker(symbols=SymbolTable(), io_mode=io_mode).link(
+            program_text, query_text)
+        with self._lock:
+            self.stats.misses += 1
+            self._images[key] = image
+            self._images.move_to_end(key)
+            while len(self._images) > self.max_entries:
+                self._images.popitem(last=False)
+                self.stats.evictions += 1
+        return image
+
+    def lookup(self, key: str) -> Optional[LinkedImage]:
+        """The cached image under a precomputed ``key``, or ``None``."""
+        with self._lock:
+            image = self._images.get(key)
+            if image is not None:
+                self._images.move_to_end(key)
+            return image
+
+    def clear(self) -> None:
+        """Drop every cached image and zero the counters."""
+        with self._lock:
+            self._images.clear()
+            self.stats.reset()
+
+    def __len__(self) -> int:
+        return len(self._images)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._images
+
+
+#: the process-global cache every compile path shares.
+_default_cache: Optional[ImageCache] = None
+_default_lock = threading.Lock()
+
+
+def default_image_cache() -> ImageCache:
+    """The process-global :class:`ImageCache` (created on first use)."""
+    global _default_cache
+    with _default_lock:
+        if _default_cache is None:
+            _default_cache = ImageCache()
+        return _default_cache

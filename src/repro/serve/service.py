@@ -1,0 +1,527 @@
+"""Multiprocess query service over warm machine pools.
+
+``QueryService`` turns the single-shot :func:`repro.api.run_query` into
+a persistent serving loop, the shape BinProlog's first-class logic
+engines suggest (PAPERS.md): compile once, keep engines warm, fan
+queries out.
+
+Architecture
+    The parent owns the compile-once image cache
+    (:mod:`repro.serve.cache`) and ``workers`` persistent **spawn**
+    processes.  Each worker runs :func:`_worker_main`: a loop over a
+    private task queue, executing queries on an :class:`EnginePool` —
+    one warm :class:`~repro.core.machine.Machine` per image, returned
+    to power-on state between queries by
+    :meth:`~repro.core.machine.Machine.reset_for_reuse`, whose
+    run-after-reuse ≡ run-on-fresh guarantee is what makes results
+    independent of which worker (and which machine incarnation) served
+    a query.
+
+Spawn safety
+    Workers are started with the ``spawn`` method — nothing is
+    inherited by fork, so the protocol must ship everything explicitly.
+    Images cross the boundary pickled (builtin handlers travel as
+    (name, arity) specs, rebuilt on arrival); machines are built inside
+    the worker, so the unpicklable fused memory closures and dispatch
+    tables never cross at all.  Each image is shipped at most once per
+    worker and re-used from the worker's pool afterwards.
+
+Scheduling and ordering
+    ``run_many`` dispatches at most one in-flight query per worker and
+    hands each freed worker the next pending query, so a slow query
+    delays only its own worker.  Results are collected into the input
+    slot order — ``run_many(queries)[i]`` always answers
+    ``queries[i]`` — and failures are captured per query as structured
+    :class:`QueryError` records; a failed query never kills the pool.
+
+Timeouts
+    Two budgets per query: ``max_cycles`` bounds *simulated* time (the
+    machine's own watchdog raises ``CycleLimitExceeded``, captured like
+    any error), and ``timeout_s`` bounds *host* time — on expiry the
+    worker is terminated and respawned, the query reports a
+    ``WallTimeout`` failure, and the batch continues.
+
+``workers=0`` degrades to in-process serving over the same engine-pool
+code path (no processes, no pickling); the parallel-service benchmark
+uses it as the warm sequential baseline.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue as queue_module
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import multiprocessing as mp
+
+from repro.compiler.linker import LinkedImage
+from repro.core.machine import Machine
+from repro.core.statistics import RunStats
+from repro.errors import KCMError, MachineError
+from repro.serve.cache import ImageCache, default_image_cache, image_key
+
+#: default name a bare-string program is registered under.
+DEFAULT_PROGRAM = "main"
+
+#: how long the collector waits on the result queue per poll when no
+#: wall deadline is pending (also bounds crash detection latency).
+_POLL_SECONDS = 1.0
+
+#: seconds a worker gets to exit voluntarily on close() before being
+#: terminated.
+_CLOSE_GRACE = 5.0
+
+
+@dataclass
+class QueryError:
+    """A structured per-query failure (the pool survives it)."""
+
+    kind: str                       # exception class name or budget kind
+    message: str
+    pc: Optional[int] = None        # faulting PC for machine errors
+    cycles: Optional[int] = None    # simulated cycles at the failure
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.message}"
+
+
+@dataclass
+class ServiceResult:
+    """One query's outcome, detached from any machine or image.
+
+    Unlike :class:`repro.api.QueryResult`, a service result never
+    references a machine: a batch of 10k results retains solutions and
+    statistics, not 10k simulated heaps.
+    """
+
+    index: int                      # position in the run_many batch
+    program: str
+    query: str
+    solutions: List[dict] = field(default_factory=list)
+    stats: Optional[RunStats] = None
+    output: str = ""
+    error: Optional[QueryError] = None
+    worker: int = -1                # -1: parent (in-process or pre-run)
+    host_seconds: float = 0.0       # wall time inside the engine
+
+    @property
+    def ok(self) -> bool:
+        """Whether the query executed to completion."""
+        return self.error is None
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether it completed with at least one solution."""
+        return self.error is None and bool(self.solutions)
+
+
+class EnginePool:
+    """Warm machines keyed by image, reset between queries.
+
+    Shared by the worker processes and the ``workers=0`` in-process
+    path, so both execute queries through identical code.  The pool is
+    LRU-bounded on machines; evicting a machine is always safe because
+    a fresh machine over the same image produces bit-identical results
+    (the warm-reuse determinism guarantee).
+    """
+
+    def __init__(self, max_machines: int = 64):
+        self.max_machines = max_machines
+        self._machines: "OrderedDict[str, Machine]" = OrderedDict()
+        #: constructor-default cycle budget, restored before every
+        #: query so a per-query ``max_cycles`` never leaks to the next.
+        self._default_budget: Dict[str, int] = {}
+
+    def machine_for(self, key: str, image: LinkedImage,
+                    recovery: bool = False) -> Machine:
+        """A power-on-state machine loaded with ``image``."""
+        machine = self._machines.get(key)
+        if machine is None:
+            machine = Machine(symbols=image.symbols)
+            image.install(machine)
+            machine.image = image
+            if recovery:
+                from repro.recovery import install_default_recovery
+                install_default_recovery(machine)
+            while len(self._machines) >= self.max_machines:
+                evicted_key, _ = self._machines.popitem(last=False)
+                self._default_budget.pop(evicted_key, None)
+            self._machines[key] = machine
+            self._default_budget[key] = machine.max_cycles
+        else:
+            self._machines.move_to_end(key)
+            machine.max_cycles = self._default_budget[key]
+            machine.reset_for_reuse()
+        return machine
+
+    def run(self, key: str, image: LinkedImage,
+            opts: dict) -> Tuple[Machine, RunStats, float]:
+        """Execute one query; returns (machine, stats, host_seconds).
+
+        Raises whatever the run raises — the caller owns failure
+        capture.
+        """
+        machine = self.machine_for(key, image,
+                                   recovery=opts.get("recovery", False))
+        if opts.get("max_cycles") is not None:
+            machine.max_cycles = opts["max_cycles"]
+        started = time.perf_counter()
+        stats = machine.run(image.entry,
+                            collect_all=opts.get("all_solutions", False),
+                            answer_names=image.query_variable_names)
+        return machine, stats, time.perf_counter() - started
+
+
+def _capture_error(err: BaseException,
+                   machine: Optional[Machine]) -> QueryError:
+    if machine is not None:
+        cycles = machine.cycles
+    else:
+        # MachineError carries the partial run statistics; compile-time
+        # errors carry neither and report no cycle count.
+        stats = getattr(err, "stats", None)
+        cycles = stats.cycles if stats is not None else None
+    return QueryError(
+        kind=type(err).__name__,
+        message=str(err),
+        pc=getattr(err, "pc", None),
+        cycles=cycles,
+    )
+
+
+def _worker_main(worker_id: int, task_queue, result_queue,
+                 max_machines: int) -> None:
+    """The worker process loop (must stay a module-level function: the
+    spawn start method imports this module and looks it up by name).
+
+    Protocol, parent to worker:
+      ``("image", key, payload)`` — register a pickled image,
+      ``("run", index, key, opts)`` — execute one query,
+      ``None`` — exit.
+    Worker to parent (shared result queue):
+      ``("ok", worker_id, index, solutions, stats, output, seconds)``
+      ``("err", worker_id, index, QueryError, stats_or_None)``
+    """
+    images: Dict[str, LinkedImage] = {}
+    pool = EnginePool(max_machines=max_machines)
+    while True:
+        message = task_queue.get()
+        if message is None:
+            return
+        kind = message[0]
+        if kind == "image":
+            _, key, payload = message
+            images[key] = pickle.loads(payload)
+            continue
+        _, index, key, opts = message
+        machine: Optional[Machine] = None
+        try:
+            image = images[key]
+            machine, stats, seconds = pool.run(key, image, opts)
+            result_queue.put(("ok", worker_id, index,
+                              machine.solutions, stats,
+                              "".join(machine.output), seconds))
+        except MachineError as err:
+            result_queue.put(("err", worker_id, index,
+                              _capture_error(err, machine),
+                              getattr(err, "stats", None)))
+        except BaseException as err:     # noqa: BLE001 — pool must survive
+            result_queue.put(("err", worker_id, index,
+                              _capture_error(err, machine), None))
+
+
+#: a query is a bare string (against the default program) or an
+#: explicit (program_name, query_text) pair.
+Query = Union[str, Tuple[str, str]]
+
+
+class QueryService:
+    """A warm, optionally multiprocess query server for fixed programs.
+
+    ``program`` is one source text (registered as ``"main"``) or a
+    ``{name: source}`` mapping.  ``workers=0`` serves in-process on one
+    engine pool; ``workers>=1`` starts that many persistent spawn
+    workers.  Use as a context manager, or call :meth:`close`.
+    """
+
+    def __init__(self, program: Union[str, Dict[str, str]],
+                 workers: int = 0,
+                 io_mode: str = "stub",
+                 all_solutions: bool = False,
+                 max_cycles: Optional[int] = None,
+                 recovery: bool = False,
+                 cache: Optional[ImageCache] = None,
+                 max_machines: int = 64):
+        if isinstance(program, str):
+            self.programs = {DEFAULT_PROGRAM: program}
+        else:
+            if not program:
+                raise ValueError("no programs given")
+            self.programs = dict(program)
+        self.default_program = next(iter(self.programs))
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = workers
+        self.io_mode = io_mode
+        self.all_solutions = all_solutions
+        self.max_cycles = max_cycles
+        self.recovery = recovery
+        self.max_machines = max_machines
+        self.cache = cache if cache is not None else default_image_cache()
+
+        self._closed = False
+        self._local_pool: Optional[EnginePool] = None
+        self._payloads: Dict[str, bytes] = {}
+        self._context = mp.get_context("spawn")
+        self._result_queue = None
+        self._task_queues: List = []
+        self._processes: List = []
+        self._shipped: List[set] = []
+        if workers:
+            self._result_queue = self._context.Queue()
+            for worker_id in range(workers):
+                self._spawn_worker(worker_id, fresh=True)
+        else:
+            self._local_pool = EnginePool(max_machines=max_machines)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _spawn_worker(self, worker_id: int, fresh: bool) -> None:
+        task_queue = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(worker_id, task_queue, self._result_queue,
+                  self.max_machines),
+            daemon=True,
+            name=f"kcm-query-worker-{worker_id}")
+        if fresh:
+            self._task_queues.append(task_queue)
+            self._processes.append(process)
+            self._shipped.append(set())
+        else:
+            # Respawn after a kill: fresh queue (the old one may hold
+            # undelivered messages) and a clean shipped-images record.
+            self._task_queues[worker_id] = task_queue
+            self._processes[worker_id] = process
+            self._shipped[worker_id] = set()
+        process.start()
+
+    def close(self) -> None:
+        """Stop every worker and release the pools (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put_nowait(None)
+            except (ValueError, queue_module.Full, OSError):
+                pass
+        deadline = time.monotonic() + _CLOSE_GRACE
+        for process in self._processes:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=_CLOSE_GRACE)
+        self._processes = []
+        self._task_queues = []
+        self._shipped = []
+        self._local_pool = None
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- the batched API -------------------------------------------------------
+
+    def run(self, query: Query, **options) -> ServiceResult:
+        """One query through the batched path."""
+        return self.run_many([query], **options)[0]
+
+    def run_many(self, queries: Sequence[Query],
+                 all_solutions: Optional[bool] = None,
+                 max_cycles: Optional[int] = None,
+                 timeout_s: Optional[float] = None) -> List[ServiceResult]:
+        """Execute a batch; returns one :class:`ServiceResult` per query
+        in input order, failures captured per slot.
+
+        ``timeout_s`` is the per-query host wall budget (workers only:
+        the in-process path cannot preempt a running engine — give it a
+        ``max_cycles`` budget instead, which works everywhere).
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        opts = {
+            "all_solutions": self.all_solutions if all_solutions is None
+            else all_solutions,
+            "max_cycles": self.max_cycles if max_cycles is None
+            else max_cycles,
+            "recovery": self.recovery,
+        }
+        results: List[Optional[ServiceResult]] = [None] * len(queries)
+        prepared: List[Optional[Tuple[str, LinkedImage]]] = []
+        for index, query in enumerate(queries):
+            name, text = self._normalize(query)
+            try:
+                source = self.programs[name]
+            except KeyError:
+                results[index] = ServiceResult(
+                    index=index, program=name, query=text,
+                    error=QueryError("UnknownProgram",
+                                     f"no program registered as {name!r}"))
+                prepared.append(None)
+                continue
+            try:
+                # Compile in the parent, once per distinct pair, so a
+                # batch of N identical queries costs one compile no
+                # matter how many workers serve it.
+                image = self.cache.get(source, text, io_mode=self.io_mode)
+            except KCMError as err:
+                results[index] = ServiceResult(
+                    index=index, program=name, query=text,
+                    error=_capture_error(err, None))
+                prepared.append(None)
+                continue
+            prepared.append((image_key(source, text, self.io_mode), image))
+        runnable = deque(index for index, item in enumerate(prepared)
+                         if item is not None)
+
+        if not self.workers:
+            self._run_local(queries, prepared, runnable, opts, results)
+        else:
+            self._run_pooled(queries, prepared, runnable, opts,
+                             timeout_s, results)
+        return results  # type: ignore[return-value]  # every slot filled
+
+    def _normalize(self, query: Query) -> Tuple[str, str]:
+        if isinstance(query, str):
+            return self.default_program, query
+        name, text = query
+        return name, text
+
+    def _describe(self, queries: Sequence[Query],
+                  index: int) -> Tuple[str, str]:
+        return self._normalize(queries[index])
+
+    # -- in-process serving ----------------------------------------------------
+
+    def _run_local(self, queries, prepared, runnable, opts, results) -> None:
+        pool = self._local_pool
+        assert pool is not None
+        for index in runnable:
+            key, image = prepared[index]
+            name, text = self._describe(queries, index)
+            machine: Optional[Machine] = None
+            try:
+                machine, stats, seconds = pool.run(key, image, opts)
+                results[index] = ServiceResult(
+                    index=index, program=name, query=text,
+                    solutions=machine.solutions, stats=stats,
+                    output="".join(machine.output),
+                    host_seconds=seconds)
+            except MachineError as err:
+                results[index] = ServiceResult(
+                    index=index, program=name, query=text,
+                    stats=getattr(err, "stats", None),
+                    error=_capture_error(err, machine))
+
+    # -- pooled serving --------------------------------------------------------
+
+    def _ship_image(self, worker_id: int, key: str,
+                    image: LinkedImage) -> None:
+        if key in self._shipped[worker_id]:
+            return
+        payload = self._payloads.get(key)
+        if payload is None:
+            payload = pickle.dumps(image, protocol=pickle.HIGHEST_PROTOCOL)
+            self._payloads[key] = payload
+        self._task_queues[worker_id].put(("image", key, payload))
+        self._shipped[worker_id].add(key)
+
+    def _dispatch(self, index: int, worker_id: int, prepared, opts,
+                  timeout_s, inflight) -> None:
+        key, image = prepared[index]
+        self._ship_image(worker_id, key, image)
+        self._task_queues[worker_id].put(("run", index, key, opts))
+        deadline = (time.monotonic() + timeout_s
+                    if timeout_s is not None else None)
+        inflight[worker_id] = (index, deadline)
+
+    def _fail_and_respawn(self, worker_id: int, index: int, queries,
+                          results, kind: str, message: str) -> None:
+        process = self._processes[worker_id]
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=_CLOSE_GRACE)
+        self._spawn_worker(worker_id, fresh=False)
+        name, text = self._describe(queries, index)
+        results[index] = ServiceResult(
+            index=index, program=name, query=text, worker=worker_id,
+            error=QueryError(kind, message))
+
+    def _run_pooled(self, queries, prepared, runnable, opts,
+                    timeout_s, results) -> None:
+        idle = deque(range(self.workers))
+        inflight: Dict[int, Tuple[int, Optional[float]]] = {}
+        while runnable or inflight:
+            while runnable and idle:
+                self._dispatch(runnable.popleft(), idle.popleft(),
+                               prepared, opts, timeout_s, inflight)
+            wait = _POLL_SECONDS
+            now = time.monotonic()
+            for _, deadline in inflight.values():
+                if deadline is not None:
+                    wait = min(wait, max(0.0, deadline - now) + 0.01)
+            try:
+                message = self._result_queue.get(timeout=wait)
+            except queue_module.Empty:
+                self._reap(queries, inflight, idle, results)
+                continue
+            kind, worker_id, index = message[0], message[1], message[2]
+            current = inflight.get(worker_id)
+            if current is None or current[0] != index:
+                continue        # stale reply from a worker killed earlier
+            del inflight[worker_id]
+            idle.append(worker_id)
+            name, text = self._describe(queries, index)
+            if kind == "ok":
+                _, _, _, solutions, stats, output, seconds = message
+                results[index] = ServiceResult(
+                    index=index, program=name, query=text,
+                    solutions=solutions, stats=stats, output=output,
+                    worker=worker_id, host_seconds=seconds)
+            else:
+                _, _, _, error, partial_stats = message
+                results[index] = ServiceResult(
+                    index=index, program=name, query=text,
+                    stats=partial_stats, error=error, worker=worker_id)
+
+    def _reap(self, queries, inflight, idle, results) -> None:
+        """Handle wall-timeout expiries and crashed workers."""
+        now = time.monotonic()
+        for worker_id in list(inflight):
+            index, deadline = inflight[worker_id]
+            if deadline is not None and now >= deadline:
+                del inflight[worker_id]
+                self._fail_and_respawn(
+                    worker_id, index, queries, results, "WallTimeout",
+                    "query exceeded its host wall budget; "
+                    "worker restarted")
+                idle.append(worker_id)
+            elif not self._processes[worker_id].is_alive():
+                del inflight[worker_id]
+                self._fail_and_respawn(
+                    worker_id, index, queries, results, "WorkerCrashed",
+                    "worker process died while serving the query; "
+                    "worker restarted")
+                idle.append(worker_id)

@@ -1,0 +1,191 @@
+"""The compile-once image cache and the pickle contracts behind it
+(ISSUE 3): zero compiler work on repeat queries, round-trippable
+images/words/stats/symbols, machines that pickle with their fused
+closures dropped, and detachable query results."""
+
+import gc
+import pickle
+import weakref
+
+import pytest
+
+from repro.api import QueryResult, run_query
+from repro.compiler.linker import Linker
+from repro.core.machine import Machine
+from repro.core.statistics import RunStats
+from repro.core.symbols import SymbolTable
+from repro.core.tags import Zone
+from repro.core.word import make_atom, make_int, make_list, make_unbound
+from repro.serve import ImageCache, image_key
+
+APPEND = ("append([], L, L). "
+          "append([H|T], L, [H|R]) :- append(T, L, R).")
+
+#: exercises escape builtins (including the type tests, which used to
+#: be unpicklable closures) alongside plain clause code.
+TYPEY = ("classify(X, var) :- var(X). "
+         "classify(X, num) :- number(X). "
+         "classify(X, atom) :- atom(X).")
+
+
+# -- compile-once behaviour --------------------------------------------------
+
+class TestCompileOnce:
+
+    def test_run_query_second_call_does_zero_compiler_work(self):
+        program = "cache_probe_p(1). cache_probe_p(2)."
+        first = run_query(program, "cache_probe_p(X)", all_solutions=True)
+        links_after_first = Linker.links_performed
+        second = run_query(program, "cache_probe_p(X)", all_solutions=True)
+        assert Linker.links_performed == links_after_first
+        assert second.solutions == first.solutions
+        assert second.stats == first.stats
+
+    def test_use_cache_false_recompiles(self):
+        program = "cache_probe_q(a)."
+        run_query(program, "cache_probe_q(X)")
+        links = Linker.links_performed
+        run_query(program, "cache_probe_q(X)", use_cache=False)
+        assert Linker.links_performed == links + 1
+
+    def test_explicit_machine_bypasses_cache(self):
+        # An image links against one symbol table; a caller-supplied
+        # machine brings its own, so the cache cannot serve it.
+        machine = Machine(symbols=SymbolTable())
+        links = Linker.links_performed
+        result = run_query(APPEND, "append([1], [2], X)", machine=machine)
+        assert Linker.links_performed == links + 1
+        assert result.machine is machine
+
+    def test_cache_counts_hits_and_misses(self):
+        cache = ImageCache()
+        cache.get(APPEND, "append([], [], X)")
+        cache.get(APPEND, "append([], [], X)")
+        cache.get(APPEND, "append([1], [], X)")
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 1
+        assert len(cache) == 2
+
+    def test_key_covers_program_query_and_options(self):
+        base = image_key(APPEND, "append([], [], X)")
+        assert image_key(APPEND + " ", "append([], [], X)") != base
+        assert image_key(APPEND, "append([], [], Y)") != base
+        assert image_key(APPEND, "append([], [], X)",
+                         io_mode="real") != base
+        assert image_key(APPEND, "append([], [], X)") == base
+
+    def test_lru_eviction_is_bounded(self):
+        cache = ImageCache(max_entries=2)
+        cache.get("e1(a).", "e1(X)")
+        cache.get("e2(a).", "e2(X)")
+        cache.get("e3(a).", "e3(X)")
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert image_key("e1(a).", "e1(X)") not in cache
+        assert image_key("e3(a).", "e3(X)") in cache
+
+    def test_cached_image_is_reused_across_machines(self):
+        cache = ImageCache()
+        image = cache.get(APPEND, "append([1, 2], [3], X)")
+        stats = []
+        for _ in range(2):
+            machine = Machine(symbols=image.symbols)
+            image.install(machine)
+            stats.append(machine.run(
+                image.entry, answer_names=image.query_variable_names))
+        assert stats[0] == stats[1]
+
+
+# -- pickle round trips ------------------------------------------------------
+
+class TestPickleRoundTrips:
+
+    def test_word_round_trip(self):
+        for word in (make_int(-7), make_atom(3),
+                     make_unbound(0x123, Zone.GLOBAL),
+                     make_list(0x40, Zone.GLOBAL)):
+            clone = pickle.loads(pickle.dumps(word))
+            assert clone.tag == word.tag
+            assert clone.value == word.value
+            assert clone.type == word.type
+
+    def test_run_stats_round_trip(self):
+        result = run_query(APPEND, "append([1, 2], [3], X)")
+        stats = result.stats
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone == stats
+        assert isinstance(clone, RunStats)
+
+    def test_symbol_table_round_trip(self):
+        result = run_query(APPEND, "append([1, 2], [3], X)")
+        symbols = result.machine.symbols
+        clone = pickle.loads(pickle.dumps(symbols))
+        # Interned indices must survive verbatim: words reference atoms
+        # and functors by index.
+        assert clone.atom_index("append") == symbols.atom_index("append")
+
+    def test_linked_image_round_trip_runs_identically(self):
+        cache = ImageCache()
+        image = cache.get(TYPEY, "classify(foo, What)")
+        reference = Machine(symbols=image.symbols)
+        image.install(reference)
+        expected = reference.run(
+            image.entry, answer_names=image.query_variable_names)
+
+        clone = pickle.loads(pickle.dumps(image))
+        # The handler table is rebuilt from (name, arity) specs on
+        # arrival, so the clone's handlers are this process's builtins.
+        assert set(clone.builtin_handlers) == set(image.builtin_handlers)
+        machine = Machine(symbols=clone.symbols)
+        clone.install(machine)
+        stats = machine.run(clone.entry,
+                            answer_names=clone.query_variable_names)
+        assert stats == expected
+        assert machine.solutions == reference.solutions
+
+    def test_machine_with_fused_closures_pickles_cleanly(self):
+        result = run_query(APPEND, "append([1, 2], [3], X)",
+                           all_solutions=True)
+        machine = result.machine
+        # Install the fused closures exactly as _execute would; a
+        # pickle taken mid-run must drop them (they capture the memory
+        # hierarchy and cannot cross a process boundary).
+        machine._read, machine._write, machine.deref = \
+            machine.memory.fused_data_path(machine)
+        clone = pickle.loads(pickle.dumps(machine))
+        assert "_read" not in clone.__dict__
+        assert "deref" not in clone.__dict__
+        # The clone re-runs to the same result: dispatch is rebuilt on
+        # unpickle, predecode lazily on the first run.
+        clone.reset_for_reuse()
+        stats = clone.run(clone.image.entry, collect_all=True,
+                          answer_names=clone.image.query_variable_names)
+        assert stats == result.stats
+        assert clone.solutions == result.solutions
+
+
+# -- result detachment -------------------------------------------------------
+
+class TestDetach:
+
+    def test_detach_releases_machine_and_image(self):
+        result = run_query(APPEND, "append([1], [2], X)", use_cache=False)
+        machine_ref = weakref.ref(result.machine)
+        milliseconds = result.milliseconds
+        assert result.detach() is result
+        assert result.detached
+        assert result.machine is None and result.image is None
+        gc.collect()
+        assert machine_ref() is None, "detach must release the heap"
+        # Derived observables keep working from the captured values.
+        assert result.milliseconds == milliseconds
+        assert result.klips > 0
+        assert result.output == ""
+        assert result.trap_reports == []
+        assert result.detach() is result    # idempotent
+
+    def test_detached_result_without_machine_rejects_timing(self):
+        bare = QueryResult(solutions=[], stats=RunStats(),
+                           machine=None, image=None)
+        with pytest.raises(ValueError):
+            bare.milliseconds

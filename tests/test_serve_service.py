@@ -1,0 +1,155 @@
+"""The multiprocess query service (ISSUE 3): ordered results, the
+sequential-vs-parallel identity guarantee, per-query structured
+failures (bad programs, cycle budgets, wall timeouts) that never kill
+the pool, and the no-heap-retention contract of service results.
+
+Worker processes are real ``spawn`` children, so this file keeps one
+small pool per test and closes it promptly."""
+
+import pytest
+
+from repro.serve import DEFAULT_PROGRAM, QueryError, QueryService
+
+APPEND = ("append([], L, L). "
+          "append([H|T], L, [H|R]) :- append(T, L, R).")
+NREV = (APPEND +
+        " nrev([], []). "
+        "nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).")
+FACTS = "colour(red). colour(green). colour(blue)."
+LOOP = "loop :- loop."
+
+PROGRAMS = {"append": APPEND, "nrev": NREV, "facts": FACTS}
+
+BATCH = [
+    ("append", "append([1, 2], [3], X)"),
+    ("facts", "colour(C)"),
+    ("nrev", "nrev([1, 2, 3, 4, 5], R)"),
+    ("facts", "colour(C)"),
+    ("append", "append(X, [z], [a, z])"),
+]
+
+
+def _signature(result):
+    return (result.index, result.program, result.query,
+            result.solutions, result.stats, result.output)
+
+
+# -- in-process path ---------------------------------------------------------
+
+def test_results_come_back_in_input_order():
+    with QueryService(PROGRAMS, workers=0) as service:
+        results = service.run_many(BATCH)
+    assert [r.index for r in results] == list(range(len(BATCH)))
+    assert [(r.program, r.query) for r in results] == BATCH
+    assert all(r.ok for r in results)
+
+
+def test_single_program_string_uses_default_name():
+    with QueryService(FACTS, workers=0) as service:
+        result = service.run("colour(C)")
+    assert result.ok
+    assert result.program == DEFAULT_PROGRAM
+    assert len(result.solutions) == 1      # first solution only
+
+
+def test_all_solutions_option():
+    with QueryService(FACTS, workers=0, all_solutions=True) as service:
+        assert len(service.run("colour(C)").solutions) == 3
+    with QueryService(FACTS, workers=0) as service:
+        assert len(service.run("colour(C)",
+                               all_solutions=True).solutions) == 3
+
+
+def test_unknown_program_is_a_per_slot_failure():
+    with QueryService(PROGRAMS, workers=0) as service:
+        results = service.run_many([
+            ("append", "append([], [], X)"),
+            ("no_such_program", "whatever(X)"),
+            ("facts", "colour(C)"),
+        ])
+    assert results[0].ok and results[2].ok
+    assert not results[1].ok
+    assert results[1].error.kind == "UnknownProgram"
+
+
+def test_compile_error_is_captured_not_raised():
+    programs = dict(PROGRAMS, broken="this is not prolog ((((")
+    with QueryService(programs, workers=0) as service:
+        results = service.run_many([
+            ("broken", "anything(X)"),
+            ("facts", "colour(C)"),
+        ])
+    assert not results[0].ok
+    assert isinstance(results[0].error, QueryError)
+    assert results[0].error.message        # human-readable
+    assert results[1].ok                   # the pool survived
+
+
+def test_cycle_budget_is_a_per_slot_failure():
+    programs = dict(PROGRAMS, loop=LOOP)
+    with QueryService(programs, workers=0) as service:
+        results = service.run_many([
+            ("loop", "loop"),
+            ("facts", "colour(C)"),
+        ], max_cycles=50_000)
+    assert not results[0].ok
+    assert results[0].error.kind == "CycleLimitExceeded"
+    assert results[0].error.cycles is not None
+    assert results[1].ok
+
+
+def test_service_result_holds_no_machine():
+    with QueryService(FACTS, workers=0) as service:
+        result = service.run("colour(C)")
+    assert not hasattr(result, "machine")
+    assert "machine" not in vars(result)
+
+
+def test_closed_service_rejects_work():
+    service = QueryService(FACTS, workers=0)
+    service.close()
+    with pytest.raises(RuntimeError):
+        service.run("colour(C)")
+    service.close()                        # idempotent
+
+
+# -- worker pool -------------------------------------------------------------
+
+def test_pool_matches_sequential_bit_for_bit():
+    """The acceptance cross-check: per-query solutions and simulated
+    RunStats identical between workers=0 and a real pool."""
+    with QueryService(PROGRAMS, workers=0) as sequential:
+        expected = [_signature(r) for r in sequential.run_many(BATCH)]
+    with QueryService(PROGRAMS, workers=2) as pooled:
+        first = pooled.run_many(BATCH)
+        second = pooled.run_many(BATCH)    # warm engines, same answers
+    assert all(r.ok for r in first)
+    assert [_signature(r) for r in first] == expected
+    assert [_signature(r) for r in second] == expected
+    assert {r.worker for r in first} <= {0, 1}
+
+
+def test_pool_captures_failures_and_keeps_serving():
+    programs = dict(PROGRAMS, loop=LOOP)
+    with QueryService(programs, workers=1) as service:
+        results = service.run_many([
+            ("loop", "loop"),
+            ("facts", "colour(C)"),
+        ], max_cycles=50_000)
+        assert results[0].error.kind == "CycleLimitExceeded"
+        assert results[1].ok
+        # The same worker process is still alive and serving.
+        assert service.run(("facts", "colour(C)")).ok
+
+
+def test_wall_timeout_kills_and_respawns_worker():
+    programs = dict(PROGRAMS, loop=LOOP)
+    with QueryService(programs, workers=1) as service:
+        results = service.run_many([
+            ("loop", "loop"),              # no cycle budget: runs forever
+            ("facts", "colour(C)"),
+        ], timeout_s=1.5)
+    assert not results[0].ok
+    assert results[0].error.kind == "WallTimeout"
+    # The respawned worker served the rest of the batch.
+    assert results[1].ok
