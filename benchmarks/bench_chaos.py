@@ -1,0 +1,120 @@
+"""Seeded chaos smoke over the query service (docs/RESILIENCE.md).
+
+Runs a PLM-corpus batch through a worker pool while a deterministic
+:class:`~repro.serve.chaos.ChaosPolicy` kills workers mid-query, delays
+result delivery and injects machine faults, then verifies the ISSUE 5
+invariant: solutions and statuses bit-identical to the fault-free
+reference, no slot lost or duplicated, and identical simulated
+``RunStats`` wherever no faults touched the simulation itself.  Also
+reports the host-time cost of surviving the chaos (reference vs
+chaos-ridden wall seconds) and the recovery counters (kills, retries,
+checkpoint resumes).
+
+Run under pytest (``pytest benchmarks/bench_chaos.py``) or standalone
+as the CI chaos smoke::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py --seed 2026
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+#: short-to-medium PLM suite programs; enough cycles for kills and
+#: checkpoints to land, small enough for a CI smoke.
+CORPUS = ["con1", "con6", "nrev1", "qs4", "times10", "divide10",
+          "log10", "ops8"]
+
+
+def run_chaos_smoke(seed: int = 2026, workers: int = 2,
+                    checkpoint_every: int = 1_500) -> dict:
+    from repro.bench.programs import SUITE
+    from repro.serve import ChaosPolicy, QueryService, RetryPolicy
+    from repro.serve.chaos import verify_chaos_invariant
+
+    programs = {name: SUITE[name].source_pure for name in CORPUS}
+    batch = [(name, SUITE[name].query_pure) for name in CORPUS]
+    chaos = ChaosPolicy(seed=seed, kill_rate=0.6, kill_window=(400, 6_000),
+                        max_kills_per_slot=1,
+                        delay_rate=0.5, max_delay_s=0.02,
+                        inject_rate=0.4, inject_horizon=6_000)
+    retry = RetryPolicy(max_attempts=3, base_delay_s=0.02, seed=seed)
+
+    started = time.perf_counter()
+    with QueryService(programs, workers=workers) as service:
+        service.run_many(batch)
+    clean_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    report = verify_chaos_invariant(programs, batch, chaos, retry=retry,
+                                    workers=workers,
+                                    checkpoint_every=checkpoint_every)
+    chaos_seconds = time.perf_counter() - started
+
+    health = report["health"]
+    return {
+        "seed": seed,
+        "workers": workers,
+        "checkpoint_every": checkpoint_every,
+        "slots": report["ok"] and report["slots"],
+        "invariant_ok": report["ok"],
+        "mismatches": report["mismatches"],
+        "stats_checked": report["stats_checked"],
+        "clean_seconds": clean_seconds,
+        "chaos_seconds": chaos_seconds,
+        "kills": health.crashes,
+        "retries": health.retries,
+        "resumes": health.resumes,
+        "checkpoints": health.checkpoints_received,
+        "respawns": health.respawns,
+    }
+
+
+def _report(row: dict) -> None:
+    print(f"\n  chaos smoke: seed {row['seed']}, {row['workers']} workers, "
+          f"checkpoint every {row['checkpoint_every']} cycles")
+    print(f"  invariant: {'OK' if row['invariant_ok'] else 'VIOLATED'} "
+          f"({row['stats_checked']} slots stats-checked)")
+    for mismatch in row["mismatches"]:
+        print(f"    mismatch: {mismatch}")
+    print(f"  kills {row['kills']}, retries {row['retries']}, "
+          f"resumes {row['resumes']}, checkpoints {row['checkpoints']}, "
+          f"respawns {row['respawns']}")
+    print(f"  fault-free {row['clean_seconds']:.2f}s vs chaos "
+          f"{row['chaos_seconds']:.2f}s (includes reference run)")
+
+
+# -- pytest harness ----------------------------------------------------------
+
+def test_chaos_smoke():
+    row = run_chaos_smoke()
+    _report(row)
+    assert row["invariant_ok"], row["mismatches"]
+    assert row["kills"] > 0, "the seed must actually kill workers"
+
+
+# -- standalone CI smoke -----------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--checkpoint-every", type=int, default=1_500)
+    args = parser.parse_args(argv)
+    row = run_chaos_smoke(seed=args.seed, workers=args.workers,
+                          checkpoint_every=args.checkpoint_every)
+    _report(row)
+    if not row["invariant_ok"]:
+        return 1
+    if row["kills"] == 0:
+        print("  warning: this seed killed nothing; pick another")
+    return 0
+
+
+if __name__ == "__main__":
+    import os
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__),
+                                    os.pardir, "src"))
+    sys.exit(main())

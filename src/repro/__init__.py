@@ -33,7 +33,8 @@ from repro.recovery import (
     FaultInjector, GrowthPolicy, install_default_recovery,
 )
 from repro.serve import (
-    ImageCache, QueryService, ServiceResult, default_image_cache,
+    ChaosPolicy, ImageCache, QueryService, RetryPolicy, ServiceHealth,
+    ServiceResult, default_image_cache,
 )
 
 __version__ = "1.0.0"
@@ -51,5 +52,6 @@ __all__ = [
     "PageFault", "ProtectionFault", "SpuriousTrap", "CycleLimitExceeded",
     "FaultInjector", "GrowthPolicy", "install_default_recovery",
     "ImageCache", "QueryService", "ServiceResult", "default_image_cache",
+    "ChaosPolicy", "RetryPolicy", "ServiceHealth",
     "__version__",
 ]

@@ -599,6 +599,71 @@ class Machine:
         self.running = True
         return self._execute()
 
+    def run_sliced(self, entry: int,
+                   next_stop: Callable[[int], Optional[int]],
+                   on_stop: Callable[["Machine"], None],
+                   collect_all: bool = False,
+                   answer_names: Optional[List[str]] = None) -> RunStats:
+        """:meth:`run`, pre-emptible at chosen cycle counts.
+
+        ``next_stop(cycles)`` names the next absolute cycle count at
+        which to pause (strictly greater than ``cycles``, or ``None``
+        for no further stops); ``on_stop(machine)`` runs at each pause
+        with the machine at an instruction boundary — the serving
+        layer's checkpoint and chaos hooks.  Implemented purely by
+        narrowing ``max_cycles`` per slice and resuming, so the run
+        loops are untouched: a run with no stops is byte-for-byte the
+        plain :meth:`run`, and simulated state/statistics are identical
+        regardless of slicing (the watchdog stop is resume-exact).  The
+        real budget in ``self.max_cycles`` still aborts the run with
+        :class:`~repro.errors.CycleLimitExceeded`, with the same
+        message an unsliced run would produce.
+        """
+        budget = self.max_cycles
+        target = next_stop(0)
+        self.max_cycles = budget if target is None else min(budget, target)
+        return self._drive_slices(
+            budget, next_stop, on_stop,
+            lambda: self.run(entry, collect_all=collect_all,
+                             answer_names=answer_names))
+
+    def resume_sliced(self, next_stop: Callable[[int], Optional[int]],
+                      on_stop: Callable[["Machine"], None]) -> RunStats:
+        """:meth:`resume`, pre-emptible like :meth:`run_sliced` (used
+        to continue a restored checkpoint under the same slicing).
+        ``self.max_cycles`` must already hold the true budget."""
+        budget = self.max_cycles
+        target = next_stop(self.cycles)
+        self.max_cycles = budget if target is None else min(budget, target)
+        return self._drive_slices(budget, next_stop, on_stop, self.resume)
+
+    def _drive_slices(self, budget: int,
+                      next_stop: Callable[[int], Optional[int]],
+                      on_stop: Callable[["Machine"], None],
+                      first: Callable[[], RunStats]) -> RunStats:
+        """Run/resume until completion, pausing at ``next_stop`` cycle
+        targets.  A watchdog stop below the budget is a slice boundary;
+        at (or beyond) the budget it is the genuine limit and the error
+        propagates untouched."""
+        try:
+            try:
+                return first()
+            except CycleLimitExceeded:
+                if self.max_cycles >= budget:
+                    raise
+            while True:
+                on_stop(self)
+                target = next_stop(self.cycles)
+                self.max_cycles = budget if target is None \
+                    else min(budget, target)
+                try:
+                    return self.resume()
+                except CycleLimitExceeded:
+                    if self.max_cycles >= budget:
+                        raise
+        finally:
+            self.max_cycles = budget
+
     def _execute(self) -> RunStats:
         """Run the main loop until halt/exhaustion, finalizing stats and
         annotating escaping errors no matter how the loop exits."""
@@ -1021,11 +1086,16 @@ class Machine:
     # checkpoint / restore
     # ------------------------------------------------------------------
 
-    def checkpoint(self, label: str = "") -> MachineCheckpoint:
+    def checkpoint(self, label: str = "",
+                   since: Optional[MachineCheckpoint] = None) \
+            -> MachineCheckpoint:
         """Snapshot all dynamic state (registers, stacks, trail, zone
-        limits, dirty store pages, statistics, answers) so the run can
-        be rolled back after a fatal trap or watchdog stop."""
-        return MachineCheckpoint.capture(self, label=label)
+        limits, dirty store pages, statistics, answers, timing state)
+        so the run can be rolled back after a fatal trap or watchdog
+        stop, or resumed in another process.  Pass the previous
+        checkpoint as ``since`` (with the store's ``track_dirty`` flag
+        armed) for incremental capture."""
+        return MachineCheckpoint.capture(self, label=label, since=since)
 
     def restore(self, checkpoint: MachineCheckpoint) -> None:
         """Roll the machine back to ``checkpoint``; :meth:`resume`

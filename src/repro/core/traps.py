@@ -149,10 +149,23 @@ class MachineCheckpoint:
     Captures the register file, the dedicated state registers, the
     dirty store pages (the chunked backing store, which holds all four
     stacks and the trail contents), the zone limits, run statistics and
-    collected solutions.  Cache and page-table contents are *not*
-    captured: they are timing state, not functional state, so a restore
-    resumes with warm-ish caches — the same fidelity tradeoff the
-    paper's host-serviced process switch makes.
+    collected solutions — plus, since the resilient-serving work, the
+    *timing* state (cache tags, MMU translations, traffic counters via
+    :meth:`~repro.memory.memory_system.MemorySystem.timing_state`) and
+    the host-side run context (recent-PC ring, entry name, trap log,
+    livelock counters, fault-injector progress).  The original
+    "timing state is expendable" tradeoff — the paper's host-serviced
+    process switch — still holds when restoring onto the machine that
+    captured the snapshot, but resuming on a *fresh* machine in another
+    process needs all of it to make the resumed run bit-identical
+    (solutions **and** ``RunStats``) to the uninterrupted one.
+
+    Checkpoints are pickle-safe (words, zone enums and trap reports all
+    pickle) and support **incremental capture**: pass the previous
+    checkpoint as ``since`` while the store's ``track_dirty`` flag is
+    armed and only chunks written since that capture are copied; clean
+    chunks share the previous snapshot's (never mutated) lists.
+    ``copied_chunks`` records which chunk keys were actually copied.
 
     Use :meth:`repro.core.machine.Machine.checkpoint` /
     :meth:`~repro.core.machine.Machine.restore`; after a restore,
@@ -170,11 +183,28 @@ class MachineCheckpoint:
     output: List[str]
     answer_names: List[str]
     collect_all: bool
+    timing: Optional[Dict[str, object]] = None
+    host: Optional[Dict[str, object]] = None
+    copied_chunks: Tuple[int, ...] = ()
+
+    @property
+    def cycles(self) -> int:
+        """Simulated cycle count at the capture point."""
+        return self.state["cycles"]
 
     @classmethod
-    def capture(cls, machine, label: str = "") -> "MachineCheckpoint":
+    def capture(cls, machine, label: str = "",
+                since: Optional["MachineCheckpoint"] = None) \
+            -> "MachineCheckpoint":
         """Snapshot ``machine`` (words are immutable, so page and
-        register copies are shallow)."""
+        register copies are shallow).
+
+        With ``since`` (a previous capture of the *same run*) and the
+        store's dirty tracking armed, chunks untouched since that
+        capture are shared rather than copied; the dirty set is
+        consumed — it restarts empty so the next delta is relative to
+        this checkpoint.
+        """
         shadow = machine.shadow
         state = {
             "p": machine.p, "cp": machine.cp, "e": machine.e,
@@ -187,16 +217,44 @@ class MachineCheckpoint:
             "shadow_tr": shadow.tr,
             "trail_top": machine.trail.top,
             "trail_pushes": machine.trail.pushes,
+            "trail_checks": machine.trail.checks,
             "cycles": machine.cycles, "max_cycles": machine.max_cycles,
             "running": machine.running, "halted": machine.halted,
             "exhausted": machine.exhausted,
         }
         store = machine.memory.store
-        chunks = {key: list(chunk)
-                  for key, chunk in store._chunks.items()}
+        if since is not None and store.track_dirty:
+            dirty = store.dirty_chunks
+            base = since.store_chunks
+            chunks = {}
+            copied = []
+            for key, chunk in store._chunks.items():
+                if key in dirty or key not in base:
+                    chunks[key] = list(chunk)
+                    copied.append(key)
+                else:
+                    chunks[key] = base[key]
+        else:
+            chunks = {key: list(chunk)
+                      for key, chunk in store._chunks.items()}
+            copied = sorted(store._chunks)
+        if store.track_dirty:
+            store.dirty_chunks.clear()
         zones = {zone: (entry.min_address, entry.max_address,
                         entry.write_protected)
                  for zone, entry in machine.memory.zones.entries.items()}
+        injector = machine.injector
+        host = {
+            "recent_pcs": list(machine._recent_pcs),
+            "recent_index": machine._recent_index,
+            "entry_name": machine._entry_name,
+            "retry_pc": machine._retry_pc,
+            "retry_kind": machine._retry_kind,
+            "retry_count": machine._retry_count,
+            "trap_log": list(machine.trap_log),
+            "injector": (injector.runtime_state()
+                         if injector is not None else None),
+        }
         return cls(
             label=label,
             state=state,
@@ -208,10 +266,20 @@ class MachineCheckpoint:
             output=list(machine.output),
             answer_names=list(machine.answer_names),
             collect_all=machine.collect_all,
+            timing=machine.memory.timing_state(),
+            host=host,
+            copied_chunks=tuple(copied),
         )
 
     def restore(self, machine) -> None:
-        """Put ``machine`` back into the captured state."""
+        """Put ``machine`` back into the captured state.
+
+        Safe on the capturing machine and on a fresh machine loaded
+        with the same image (resume-on-respawn): every captured
+        container is written in place — the fused data path and the
+        run loops hold references to the store's chunk dict, the cache
+        tag lists and the recent-PC ring.
+        """
         state = self.state
         machine.p = state["p"]
         machine.cp = state["cp"]
@@ -229,6 +297,7 @@ class MachineCheckpoint:
                            state["shadow_tr"])
         machine.trail.top = state["trail_top"]
         machine.trail.pushes = state["trail_pushes"]
+        machine.trail.checks = state.get("trail_checks", 0)
         machine.cycles = state["cycles"]
         machine.max_cycles = state["max_cycles"]
         machine.running = state["running"]
@@ -236,8 +305,10 @@ class MachineCheckpoint:
         machine.exhausted = state["exhausted"]
         machine.regs.cells[:] = self.registers
         store = machine.memory.store
-        store._chunks = {key: list(chunk)
-                         for key, chunk in self.store_chunks.items()}
+        store._chunks.clear()
+        for key, chunk in self.store_chunks.items():
+            store._chunks[key] = list(chunk)
+        store.dirty_chunks.clear()
         zones = machine.memory.zones
         for zone, (low, high, protected) in self.zone_limits.items():
             zones.set_limits(zone, low, high)
@@ -247,3 +318,16 @@ class MachineCheckpoint:
         machine.output = list(self.output)
         machine.answer_names = list(self.answer_names)
         machine.collect_all = self.collect_all
+        if self.timing is not None:
+            machine.memory.restore_timing_state(self.timing)
+        host = self.host
+        if host is not None:
+            machine._recent_pcs[:] = host["recent_pcs"]
+            machine._recent_index = host["recent_index"]
+            machine._entry_name = host["entry_name"]
+            machine._retry_pc = host["retry_pc"]
+            machine._retry_kind = host["retry_kind"]
+            machine._retry_count = host["retry_count"]
+            machine.trap_log = list(host["trap_log"])
+            if host["injector"] is not None and machine.injector is not None:
+                machine.injector.set_runtime_state(host["injector"])

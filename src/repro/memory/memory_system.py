@@ -299,6 +299,19 @@ class MemorySystem:
                     return cell             # unbound variable
                 word = cell
 
+        if store.track_dirty:
+            # Incremental-checkpoint variant, chosen once at build time
+            # so the idle path above never pays even a flag test per
+            # write.  The wrapper only records the chunk key; the
+            # store.write fallback inside ``write`` marks too, which is
+            # harmless (it is a set).
+            dirty_chunks = store.dirty_chunks
+            plain_write = write
+
+            def write(address, word, zone, word_type=DATA_PTR):  # noqa: F811
+                dirty_chunks.add(address >> 16)
+                plain_write(address, word, zone, word_type)
+
         return read, write, deref
 
     # -- the code path ---------------------------------------------------------
@@ -351,6 +364,95 @@ class MemorySystem:
         self.mmu.faults += 1
         return self.mmu.page_fault_cycles
 
+    # -- timing-state snapshot (durable checkpoints) -----------------------------
+
+    def timing_state(self) -> Dict[str, object]:
+        """Everything outside the functional store that influences
+        *future* cycle counts, as one picklable dict.
+
+        The original :class:`~repro.core.traps.MachineCheckpoint`
+        deliberately treated caches and page tables as expendable — fine
+        for restoring onto the machine that captured them (its warm
+        state is a superset), but resuming on a *fresh* machine must
+        reproduce cache tags, MMU translations and every statistics
+        counter or the resumed run's cycle accounting diverges from the
+        uninterrupted run.  Mirrors :meth:`reset_for_reuse`'s inventory
+        of state a run dirties.
+        """
+        data_cache = self.data_cache
+        code_cache = self.code_cache
+        main = self.main_memory
+        mmu = self.mmu
+        entries = {}
+        for virtual_page, code_space in mmu._touched:
+            entry = mmu._table(code_space)[virtual_page]
+            entries[(virtual_page, code_space)] = (entry.status,
+                                                   entry.physical_page)
+        return {
+            "data_tags": list(data_cache.tags),
+            "data_dirty": list(data_cache.dirty),
+            "data_stats": vars(data_cache.stats).copy(),
+            "code_tags": list(code_cache.tags),
+            "code_stats": vars(code_cache.stats).copy(),
+            "main_memory": {
+                "reads": main.reads, "writes": main.writes,
+                "words_read": main.words_read,
+                "words_written": main.words_written,
+            },
+            "mmu": {
+                "entries": entries,
+                "next_free_page": mmu.next_free_page,
+                "faults": mmu.faults,
+                "translations": mmu.translations,
+                "demand_paging": mmu.demand_paging,
+            },
+            "uninitialised_reads": self.store.uninitialised_reads,
+            "zone_checks": {zone: entry.checks
+                            for zone, entry in self.zones.entries.items()},
+            "zone_violations": self.zones.violations,
+        }
+
+    def restore_timing_state(self, state: Dict[str, object]) -> None:
+        """Put the hierarchy back into a :meth:`timing_state` snapshot.
+
+        Containers are mutated in place, never rebound — the fused data
+        path and the predecoded loop's code probe hold references to
+        the tag/dirty lists and the statistics objects.
+        """
+        self.data_cache.tags[:] = state["data_tags"]
+        self.data_cache.dirty[:] = state["data_dirty"]
+        for name, value in state["data_stats"].items():
+            setattr(self.data_cache.stats, name, value)
+        self.code_cache.tags[:] = state["code_tags"]
+        for name, value in state["code_stats"].items():
+            setattr(self.code_cache.stats, name, value)
+        main = state["main_memory"]
+        self.main_memory.reads = main["reads"]
+        self.main_memory.writes = main["writes"]
+        self.main_memory.words_read = main["words_read"]
+        self.main_memory.words_written = main["words_written"]
+        mmu = self.mmu
+        saved = state["mmu"]
+        for virtual_page, code_space in mmu._touched:
+            entry = mmu._table(code_space)[virtual_page]
+            entry.status = 0
+            entry.physical_page = 0
+        mmu._touched.clear()
+        for (virtual_page, code_space), (status, physical) \
+                in saved["entries"].items():
+            entry = mmu._table(code_space)[virtual_page]
+            entry.status = status
+            entry.physical_page = physical
+            mmu._touched.add((virtual_page, code_space))
+        mmu.next_free_page = saved["next_free_page"]
+        mmu.faults = saved["faults"]
+        mmu.translations = saved["translations"]
+        mmu.demand_paging = saved["demand_paging"]
+        self.store.uninitialised_reads = state["uninitialised_reads"]
+        for zone, checks in state["zone_checks"].items():
+            self.zones.entries[zone].checks = checks
+        self.zones.violations = state["zone_violations"]
+
     # -- engine reuse ------------------------------------------------------------
 
     def reset_for_reuse(self) -> None:
@@ -367,6 +469,7 @@ class MemorySystem:
         """
         self.store._chunks.clear()
         self.store.uninitialised_reads = 0
+        self.store.dirty_chunks.clear()
         self.zones.reset_limits()
         self.data_cache.tags[:] = [None] * DataCache.TOTAL_WORDS
         self.data_cache.dirty[:] = [False] * DataCache.TOTAL_WORDS

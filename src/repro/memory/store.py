@@ -13,7 +13,7 @@ counts them so tests can assert none happened on correct programs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.core.word import Word, ZERO_WORD
 from repro.memory.layout import DATA_SPACE_WORDS
@@ -24,6 +24,13 @@ class DataStore:
 
     Backed by chunked lists allocated on demand so a freshly created
     machine does not pay for 4 M Python slots.
+
+    When ``track_dirty`` is on, every write records its chunk key in
+    ``dirty_chunks`` so an incremental checkpoint
+    (:class:`repro.core.traps.MachineCheckpoint`) can copy only the
+    chunks touched since the previous capture.  Off by default: the
+    flag test is the only cost, and the serving layer arms it solely
+    for checkpointed runs.
     """
 
     CHUNK_WORDS = 1 << 16  # 64K words per chunk
@@ -32,6 +39,8 @@ class DataStore:
         self.size = size
         self._chunks: Dict[int, List[Optional[Word]]] = {}
         self.uninitialised_reads = 0
+        self.track_dirty = False
+        self.dirty_chunks: Set[int] = set()
 
     def read(self, address: int) -> Word:
         """Fetch the word at ``address``."""
@@ -51,6 +60,8 @@ class DataStore:
                 raise IndexError(f"address {address:#x} outside data space")
             chunk = [None] * self.CHUNK_WORDS
             self._chunks[key] = chunk
+        if self.track_dirty:
+            self.dirty_chunks.add(key)
         chunk[address & 0xFFFF] = word
 
     def peek(self, address: int) -> Optional[Word]:
@@ -78,6 +89,8 @@ class DataStore:
                 raise IndexError(f"address {address:#x} outside data space")
             chunk = [None] * self.CHUNK_WORDS
             self._chunks[key] = chunk
+        if self.track_dirty:
+            self.dirty_chunks.add(key)
         chunk[address & 0xFFFF] = word
 
     def initialised(self, address: int) -> bool:

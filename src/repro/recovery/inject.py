@@ -130,6 +130,33 @@ class FaultInjector:
         self._rng.setstate(self._rng_state)
         self._next = 0
 
+    # -- checkpointable progress ------------------------------------------------
+
+    def runtime_state(self) -> dict:
+        """The injector's mid-run progress as a picklable dict, so a
+        machine checkpoint can resume an injected run on a fresh worker
+        without re-firing already-delivered events (the schedule itself
+        is rebuilt deterministically from the constructor arguments)."""
+        return {
+            "next": self._next,
+            "rng": self._rng.getstate(),
+            "events": [(event.fired, event.effective, event.detail)
+                       for event in self.events],
+        }
+
+    def set_runtime_state(self, state: dict) -> None:
+        """Adopt :meth:`runtime_state` progress captured by an injector
+        built with the same constructor arguments."""
+        events = state["events"]
+        if len(events) != len(self.events):
+            raise ValueError("runtime state is from a different schedule")
+        self._next = state["next"]
+        self._rng.setstate(state["rng"])
+        for event, (fired, effective, detail) in zip(self.events, events):
+            event.fired = fired
+            event.effective = effective
+            event.detail = detail
+
     @property
     def fired(self) -> List[InjectedFault]:
         """Events delivered so far."""

@@ -1,24 +1,41 @@
 """Query serving: compile-once image cache + warm multiprocess pool.
 
 See docs/SERVING.md for the architecture, the spawn-safety rules and
-the benchmark methodology.
+the benchmark methodology, and docs/RESILIENCE.md for the failure
+semantics: checkpoint/resume across worker death, retry with
+deterministic backoff, admission control and the seeded chaos harness.
 """
 
 from repro.serve.cache import (
     ImageCache, ImageCacheStats, default_image_cache, image_key,
 )
+from repro.serve.chaos import (
+    ChaosPlan, ChaosPolicy, verify_chaos_invariant,
+)
+from repro.serve.retry import (
+    RETRYABLE_KINDS, TRANSIENT_KINDS, RetryPolicy, is_transient,
+)
 from repro.serve.service import (
-    DEFAULT_PROGRAM, EnginePool, QueryError, QueryService, ServiceResult,
+    DEFAULT_PROGRAM, EnginePool, QueryError, QueryService, ServiceHealth,
+    ServiceResult,
 )
 
 __all__ = [
     "DEFAULT_PROGRAM",
+    "ChaosPlan",
+    "ChaosPolicy",
     "EnginePool",
     "ImageCache",
     "ImageCacheStats",
     "QueryError",
     "QueryService",
+    "RETRYABLE_KINDS",
+    "RetryPolicy",
+    "ServiceHealth",
     "ServiceResult",
+    "TRANSIENT_KINDS",
     "default_image_cache",
     "image_key",
+    "is_transient",
+    "verify_chaos_invariant",
 ]

@@ -83,22 +83,24 @@ class ImageCache:
         """The image for ``(program, query, options)``; compiled on the
         first request, served from the cache afterwards."""
         key = image_key(program_text, query_text, io_mode)
+        # Compile under the lock: concurrent misses on one key must
+        # yield one compile and one image, not a compile per caller —
+        # the machines served from the cache share the image's symbol
+        # table, and callers comparing images by identity (or counting
+        # Linker.links_performed) rely on get() being atomic.  Linking
+        # is milliseconds; holding the lock across it briefly serialises
+        # compiles of *different* keys, which only ever happens on the
+        # cold first request for each.
         with self._lock:
             image = self._images.get(key)
             if image is not None:
                 self._images.move_to_end(key)
                 self.stats.hits += 1
                 return image
-        # Compile outside the lock: linking is milliseconds, and a
-        # concurrent miss on the same key merely does the work twice —
-        # the loser's image wins the dict slot, which is harmless
-        # because images are interchangeable values of the same key.
-        image = Linker(symbols=SymbolTable(), io_mode=io_mode).link(
-            program_text, query_text)
-        with self._lock:
+            image = Linker(symbols=SymbolTable(), io_mode=io_mode).link(
+                program_text, query_text)
             self.stats.misses += 1
             self._images[key] = image
-            self._images.move_to_end(key)
             while len(self._images) > self.max_entries:
                 self._images.popitem(last=False)
                 self.stats.evictions += 1

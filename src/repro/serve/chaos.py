@@ -1,0 +1,194 @@
+"""Deterministic chaos harness for the query service.
+
+A :class:`ChaosPolicy` is a seeded generator of per-(slot, attempt)
+:class:`ChaosPlan`\\ s, shipped to workers inside the task options:
+
+- **kills** — the worker executes the query in cycle slices
+  (:meth:`~repro.core.machine.Machine.run_sliced`) and commits suicide
+  at the planned simulated-cycle threshold, after flushing any
+  checkpoints already queued, so the parent observes a dead process
+  mid-query exactly as a real crash would present;
+- **delays** — the worker sleeps before delivering its result, widening
+  the window for the timeout-expiry race the service must win in the
+  result's favour;
+- **injected machine faults** — the plan arms a
+  :class:`~repro.recovery.FaultInjector` schedule (page faults, zone
+  squeezes, spurious traps) inside the worker, with recovery handlers
+  installed, exercising checkpoint/resume *across* trap recovery.
+
+Everything is a pure function of ``(policy, slot index, attempt)``:
+kills and delays are drawn per attempt (so a killed slot's retry runs
+clean once ``max_kills_per_slot`` is spent), while the injector spec is
+drawn per *slot* — every attempt of a slot replays the identical fault
+schedule, which is what makes a resumed-from-checkpoint attempt and a
+from-scratch retry agree bit-for-bit with the uninterrupted run.
+
+:func:`verify_chaos_invariant` is the acceptance gate used by the tests
+and the CI chaos smoke job: chaos-ridden ``run_many`` must return
+solutions and statuses identical to the fault-free reference, with no
+slot lost or duplicated.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class ChaosKilled(Exception):
+    """Raised inside a worker when its chaos plan says to die here.
+
+    Internal control flow: the worker loop catches it, flushes its
+    result queue (checkpoints already shipped must survive — the crash
+    model is SIGKILL between IPC writes, not a torn write) and calls
+    ``os._exit``.
+    """
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """The concrete mischief for one (slot, attempt) execution."""
+
+    kill_after_cycles: Optional[int] = None   # worker suicide threshold
+    delay_result_s: float = 0.0               # sleep before result delivery
+    inject: Optional[Dict[str, int]] = None   # FaultInjector kwargs
+
+    @property
+    def empty(self) -> bool:
+        """Whether this plan changes nothing."""
+        return (self.kill_after_cycles is None
+                and not self.delay_result_s and self.inject is None)
+
+    def apply(self, opts: dict) -> dict:
+        """Task options with this plan folded in (the input is not
+        mutated — plans differ per slot, the base options are shared)."""
+        if self.empty:
+            return opts
+        merged = dict(opts)
+        if self.kill_after_cycles is not None:
+            merged["chaos_kill_cycles"] = self.kill_after_cycles
+        if self.delay_result_s:
+            merged["chaos_delay_s"] = self.delay_result_s
+        if self.inject is not None:
+            merged["inject"] = self.inject
+        return merged
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Seeded chaos source for :meth:`QueryService.run_many`.
+
+    Rates are probabilities per slot (kills/delays re-drawn per
+    attempt).  ``max_kills_per_slot`` bounds how many attempts of one
+    slot may be killed, so a kill-heavy policy still converges within a
+    retry budget of ``max_kills_per_slot + 1`` attempts.
+    """
+
+    seed: int = 0
+    kill_rate: float = 0.0
+    kill_window: Tuple[int, int] = (1_000, 120_000)
+    max_kills_per_slot: int = 1
+    delay_rate: float = 0.0
+    max_delay_s: float = 0.05
+    inject_rate: float = 0.0
+    inject_page_faults: int = 1
+    inject_zone_squeezes: int = 1
+    inject_spurious: int = 1
+    inject_horizon: int = 50_000
+
+    def plan(self, index: int, attempt: int) -> ChaosPlan:
+        """The deterministic plan for execution ``attempt`` (1-based)
+        of batch slot ``index``."""
+        slot_rng = random.Random(self.seed * 2_000_003 + index * 7_919)
+        inject = None
+        if slot_rng.random() < self.inject_rate:
+            inject = {
+                "seed": self.seed * 65_537 + index,
+                "page_faults": self.inject_page_faults,
+                "zone_squeezes": self.inject_zone_squeezes,
+                "spurious": self.inject_spurious,
+                "horizon": self.inject_horizon,
+            }
+        attempt_rng = random.Random(self.seed * 4_000_037
+                                    + index * 104_729 + attempt)
+        kill_after = None
+        if attempt <= self.max_kills_per_slot \
+                and attempt_rng.random() < self.kill_rate:
+            low, high = self.kill_window
+            kill_after = attempt_rng.randrange(low, high)
+        delay = 0.0
+        if attempt_rng.random() < self.delay_rate:
+            delay = attempt_rng.random() * self.max_delay_s
+        return ChaosPlan(kill_after_cycles=kill_after,
+                         delay_result_s=delay, inject=inject)
+
+    def injects(self, index: int) -> bool:
+        """Whether slot ``index`` runs with injected machine faults
+        (injection is per slot, identical across attempts)."""
+        return self.plan(index, 1).inject is not None
+
+
+def verify_chaos_invariant(programs: Dict[str, str],
+                           batch: Sequence,
+                           chaos: ChaosPolicy,
+                           retry=None,
+                           workers: int = 2,
+                           checkpoint_every: Optional[int] = 20_000,
+                           timeout_s: Optional[float] = None,
+                           all_solutions: bool = False) -> Dict[str, object]:
+    """Run ``batch`` fault-free and under ``chaos``; compare.
+
+    The invariant (ISSUE 5 acceptance): solutions and statuses must be
+    bit-identical to the fault-free in-process reference for every
+    slot, with no slot lost or duplicated.  Simulated ``RunStats`` must
+    additionally match for every slot whose plan injects no machine
+    faults (injected faults legitimately add recovery cycles and trap
+    counts; kills, delays and timeouts are host events that may never
+    move simulated time).
+
+    Returns a report dict with ``ok`` plus the mismatch lists the CI
+    smoke job prints on failure.
+    """
+    from repro.serve.retry import RetryPolicy
+    from repro.serve.service import QueryService
+
+    if retry is None:
+        retry = RetryPolicy(max_attempts=chaos.max_kills_per_slot + 2)
+    with QueryService(programs, workers=0,
+                      all_solutions=all_solutions) as reference_service:
+        reference = reference_service.run_many(batch)
+    with QueryService(programs, workers=workers,
+                      all_solutions=all_solutions) as service:
+        chaotic = service.run_many(batch, timeout_s=timeout_s,
+                                   retry=retry, chaos=chaos,
+                                   checkpoint_every=checkpoint_every)
+        health = service.health()
+
+    mismatches: List[str] = []
+    if len(chaotic) != len(batch):
+        mismatches.append(f"slot count {len(chaotic)} != {len(batch)}")
+    indices = [result.index for result in chaotic]
+    if indices != list(range(len(batch))):
+        mismatches.append(f"slot indices wrong or duplicated: {indices}")
+    stats_checked = 0
+    for expected, got in zip(reference, chaotic):
+        where = f"slot {expected.index} ({expected.program!r})"
+        if got.solutions != expected.solutions:
+            mismatches.append(f"{where}: solutions differ")
+        expected_kind = expected.error.kind if expected.error else None
+        got_kind = got.error.kind if got.error else None
+        if got_kind != expected_kind:
+            mismatches.append(f"{where}: status {got_kind!r} "
+                              f"!= {expected_kind!r}")
+        if not chaos.injects(expected.index):
+            stats_checked += 1
+            if got.stats != expected.stats:
+                mismatches.append(f"{where}: RunStats differ")
+    return {
+        "ok": not mismatches,
+        "slots": len(batch),
+        "stats_checked": stats_checked,
+        "mismatches": mismatches,
+        "health": health,
+    }

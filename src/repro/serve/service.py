@@ -34,34 +34,67 @@ Scheduling and ordering
     ``queries[i]`` — and failures are captured per query as structured
     :class:`QueryError` records; a failed query never kills the pool.
 
+Resilience (docs/RESILIENCE.md)
+    Failures are classified transient vs permanent
+    (:mod:`repro.serve.retry`); with a :class:`RetryPolicy`,
+    ``run_many`` re-dispatches transiently-failed slots after
+    deterministic exponential backoff.  With ``checkpoint_every``, a
+    worker executes long queries in cycle slices, shipping an
+    incremental :class:`~repro.core.traps.MachineCheckpoint` to the
+    parent at each boundary; a retry after a crash **resumes** the
+    query on a fresh worker from its last checkpoint, bit-identical to
+    an uninterrupted run.  ``max_queue_depth`` bounds admission —
+    excess slots fail fast with ``QueryError(kind="Shed")`` instead of
+    queueing unboundedly — ``deadline_s`` bounds the whole batch, and
+    :meth:`QueryService.health` reports a :class:`ServiceHealth`
+    counter snapshot.  The deterministic chaos harness
+    (:mod:`repro.serve.chaos`) drives all of it under seeded worker
+    kills, delivery delays and injected machine faults.
+
+    Every resilience feature is opt-in and strictly zero-cost when
+    idle: with no retry policy, no checkpoint cadence and no chaos,
+    the dispatch path and the machine inner loops are exactly the
+    non-resilient ones (the parallel-service benchmark pins this).
+
 Timeouts
     Two budgets per query: ``max_cycles`` bounds *simulated* time (the
     machine's own watchdog raises ``CycleLimitExceeded``, captured like
     any error), and ``timeout_s`` bounds *host* time — on expiry the
     worker is terminated and respawned, the query reports a
-    ``WallTimeout`` failure, and the batch continues.
+    ``WallTimeout`` failure, and the batch continues.  A result that
+    reaches the parent in the same poll interval as its deadline wins
+    over the expiry: the collector drains delivered messages before
+    judging deadlines.
 
 ``workers=0`` degrades to in-process serving over the same engine-pool
 code path (no processes, no pickling); the parallel-service benchmark
-uses it as the warm sequential baseline.
+uses it as the warm sequential baseline.  The in-process path cannot
+preempt, kill or respawn anything, so ``timeout_s``, retry policies,
+admission control and chaos are worker-pool features; ``max_cycles``
+and ``checkpoint_every`` (cycle-sliced execution) work everywhere.
 """
 
 from __future__ import annotations
 
+import heapq
+import os
 import pickle
 import queue as queue_module
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import multiprocessing as mp
 
 from repro.compiler.linker import LinkedImage
 from repro.core.machine import Machine
 from repro.core.statistics import RunStats
+from repro.core.traps import MachineCheckpoint
 from repro.errors import KCMError, MachineError
 from repro.serve.cache import ImageCache, default_image_cache, image_key
+from repro.serve.chaos import ChaosKilled, ChaosPolicy
+from repro.serve.retry import RetryPolicy, is_transient
 
 #: default name a bare-string program is registered under.
 DEFAULT_PROGRAM = "main"
@@ -74,18 +107,56 @@ _POLL_SECONDS = 1.0
 #: terminated.
 _CLOSE_GRACE = 5.0
 
+#: exit status a chaos-killed worker dies with (distinguishable from a
+#: SIGKILL'd or faulted worker in the process table; the parent treats
+#: both identically as WorkerCrashed).
+_CHAOS_EXIT = 13
+
 
 @dataclass
 class QueryError:
-    """A structured per-query failure (the pool survives it)."""
+    """A structured per-query failure (the pool survives it).
+
+    ``transient`` marks host-side failure kinds (worker death, wall
+    budget, shedding — see :mod:`repro.serve.retry`) that may succeed
+    if re-submitted; deterministic machine failures reproduce exactly
+    and are permanent.  ``attempts`` counts how many executions the
+    slot consumed before the failure became final (0: never
+    dispatched).
+    """
 
     kind: str                       # exception class name or budget kind
     message: str
     pc: Optional[int] = None        # faulting PC for machine errors
     cycles: Optional[int] = None    # simulated cycles at the failure
+    transient: bool = False
+    attempts: int = 1
 
     def __str__(self) -> str:
         return f"{self.kind}: {self.message}"
+
+
+@dataclass
+class ServiceHealth:
+    """A point-in-time snapshot of service liveness and lifetime
+    counters (:meth:`QueryService.health`)."""
+
+    workers: int                    # configured pool size
+    workers_alive: int              # processes currently alive
+    queue_depth: int                # admitted-but-undispatched slots
+    inflight: int                   # queries currently on workers
+    respawns: int                   # worker processes restarted
+    retries: int                    # transient failures re-dispatched
+    resumes: int                    # retries resumed from a checkpoint
+    sheds: int                      # slots refused by admission control
+    timeouts: int                   # WallTimeout expiries
+    crashes: int                    # WorkerCrashed detections
+    completed: int                  # slots finished ok
+    failed: int                     # slots finished with a final error
+    checkpoints_received: int       # checkpoint payloads collected
+    #: seconds since each worker was last heard from (startup herald or
+    #: any result/checkpoint message).
+    heartbeat_age_s: Dict[int, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -134,6 +205,9 @@ class EnginePool:
         #: constructor-default cycle budget, restored before every
         #: query so a per-query ``max_cycles`` never leaks to the next.
         self._default_budget: Dict[str, int] = {}
+        #: keys whose pooled machine has recovery handlers installed
+        #: (reset_for_reuse keeps trap handlers, so once is enough).
+        self._recovered: Set[str] = set()
 
     def machine_for(self, key: str, image: LinkedImage,
                     recovery: bool = False) -> Machine:
@@ -143,36 +217,127 @@ class EnginePool:
             machine = Machine(symbols=image.symbols)
             image.install(machine)
             machine.image = image
-            if recovery:
-                from repro.recovery import install_default_recovery
-                install_default_recovery(machine)
             while len(self._machines) >= self.max_machines:
                 evicted_key, _ = self._machines.popitem(last=False)
                 self._default_budget.pop(evicted_key, None)
+                self._recovered.discard(evicted_key)
             self._machines[key] = machine
             self._default_budget[key] = machine.max_cycles
         else:
             self._machines.move_to_end(key)
             machine.max_cycles = self._default_budget[key]
             machine.reset_for_reuse()
+        if recovery and key not in self._recovered:
+            from repro.recovery import install_default_recovery
+            install_default_recovery(machine)
+            self._recovered.add(key)
         return machine
 
-    def run(self, key: str, image: LinkedImage,
-            opts: dict) -> Tuple[Machine, RunStats, float]:
+    def run(self, key: str, image: LinkedImage, opts: dict,
+            on_checkpoint: Optional[Callable] = None,
+            resume_from: Optional[MachineCheckpoint] = None,
+            ) -> Tuple[Machine, RunStats, float]:
         """Execute one query; returns (machine, stats, host_seconds).
 
-        Raises whatever the run raises — the caller owns failure
-        capture.
+        With ``resume_from``, the query continues from a
+        :class:`MachineCheckpoint` captured by an earlier (possibly
+        dead) incarnation instead of starting over; with
+        ``opts["checkpoint_every"]`` and an ``on_checkpoint`` callback,
+        execution proceeds in cycle slices and each boundary's
+        incremental checkpoint is handed to the callback.  Raises
+        whatever the run raises — the caller owns failure capture.
         """
-        machine = self.machine_for(key, image,
-                                   recovery=opts.get("recovery", False))
-        if opts.get("max_cycles") is not None:
+        inject = opts.get("inject")
+        machine = self.machine_for(
+            key, image,
+            recovery=bool(opts.get("recovery")) or inject is not None)
+        if inject is not None:
+            from repro.recovery import FaultInjector
+            # Rebuilt from the same spec on every attempt: the schedule
+            # is a pure function of its arguments, and restore() below
+            # re-applies the checkpointed mid-run progress on resume.
+            FaultInjector(**inject).attach(machine)
+        if resume_from is not None:
+            # The stub gives resume() its exit continuation (the run
+            # bootstrap normally writes it); the checkpoint then
+            # overwrites registers, store, timing and host state.  The
+            # checkpoint's saved cycle budget is the *slice* target it
+            # was captured under — restore the real budget after.
+            machine._bootstrap_stub(image.entry)
+            resume_from.restore(machine)
+            machine.max_cycles = (opts["max_cycles"]
+                                  if opts.get("max_cycles") is not None
+                                  else self._default_budget[key])
+        elif opts.get("max_cycles") is not None:
             machine.max_cycles = opts["max_cycles"]
+        return self._drive(machine, image, opts, on_checkpoint, resume_from)
+
+    def _drive(self, machine: Machine, image: LinkedImage, opts: dict,
+               on_checkpoint: Optional[Callable],
+               resume_from: Optional[MachineCheckpoint],
+               ) -> Tuple[Machine, RunStats, float]:
+        """Run (or resume) the machine, plain or cycle-sliced."""
+        collect_all = opts.get("all_solutions", False)
+        every = opts.get("checkpoint_every")
+        kill_at = opts.get("chaos_kill_cycles")
         started = time.perf_counter()
-        stats = machine.run(image.entry,
-                            collect_all=opts.get("all_solutions", False),
-                            answer_names=image.query_variable_names)
-        return machine, stats, time.perf_counter() - started
+        if every is None and kill_at is None:
+            # The idle path: exactly the pre-resilience dispatch.
+            if resume_from is None:
+                stats = machine.run(image.entry, collect_all=collect_all,
+                                    answer_names=image.query_variable_names)
+            else:
+                stats = machine.resume()
+            return machine, stats, time.perf_counter() - started
+
+        # A chaos kill planned at a cycle the resumed run is already
+        # past stays disarmed — otherwise a resume could die instantly
+        # at its first boundary, forever.
+        start_cycles = machine.cycles if resume_from is not None else 0
+        armed_kill = (kill_at if kill_at is not None
+                      and start_cycles < kill_at else None)
+
+        def next_stop(cycles: int) -> Optional[int]:
+            targets = []
+            if every is not None:
+                # Cycle-aligned grid: a resumed run stops at the same
+                # absolute boundaries an uninterrupted one does.
+                targets.append(cycles - cycles % every + every)
+            if armed_kill is not None:
+                targets.append(armed_kill)
+            return min(targets) if targets else None
+
+        previous = [resume_from]
+
+        def on_stop(m: Machine) -> None:
+            if armed_kill is not None and m.cycles >= armed_kill:
+                raise ChaosKilled(f"chaos kill at cycle {m.cycles}")
+            if every is not None and on_checkpoint is not None:
+                ckpt = MachineCheckpoint.capture(m, since=previous[0])
+                previous[0] = ckpt
+                on_checkpoint(ckpt)
+
+        track = every is not None and on_checkpoint is not None
+        store = machine.memory.store
+        if track:
+            # Arm dirty-page tracking before the run builds its fused
+            # write closure, so post-checkpoint captures copy only the
+            # chunks the run actually touched since the last one.
+            store.track_dirty = True
+            store.dirty_chunks.clear()
+        try:
+            if resume_from is None:
+                stats = machine.run_sliced(
+                    image.entry, next_stop, on_stop,
+                    collect_all=collect_all,
+                    answer_names=image.query_variable_names)
+            else:
+                stats = machine.resume_sliced(next_stop, on_stop)
+            return machine, stats, time.perf_counter() - started
+        finally:
+            if track:
+                store.track_dirty = False
+                store.dirty_chunks.clear()
 
 
 def _capture_error(err: BaseException,
@@ -184,11 +349,13 @@ def _capture_error(err: BaseException,
         # errors carry neither and report no cycle count.
         stats = getattr(err, "stats", None)
         cycles = stats.cycles if stats is not None else None
+    kind = type(err).__name__
     return QueryError(
-        kind=type(err).__name__,
+        kind=kind,
         message=str(err),
         pc=getattr(err, "pc", None),
         cycles=cycles,
+        transient=is_transient(kind),
     )
 
 
@@ -199,14 +366,27 @@ def _worker_main(worker_id: int, task_queue, result_queue,
 
     Protocol, parent to worker:
       ``("image", key, payload)`` — register a pickled image,
-      ``("run", index, key, opts)`` — execute one query,
+      ``("run", index, attempt, key, opts)`` — execute one query,
+      ``("resume", index, attempt, key, opts, ckpt)`` — continue a
+      query from a pickled checkpoint,
       ``None`` — exit.
-    Worker to parent (shared result queue):
-      ``("ok", worker_id, index, solutions, stats, output, seconds)``
-      ``("err", worker_id, index, QueryError, stats_or_None)``
+    Worker to parent (shared result queue; every message carries the
+    attempt number so replies from a superseded execution are dropped):
+      ``("hb", worker_id, monotonic_ts)`` — startup herald,
+      ``("ckpt", worker_id, index, attempt, payload)``
+      ``("ok", worker_id, index, attempt, solutions, stats, output,
+      seconds)``
+      ``("err", worker_id, index, attempt, QueryError, stats_or_None)``
+
+    A chaos-killed worker (:class:`ChaosKilled` from its plan's cycle
+    threshold) flushes the result queue — checkpoints already shipped
+    must survive; the crash model is death *between* IPC writes, not a
+    torn write — then dies via ``os._exit`` so the parent observes a
+    dead process mid-query.
     """
     images: Dict[str, LinkedImage] = {}
     pool = EnginePool(max_machines=max_machines)
+    result_queue.put(("hb", worker_id, time.monotonic()))
     while True:
         message = task_queue.get()
         if message is None:
@@ -216,26 +396,75 @@ def _worker_main(worker_id: int, task_queue, result_queue,
             _, key, payload = message
             images[key] = pickle.loads(payload)
             continue
-        _, index, key, opts = message
+        if kind == "resume":
+            _, index, attempt, key, opts, ckpt_payload = message
+        else:
+            _, index, attempt, key, opts = message
+            ckpt_payload = None
         machine: Optional[Machine] = None
         try:
             image = images[key]
-            machine, stats, seconds = pool.run(key, image, opts)
-            result_queue.put(("ok", worker_id, index,
+            resume_from = (pickle.loads(ckpt_payload)
+                           if ckpt_payload is not None else None)
+            on_checkpoint = None
+            if opts.get("checkpoint_every") is not None:
+                def on_checkpoint(ckpt, _index=index, _attempt=attempt):
+                    result_queue.put(
+                        ("ckpt", worker_id, _index, _attempt,
+                         pickle.dumps(ckpt,
+                                      protocol=pickle.HIGHEST_PROTOCOL)))
+            machine, stats, seconds = pool.run(
+                key, image, opts,
+                on_checkpoint=on_checkpoint, resume_from=resume_from)
+            delay = opts.get("chaos_delay_s")
+            if delay:
+                time.sleep(delay)
+            result_queue.put(("ok", worker_id, index, attempt,
                               machine.solutions, stats,
                               "".join(machine.output), seconds))
+        except ChaosKilled:
+            result_queue.close()
+            result_queue.join_thread()
+            os._exit(_CHAOS_EXIT)
         except MachineError as err:
-            result_queue.put(("err", worker_id, index,
+            result_queue.put(("err", worker_id, index, attempt,
                               _capture_error(err, machine),
                               getattr(err, "stats", None)))
         except BaseException as err:     # noqa: BLE001 — pool must survive
-            result_queue.put(("err", worker_id, index,
+            result_queue.put(("err", worker_id, index, attempt,
                               _capture_error(err, machine), None))
 
 
 #: a query is a bare string (against the default program) or an
 #: explicit (program_name, query_text) pair.
 Query = Union[str, Tuple[str, str]]
+
+
+@dataclass
+class _BatchState:
+    """Everything one ``run_many`` collection loop tracks."""
+
+    queries: Sequence
+    prepared: List
+    opts: dict
+    timeout_s: Optional[float]
+    results: List
+    policy: Optional[RetryPolicy]
+    chaos: Optional[ChaosPolicy]
+    batch_deadline: Optional[float]
+    runnable: deque
+    idle: deque
+    #: worker_id -> (slot index, attempt, host deadline)
+    inflight: Dict[int, Tuple[int, int, Optional[float]]] = field(
+        default_factory=dict)
+    #: slot index -> executions started so far
+    attempts: Dict[int, int] = field(default_factory=dict)
+    #: slot index -> latest checkpoint payload from the live attempt
+    checkpoints: Dict[int, bytes] = field(default_factory=dict)
+    #: slot index -> payload the next dispatch should resume from
+    resume_payload: Dict[int, bytes] = field(default_factory=dict)
+    #: min-heap of (ready time, slot index) awaiting retry backoff
+    retry_ready: List[Tuple[float, int]] = field(default_factory=list)
 
 
 class QueryService:
@@ -245,6 +474,13 @@ class QueryService:
     ``{name: source}`` mapping.  ``workers=0`` serves in-process on one
     engine pool; ``workers>=1`` starts that many persistent spawn
     workers.  Use as a context manager, or call :meth:`close`.
+
+    Resilience knobs (all opt-in, see the module docstring):
+    ``retry`` (a :class:`~repro.serve.retry.RetryPolicy`),
+    ``checkpoint_every`` (cycles between checkpoints of long queries),
+    ``max_queue_depth`` (admission bound beyond the worker count), and
+    ``chaos`` (a :class:`~repro.serve.chaos.ChaosPolicy`, tests/CI
+    only).  Each has a per-batch override on :meth:`run_many`.
     """
 
     def __init__(self, program: Union[str, Dict[str, str]],
@@ -254,7 +490,11 @@ class QueryService:
                  max_cycles: Optional[int] = None,
                  recovery: bool = False,
                  cache: Optional[ImageCache] = None,
-                 max_machines: int = 64):
+                 max_machines: int = 64,
+                 retry: Optional[RetryPolicy] = None,
+                 checkpoint_every: Optional[int] = None,
+                 max_queue_depth: Optional[int] = None,
+                 chaos: Optional[ChaosPolicy] = None):
         if isinstance(program, str):
             self.programs = {DEFAULT_PROGRAM: program}
         else:
@@ -264,12 +504,20 @@ class QueryService:
         self.default_program = next(iter(self.programs))
         if workers < 0:
             raise ValueError("workers must be >= 0")
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+        if max_queue_depth is not None and max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")
         self.workers = workers
         self.io_mode = io_mode
         self.all_solutions = all_solutions
         self.max_cycles = max_cycles
         self.recovery = recovery
         self.max_machines = max_machines
+        self.retry = retry
+        self.checkpoint_every = checkpoint_every
+        self.max_queue_depth = max_queue_depth
+        self.chaos = chaos
         self.cache = cache if cache is not None else default_image_cache()
 
         self._closed = False
@@ -280,6 +528,13 @@ class QueryService:
         self._task_queues: List = []
         self._processes: List = []
         self._shipped: List[set] = []
+        self._batch: Optional[_BatchState] = None
+        self._last_seen: Dict[int, float] = {}
+        self._counters: Dict[str, int] = {
+            "respawns": 0, "retries": 0, "resumes": 0, "sheds": 0,
+            "timeouts": 0, "crashes": 0, "completed": 0, "failed": 0,
+            "checkpoints_received": 0,
+        }
         if workers:
             self._result_queue = self._context.Queue()
             for worker_id in range(workers):
@@ -308,6 +563,14 @@ class QueryService:
             self._processes[worker_id] = process
             self._shipped[worker_id] = set()
         process.start()
+
+    def _respawn(self, worker_id: int) -> None:
+        process = self._processes[worker_id]
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=_CLOSE_GRACE)
+        self._counters["respawns"] += 1
+        self._spawn_worker(worker_id, fresh=False)
 
     def close(self) -> None:
         """Stop every worker and release the pools (idempotent)."""
@@ -342,6 +605,24 @@ class QueryService:
         except Exception:
             pass
 
+    # -- health ----------------------------------------------------------------
+
+    def health(self) -> ServiceHealth:
+        """Liveness plus lifetime counters (cheap; callable any time,
+        including between batches and after :meth:`close`)."""
+        now = time.monotonic()
+        state = self._batch
+        return ServiceHealth(
+            workers=self.workers,
+            workers_alive=sum(1 for process in self._processes
+                              if process.is_alive()),
+            queue_depth=(len(state.runnable) + len(state.retry_ready)
+                         if state is not None else 0),
+            inflight=len(state.inflight) if state is not None else 0,
+            heartbeat_age_s={worker_id: now - seen
+                             for worker_id, seen in self._last_seen.items()},
+            **self._counters)
+
     # -- the batched API -------------------------------------------------------
 
     def run(self, query: Query, **options) -> ServiceResult:
@@ -351,22 +632,37 @@ class QueryService:
     def run_many(self, queries: Sequence[Query],
                  all_solutions: Optional[bool] = None,
                  max_cycles: Optional[int] = None,
-                 timeout_s: Optional[float] = None) -> List[ServiceResult]:
+                 timeout_s: Optional[float] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 checkpoint_every: Optional[int] = None,
+                 deadline_s: Optional[float] = None,
+                 chaos: Optional[ChaosPolicy] = None,
+                 ) -> List[ServiceResult]:
         """Execute a batch; returns one :class:`ServiceResult` per query
         in input order, failures captured per slot.
 
-        ``timeout_s`` is the per-query host wall budget (workers only:
-        the in-process path cannot preempt a running engine — give it a
-        ``max_cycles`` budget instead, which works everywhere).
+        ``timeout_s`` is the per-query host wall budget; ``deadline_s``
+        bounds the whole batch — slots not finished when it passes fail
+        with ``DeadlineExceeded``.  ``retry``, ``checkpoint_every`` and
+        ``chaos`` override the service-level defaults for this batch.
+        Host-side controls (timeouts, retry, admission, chaos) apply to
+        worker pools only; the in-process path cannot preempt a running
+        engine — give it a ``max_cycles`` budget instead, which works
+        everywhere.
         """
         if self._closed:
             raise RuntimeError("service is closed")
+        policy = retry if retry is not None else self.retry
+        chaos_policy = chaos if chaos is not None else self.chaos
+        every = (checkpoint_every if checkpoint_every is not None
+                 else self.checkpoint_every)
         opts = {
             "all_solutions": self.all_solutions if all_solutions is None
             else all_solutions,
             "max_cycles": self.max_cycles if max_cycles is None
             else max_cycles,
             "recovery": self.recovery,
+            "checkpoint_every": every,
         }
         results: List[Optional[ServiceResult]] = [None] * len(queries)
         prepared: List[Optional[Tuple[str, LinkedImage]]] = []
@@ -395,13 +691,50 @@ class QueryService:
             prepared.append((image_key(source, text, self.io_mode), image))
         runnable = deque(index for index, item in enumerate(prepared)
                          if item is not None)
+        runnable = self._admit(queries, runnable, results)
+        batch_deadline = (time.monotonic() + deadline_s
+                          if deadline_s is not None else None)
 
         if not self.workers:
             self._run_local(queries, prepared, runnable, opts, results)
         else:
-            self._run_pooled(queries, prepared, runnable, opts,
-                             timeout_s, results)
+            self._run_pooled(queries, prepared, runnable, opts, timeout_s,
+                             results, policy, chaos_policy, batch_deadline)
+        missing = [index for index, result in enumerate(results)
+                   if result is None]
+        if missing:
+            raise RuntimeError(
+                f"internal error: batch slots {missing} were never filled")
         return results  # type: ignore[return-value]  # every slot filled
+
+    def _admit(self, queries, runnable: deque, results) -> deque:
+        """Admission control: bound the queue beyond worker capacity.
+
+        Slots past ``workers + max_queue_depth`` are shed immediately
+        with a transient ``Shed`` error rather than queued — the caller
+        sees backpressure now instead of unbounded latency later.
+        """
+        if not self.workers or self.max_queue_depth is None:
+            return runnable
+        capacity = self.workers + self.max_queue_depth
+        if len(runnable) <= capacity:
+            return runnable
+        admitted = deque()
+        for position, index in enumerate(runnable):
+            if position < capacity:
+                admitted.append(index)
+                continue
+            name, text = self._describe(queries, index)
+            self._counters["sheds"] += 1
+            results[index] = ServiceResult(
+                index=index, program=name, query=text,
+                error=QueryError(
+                    "Shed",
+                    f"admission control: batch slot {position} exceeds "
+                    f"capacity {capacity} "
+                    f"({self.workers} workers + {self.max_queue_depth} queued)",
+                    transient=True, attempts=0))
+        return admitted
 
     def _normalize(self, query: Query) -> Tuple[str, str]:
         if isinstance(query, str):
@@ -424,12 +757,14 @@ class QueryService:
             machine: Optional[Machine] = None
             try:
                 machine, stats, seconds = pool.run(key, image, opts)
+                self._counters["completed"] += 1
                 results[index] = ServiceResult(
                     index=index, program=name, query=text,
                     solutions=machine.solutions, stats=stats,
                     output="".join(machine.output),
                     host_seconds=seconds)
             except MachineError as err:
+                self._counters["failed"] += 1
                 results[index] = ServiceResult(
                     index=index, program=name, query=text,
                     stats=getattr(err, "stats", None),
@@ -448,80 +783,210 @@ class QueryService:
         self._task_queues[worker_id].put(("image", key, payload))
         self._shipped[worker_id].add(key)
 
-    def _dispatch(self, index: int, worker_id: int, prepared, opts,
-                  timeout_s, inflight) -> None:
-        key, image = prepared[index]
-        self._ship_image(worker_id, key, image)
-        self._task_queues[worker_id].put(("run", index, key, opts))
-        deadline = (time.monotonic() + timeout_s
-                    if timeout_s is not None else None)
-        inflight[worker_id] = (index, deadline)
+    def _run_pooled(self, queries, prepared, runnable, opts, timeout_s,
+                    results, policy, chaos, batch_deadline) -> None:
+        state = _BatchState(
+            queries=queries, prepared=prepared, opts=opts,
+            timeout_s=timeout_s, results=results, policy=policy,
+            chaos=chaos, batch_deadline=batch_deadline,
+            runnable=runnable, idle=deque(range(self.workers)))
+        self._batch = state
+        try:
+            while state.runnable or state.retry_ready or state.inflight:
+                now = time.monotonic()
+                if batch_deadline is not None and now >= batch_deadline:
+                    self._expire_batch(state)
+                    break
+                while state.retry_ready and state.retry_ready[0][0] <= now:
+                    _, index = heapq.heappop(state.retry_ready)
+                    state.runnable.append(index)
+                while state.runnable and state.idle:
+                    self._dispatch(state.runnable.popleft(),
+                                   state.idle.popleft(), state)
+                try:
+                    message = self._result_queue.get(
+                        timeout=self._wait_interval(state))
+                except queue_module.Empty:
+                    self._reap(state)
+                    continue
+                self._deliver(message, state)
+        finally:
+            self._batch = None
 
-    def _fail_and_respawn(self, worker_id: int, index: int, queries,
-                          results, kind: str, message: str) -> None:
-        process = self._processes[worker_id]
-        if process.is_alive():
-            process.terminate()
-        process.join(timeout=_CLOSE_GRACE)
-        self._spawn_worker(worker_id, fresh=False)
-        name, text = self._describe(queries, index)
-        results[index] = ServiceResult(
-            index=index, program=name, query=text, worker=worker_id,
-            error=QueryError(kind, message))
-
-    def _run_pooled(self, queries, prepared, runnable, opts,
-                    timeout_s, results) -> None:
-        idle = deque(range(self.workers))
-        inflight: Dict[int, Tuple[int, Optional[float]]] = {}
-        while runnable or inflight:
-            while runnable and idle:
-                self._dispatch(runnable.popleft(), idle.popleft(),
-                               prepared, opts, timeout_s, inflight)
-            wait = _POLL_SECONDS
-            now = time.monotonic()
-            for _, deadline in inflight.values():
-                if deadline is not None:
-                    wait = min(wait, max(0.0, deadline - now) + 0.01)
-            try:
-                message = self._result_queue.get(timeout=wait)
-            except queue_module.Empty:
-                self._reap(queries, inflight, idle, results)
-                continue
-            kind, worker_id, index = message[0], message[1], message[2]
-            current = inflight.get(worker_id)
-            if current is None or current[0] != index:
-                continue        # stale reply from a worker killed earlier
-            del inflight[worker_id]
-            idle.append(worker_id)
-            name, text = self._describe(queries, index)
-            if kind == "ok":
-                _, _, _, solutions, stats, output, seconds = message
-                results[index] = ServiceResult(
-                    index=index, program=name, query=text,
-                    solutions=solutions, stats=stats, output=output,
-                    worker=worker_id, host_seconds=seconds)
-            else:
-                _, _, _, error, partial_stats = message
-                results[index] = ServiceResult(
-                    index=index, program=name, query=text,
-                    stats=partial_stats, error=error, worker=worker_id)
-
-    def _reap(self, queries, inflight, idle, results) -> None:
-        """Handle wall-timeout expiries and crashed workers."""
+    def _wait_interval(self, state: _BatchState) -> float:
+        """How long the collector may block before something (a wall
+        deadline, a retry becoming ready, the batch deadline) needs
+        attention."""
+        wait = _POLL_SECONDS
         now = time.monotonic()
-        for worker_id in list(inflight):
-            index, deadline = inflight[worker_id]
+        for _, _, deadline in state.inflight.values():
+            if deadline is not None:
+                wait = min(wait, max(0.0, deadline - now) + 0.01)
+        if state.retry_ready:
+            wait = min(wait, max(0.0, state.retry_ready[0][0] - now) + 0.01)
+        if state.batch_deadline is not None:
+            wait = min(wait,
+                       max(0.0, state.batch_deadline - now) + 0.01)
+        return wait
+
+    def _dispatch(self, index: int, worker_id: int,
+                  state: _BatchState) -> None:
+        """Hand slot ``index`` (attempt N) to ``worker_id``."""
+        if not self._processes[worker_id].is_alive():
+            # An idle worker died (e.g. its chaos exit raced with the
+            # previous result): replace it before dispatching onto it.
+            self._respawn(worker_id)
+        key, image = state.prepared[index]
+        attempt = state.attempts.get(index, 0) + 1
+        state.attempts[index] = attempt
+        opts = state.opts
+        if state.chaos is not None:
+            opts = state.chaos.plan(index, attempt).apply(opts)
+        self._ship_image(worker_id, key, image)
+        payload = state.resume_payload.pop(index, None)
+        if payload is not None:
+            self._task_queues[worker_id].put(
+                ("resume", index, attempt, key, opts, payload))
+        else:
+            self._task_queues[worker_id].put(
+                ("run", index, attempt, key, opts))
+        now = time.monotonic()
+        deadline = (now + state.timeout_s
+                    if state.timeout_s is not None else None)
+        if state.batch_deadline is not None:
+            deadline = (state.batch_deadline if deadline is None
+                        else min(deadline, state.batch_deadline))
+        state.inflight[worker_id] = (index, attempt, deadline)
+
+    def _deliver(self, message, state: _BatchState) -> None:
+        """Apply one worker message to the batch state."""
+        kind, worker_id = message[0], message[1]
+        self._last_seen[worker_id] = time.monotonic()
+        if kind == "hb":
+            return
+        index, attempt = message[2], message[3]
+        current = state.inflight.get(worker_id)
+        if current is None or current[0] != index or current[1] != attempt:
+            return      # stale reply from a killed or superseded attempt
+        if kind == "ckpt":
+            state.checkpoints[index] = message[4]
+            self._counters["checkpoints_received"] += 1
+            return
+        del state.inflight[worker_id]
+        state.idle.append(worker_id)
+        state.checkpoints.pop(index, None)
+        name, text = self._describe(state.queries, index)
+        if kind == "ok":
+            _, _, _, _, solutions, stats, output, seconds = message
+            self._counters["completed"] += 1
+            state.results[index] = ServiceResult(
+                index=index, program=name, query=text,
+                solutions=solutions, stats=stats, output=output,
+                worker=worker_id, host_seconds=seconds)
+        else:
+            _, _, _, _, error, partial_stats = message
+            # Worker-reported errors are deterministic machine/compile
+            # failures — permanent, never retried.
+            error.attempts = attempt
+            self._counters["failed"] += 1
+            state.results[index] = ServiceResult(
+                index=index, program=name, query=text,
+                stats=partial_stats, error=error, worker=worker_id)
+
+    def _drain(self, state: _BatchState) -> None:
+        """Deliver everything already sitting in the result queue."""
+        while True:
+            try:
+                message = self._result_queue.get_nowait()
+            except queue_module.Empty:
+                return
+            self._deliver(message, state)
+
+    def _reap(self, state: _BatchState) -> None:
+        """Handle wall-timeout expiries and crashed workers.
+
+        Delivered-but-uncollected results are drained *first*: a result
+        that arrived within the same poll interval as its deadline
+        expiry wins over the expiry, so a query is never reported
+        ``WallTimeout`` when its answer was already in the queue.
+        """
+        self._drain(state)
+        now = time.monotonic()
+        for worker_id in list(state.inflight):
+            index, attempt, deadline = state.inflight[worker_id]
             if deadline is not None and now >= deadline:
-                del inflight[worker_id]
-                self._fail_and_respawn(
-                    worker_id, index, queries, results, "WallTimeout",
-                    "query exceeded its host wall budget; "
-                    "worker restarted")
-                idle.append(worker_id)
+                if (state.batch_deadline is not None
+                        and now >= state.batch_deadline):
+                    self._lose_worker(
+                        worker_id, "DeadlineExceeded",
+                        "batch deadline passed while the query was "
+                        "in flight; worker restarted", state)
+                else:
+                    self._lose_worker(
+                        worker_id, "WallTimeout",
+                        "query exceeded its host wall budget; "
+                        "worker restarted", state)
             elif not self._processes[worker_id].is_alive():
-                del inflight[worker_id]
-                self._fail_and_respawn(
-                    worker_id, index, queries, results, "WorkerCrashed",
+                self._lose_worker(
+                    worker_id, "WorkerCrashed",
                     "worker process died while serving the query; "
-                    "worker restarted")
-                idle.append(worker_id)
+                    "worker restarted", state)
+
+    def _lose_worker(self, worker_id: int, kind: str, message: str,
+                     state: _BatchState) -> None:
+        """A worker (and the attempt on it) is gone: respawn, then
+        either schedule a retry — resuming from the attempt's last
+        checkpoint when one arrived — or finalise the slot's failure."""
+        index, attempt, _ = state.inflight.pop(worker_id)
+        self._respawn(worker_id)
+        state.idle.append(worker_id)
+        if kind == "WallTimeout":
+            self._counters["timeouts"] += 1
+        elif kind == "WorkerCrashed":
+            self._counters["crashes"] += 1
+        now = time.monotonic()
+        policy = state.policy
+        within_deadline = (state.batch_deadline is None
+                           or now < state.batch_deadline)
+        if (policy is not None and within_deadline
+                and policy.retryable(kind, attempt)):
+            self._counters["retries"] += 1
+            payload = state.checkpoints.get(index)
+            if payload is not None:
+                state.resume_payload[index] = payload
+                self._counters["resumes"] += 1
+            heapq.heappush(state.retry_ready,
+                           (now + policy.delay_s(index, attempt), index))
+            return
+        name, text = self._describe(state.queries, index)
+        self._counters["failed"] += 1
+        state.results[index] = ServiceResult(
+            index=index, program=name, query=text, worker=worker_id,
+            error=QueryError(kind, message, transient=is_transient(kind),
+                             attempts=attempt))
+
+    def _expire_batch(self, state: _BatchState) -> None:
+        """The batch deadline passed: drain what already finished (it
+        still wins), then fail everything unfinished."""
+        self._drain(state)
+        for worker_id in list(state.inflight):
+            self._lose_worker(
+                worker_id, "DeadlineExceeded",
+                "batch deadline passed while the query was in flight; "
+                "worker restarted", state)
+        pending = list(state.runnable) + [index for _, index
+                                          in state.retry_ready]
+        state.runnable.clear()
+        state.retry_ready.clear()
+        for index in pending:
+            if state.results[index] is not None:
+                continue
+            name, text = self._describe(state.queries, index)
+            self._counters["failed"] += 1
+            state.results[index] = ServiceResult(
+                index=index, program=name, query=text,
+                error=QueryError(
+                    "DeadlineExceeded",
+                    "batch deadline passed before the query was "
+                    "dispatched", transient=True,
+                    attempts=state.attempts.get(index, 0)))

@@ -84,6 +84,32 @@ class TestCompileOnce:
         assert image_key("e1(a).", "e1(X)") not in cache
         assert image_key("e3(a).", "e3(X)") in cache
 
+    def test_concurrent_misses_compile_exactly_once(self):
+        """get() is atomic under its lock: racing threads asking for
+        the same uncached key must produce one compile and one shared
+        image, not a compile per thread."""
+        import threading
+
+        cache = ImageCache()
+        program = "race_probe(1). race_probe(2)."
+        barrier = threading.Barrier(8)
+        images = []
+
+        def worker():
+            barrier.wait()
+            images.append(cache.get(program, "race_probe(X)"))
+
+        links_before = Linker.links_performed
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert Linker.links_performed == links_before + 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 7
+        assert all(image is images[0] for image in images)
+
     def test_cached_image_is_reused_across_machines(self):
         cache = ImageCache()
         image = cache.get(APPEND, "append([1, 2], [3], X)")

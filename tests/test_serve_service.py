@@ -151,5 +151,47 @@ def test_wall_timeout_kills_and_respawns_worker():
         ], timeout_s=1.5)
     assert not results[0].ok
     assert results[0].error.kind == "WallTimeout"
+    assert results[0].error.transient      # retryable host condition
     # The respawned worker served the rest of the batch.
     assert results[1].ok
+
+
+def test_delivered_result_beats_expired_deadline():
+    """Regression for the timeout-expiry race: a result that reached
+    the parent's queue within the same poll interval as its wall
+    deadline must win — the reaper drains deliveries before judging
+    deadlines, so the query is never reported WallTimeout with its
+    answer already in hand."""
+    import time
+    from collections import deque
+
+    from repro.serve.cache import image_key
+    from repro.serve.service import _BatchState
+
+    with QueryService(PROGRAMS, workers=1) as service:
+        assert service.run(("facts", "colour(C)")).ok    # warm everything
+        queries = [("facts", "colour(C)")]
+        results = [None]
+        image = service.cache.get(FACTS, "colour(C)")
+        state = _BatchState(
+            queries=queries,
+            prepared=[(image_key(FACTS, "colour(C)"), image)],
+            opts={"all_solutions": False, "max_cycles": None,
+                  "recovery": False, "checkpoint_every": None},
+            timeout_s=30.0, results=results, policy=None, chaos=None,
+            batch_deadline=None, runnable=deque(), idle=deque())
+        service._dispatch(0, 0, state)
+        # Wait for the worker's answer to be *delivered* (sitting in
+        # the result queue, not yet collected).
+        patience = time.monotonic() + 15.0
+        while service._result_queue.empty():
+            assert time.monotonic() < patience, "worker never answered"
+            time.sleep(0.02)
+        # Now expire the wall deadline out from under it and reap: the
+        # seed service killed the worker and reported WallTimeout here.
+        index, attempt, _ = state.inflight[0]
+        state.inflight[0] = (index, attempt, time.monotonic() - 1.0)
+        service._reap(state)
+        assert results[0] is not None
+        assert results[0].ok, results[0].error
+        assert service.health().timeouts == 0
