@@ -1,0 +1,182 @@
+"""Open-loop soak over the query service (docs/SERVING.md).
+
+Offers a fixed-rate Poisson arrival stream of PLM-corpus queries to a
+worker pool — optionally while a seeded
+:class:`~repro.serve.chaos.ChaosPolicy` kills workers mid-query — and
+measures how the service holds up: sustained qps, p50/p99 latency
+(completion minus scheduled arrival, queueing included), shed rate,
+and the resilience counters.  The gate is **exactly-once accounting**
+(every generated arrival ends in exactly one of ok / shed / typed
+error) plus solution correctness for every ``ok`` against a
+fault-free in-process reference.
+
+Run under pytest (``pytest benchmarks/bench_soak.py``) or standalone
+as the CI soak smoke::
+
+    PYTHONPATH=src python benchmarks/bench_soak.py --quick --output BENCH_soak.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: short PLM suite programs: quick enough that a CI-sized soak turns
+#: hundreds of queries over in seconds, long enough for chaos kills
+#: and deadline checks to land mid-run.
+CORPUS = ["con1", "con6", "nrev1", "qs4", "times10", "divide10",
+          "log10", "ops8"]
+
+
+def run_soak_bench(seed: int = 2026, rate_qps: float = 60.0,
+                   total_queries: int = 300, workers: int = 2,
+                   timeout_s: float = 10.0,
+                   chaos_kills: bool = True,
+                   max_wave: int = 64,
+                   max_queue_depth: int = 16) -> dict:
+    from repro.bench.programs import SUITE
+    from repro.serve import (ChaosPolicy, QueryService, RetryPolicy,
+                             SupervisorPolicy)
+    from repro.serve.loadgen import LoadSpec, OpenLoopGenerator, run_soak
+
+    programs = {name: SUITE[name].source_pure for name in CORPUS}
+    mix = [(name, SUITE[name].query_pure) for name in CORPUS]
+    spec = LoadSpec(rate_qps=rate_qps, total_queries=total_queries,
+                    seed=seed)
+    arrivals = OpenLoopGenerator(spec, mix).arrivals()
+
+    chaos = None
+    retry = None
+    if chaos_kills:
+        chaos = ChaosPolicy(seed=seed, kill_rate=0.03,
+                            kill_window=(400, 6_000),
+                            max_kills_per_slot=1)
+        retry = RetryPolicy(max_attempts=3, base_delay_s=0.01, seed=seed)
+
+    # The wave cap deliberately exceeds admission capacity
+    # (workers + max_queue_depth): under sustained overload the
+    # backlog wave overflows the queue and admission control sheds
+    # by (priority, age) — the soak *measures* shedding, it does not
+    # prevent it.
+    with QueryService(programs, workers=workers,
+                      max_queue_depth=max_queue_depth,
+                      supervisor=SupervisorPolicy(
+                          max_respawns=max(8, total_queries // 10),
+                          backoff_base_s=0.01, backoff_max_s=0.25),
+                      ) as service:
+        report = run_soak(service, arrivals, offered_qps=rate_qps,
+                          timeout_s=timeout_s, retry=retry, chaos=chaos,
+                          max_wave=max_wave, check_solutions=True)
+
+    health = report.health
+    return {
+        "seed": seed,
+        "workers": workers,
+        "rate_qps": rate_qps,
+        "chaos_kills": chaos_kills,
+        "offered": report.offered,
+        "waves": report.waves,
+        "elapsed_s": round(report.elapsed_s, 3),
+        "ok": report.ok,
+        "shed": report.shed,
+        "errors": report.errors,
+        "accounting_ok": report.accounting_ok,
+        "solutions_ok": report.solutions_ok,
+        "mismatches": report.mismatches,
+        "sustained_qps": round(report.sustained_qps, 1),
+        "shed_rate": round(report.shed_rate, 4),
+        "p50_latency_s": round(report.p50_latency_s, 4),
+        "p99_latency_s": round(report.p99_latency_s, 4),
+        "max_latency_s": round(report.max_latency_s, 4),
+        "crashes": health.crashes,
+        "retries": health.retries,
+        "respawns": health.respawns,
+        "timeouts": health.timeouts,
+        "deadline_abandons": health.deadline_abandons,
+        "quarantines": health.quarantines,
+        "workers_retired": health.workers_retired,
+        "degraded": health.degraded,
+    }
+
+
+def _report(row: dict) -> None:
+    print(f"\n  open-loop soak: seed {row['seed']}, {row['workers']} "
+          f"workers, {row['rate_qps']} qps offered"
+          + (", chaos kills on" if row["chaos_kills"] else ""))
+    print(f"  {row['offered']} arrivals in {row['waves']} waves over "
+          f"{row['elapsed_s']:.2f}s: {row['ok']} ok, {row['shed']} shed, "
+          f"errors {row['errors'] or '{}'}")
+    print(f"  accounting: "
+          f"{'exactly-once OK' if row['accounting_ok'] else 'VIOLATED'}; "
+          f"solutions: {'OK' if row['solutions_ok'] else 'MISMATCHED'}")
+    for mismatch in row["mismatches"]:
+        print(f"    mismatch: {mismatch}")
+    print(f"  sustained {row['sustained_qps']:.1f} qps, shed rate "
+          f"{row['shed_rate']:.1%}, latency p50 {row['p50_latency_s']*1e3:.0f}ms "
+          f"p99 {row['p99_latency_s']*1e3:.0f}ms "
+          f"max {row['max_latency_s']*1e3:.0f}ms")
+    print(f"  crashes {row['crashes']}, retries {row['retries']}, "
+          f"respawns {row['respawns']}, abandons {row['deadline_abandons']}, "
+          f"quarantines {row['quarantines']}, "
+          f"retired {row['workers_retired']}, degraded {row['degraded']}")
+
+
+def _gate(row: dict) -> list:
+    """The CI gate: the failures (empty list: pass)."""
+    failures = []
+    if not row["accounting_ok"]:
+        failures.append("exactly-once accounting violated")
+    if not row["solutions_ok"]:
+        failures.append("ok solutions diverged from the reference")
+    if row["sustained_qps"] <= 0:
+        failures.append("sustained qps floor: no query completed")
+    return failures
+
+
+# -- pytest harness ----------------------------------------------------------
+
+def test_soak_smoke():
+    row = run_soak_bench(rate_qps=80.0, total_queries=150)
+    _report(row)
+    assert not _gate(row), _gate(row)
+
+
+# -- standalone CI smoke -----------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument("--rate", type=float, default=60.0)
+    parser.add_argument("--queries", type=int, default=300)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--timeout", type=float, default=10.0)
+    parser.add_argument("--no-chaos", action="store_true",
+                        help="soak without chaos worker kills")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized soak (~20s)")
+    parser.add_argument("--output", help="write the report as JSON here")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.rate, args.queries = 80.0, 150
+    row = run_soak_bench(seed=args.seed, rate_qps=args.rate,
+                         total_queries=args.queries, workers=args.workers,
+                         timeout_s=args.timeout,
+                         chaos_kills=not args.no_chaos)
+    _report(row)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(row, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"  wrote {args.output}")
+    failures = _gate(row)
+    for failure in failures:
+        print(f"  GATE FAILED: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    import os
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__),
+                                    os.pardir, "src"))
+    sys.exit(main())

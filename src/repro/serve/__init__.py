@@ -3,7 +3,8 @@
 See docs/SERVING.md for the architecture, the spawn-safety rules and
 the benchmark methodology, and docs/RESILIENCE.md for the failure
 semantics: checkpoint/resume across worker death, retry with
-deterministic backoff, admission control and the seeded chaos harness.
+deterministic backoff, admission control, poison-query quarantine,
+crash-loop supervision and the seeded chaos harness.
 """
 
 from repro.serve.cache import (
@@ -11,6 +12,13 @@ from repro.serve.cache import (
 )
 from repro.serve.chaos import (
     ChaosPlan, ChaosPolicy, verify_chaos_invariant,
+)
+from repro.serve.loadgen import (
+    Arrival, LoadSpec, OpenLoopGenerator, SoakReport, run_soak,
+)
+from repro.serve.overload import (
+    POISONED, DeadlineAbandoned, QuarantineBreaker, QuarantinePolicy,
+    SupervisorPolicy, WorkerSupervisor,
 )
 from repro.serve.retry import (
     RETRYABLE_KINDS, TRANSIENT_KINDS, RetryPolicy, is_transient,
@@ -22,20 +30,31 @@ from repro.serve.service import (
 
 __all__ = [
     "DEFAULT_PROGRAM",
+    "POISONED",
+    "Arrival",
     "ChaosPlan",
     "ChaosPolicy",
+    "DeadlineAbandoned",
     "EnginePool",
     "ImageCache",
     "ImageCacheStats",
+    "LoadSpec",
+    "OpenLoopGenerator",
+    "QuarantineBreaker",
+    "QuarantinePolicy",
     "QueryError",
     "QueryService",
     "RETRYABLE_KINDS",
     "RetryPolicy",
     "ServiceHealth",
     "ServiceResult",
+    "SoakReport",
+    "SupervisorPolicy",
     "TRANSIENT_KINDS",
+    "WorkerSupervisor",
     "default_image_cache",
     "image_key",
     "is_transient",
+    "run_soak",
     "verify_chaos_invariant",
 ]

@@ -22,10 +22,11 @@ any number of machines; they share the image's append-only
 from __future__ import annotations
 
 import hashlib
+import pickle
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.compiler.linker import LinkedImage, Linker
 from repro.core.symbols import SymbolTable
@@ -33,15 +34,22 @@ from repro.core.symbols import SymbolTable
 
 @dataclass
 class ImageCacheStats:
-    """Hit/miss/eviction counters for one cache."""
+    """Hit/miss/eviction counters for one cache.
+
+    ``bytes_cached`` is a gauge, not a counter: the serialized size of
+    everything currently resident (the same pickled form the query
+    service ships to workers, so it tracks real IPC/memory weight).
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    bytes_cached: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
         self.hits = self.misses = self.evictions = 0
+        self.bytes_cached = 0
 
 
 def image_key(program_text: str, query_text: str,
@@ -65,17 +73,28 @@ class ImageCache:
     """LRU cache of linked images keyed by :func:`image_key`.
 
     Thread-safe: the query service's result collector and user code
-    may compile concurrently.  ``max_entries`` bounds the cache; each
-    image holds its code list and symbol table, tens of kilobytes for
-    suite-sized programs.
+    may compile concurrently.  ``max_entries`` bounds the cache by
+    count; ``max_bytes`` (optional) additionally bounds it by the
+    serialized size of the resident images — each image holds its code
+    list and symbol table, tens of kilobytes for suite-sized programs,
+    and the byte budget is what keeps a long-lived service hosting many
+    programs from growing without bound.  Eviction is LRU under either
+    pressure, except that the entry just inserted is never evicted: a
+    compile that was just paid for is always served at least once, even
+    if the image alone exceeds the whole byte budget.
     """
 
-    def __init__(self, max_entries: int = 128):
+    def __init__(self, max_entries: int = 128,
+                 max_bytes: Optional[int] = None):
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.stats = ImageCacheStats()
         self._images: "OrderedDict[str, LinkedImage]" = OrderedDict()
+        self._sizes: Dict[str, int] = {}
         self._lock = threading.Lock()
 
     def get(self, program_text: str, query_text: str,
@@ -101,10 +120,30 @@ class ImageCache:
                 program_text, query_text)
             self.stats.misses += 1
             self._images[key] = image
-            while len(self._images) > self.max_entries:
-                self._images.popitem(last=False)
-                self.stats.evictions += 1
+            if self.max_bytes is not None:
+                # Size by pickle: it is the exact form the query
+                # service ships over IPC, and measuring it here means
+                # the budget tracks real shipping weight, not a guess.
+                self._sizes[key] = len(
+                    pickle.dumps(image, pickle.HIGHEST_PROTOCOL))
+                self.stats.bytes_cached += self._sizes[key]
+            self._evict_over_budget()
         return image
+
+    def _evict_over_budget(self) -> None:
+        """Drop LRU entries until count and byte budgets hold (lock
+        held by the caller).  The newest entry is never evicted."""
+        while len(self._images) > self.max_entries:
+            self._evict_oldest()
+        if self.max_bytes is not None:
+            while (self.stats.bytes_cached > self.max_bytes
+                   and len(self._images) > 1):
+                self._evict_oldest()
+
+    def _evict_oldest(self) -> None:
+        key, _ = self._images.popitem(last=False)
+        self.stats.bytes_cached -= self._sizes.pop(key, 0)
+        self.stats.evictions += 1
 
     def lookup(self, key: str) -> Optional[LinkedImage]:
         """The cached image under a precomputed ``key``, or ``None``."""
@@ -118,6 +157,7 @@ class ImageCache:
         """Drop every cached image and zero the counters."""
         with self._lock:
             self._images.clear()
+            self._sizes.clear()
             self.stats.reset()
 
     def __len__(self) -> int:

@@ -89,6 +89,11 @@ class ChaosPolicy:
     kill_rate: float = 0.0
     kill_window: Tuple[int, int] = (1_000, 120_000)
     max_kills_per_slot: int = 1
+    #: restrict kills to these batch slots (None: every slot draws).
+    #: The poison-query tests use a single-slot tuple to model one
+    #: query that murders every worker it touches while its batchmates
+    #: run clean.
+    kill_slots: Optional[Tuple[int, ...]] = None
     delay_rate: float = 0.0
     max_delay_s: float = 0.05
     inject_rate: float = 0.0
@@ -113,7 +118,8 @@ class ChaosPolicy:
         attempt_rng = random.Random(self.seed * 4_000_037
                                     + index * 104_729 + attempt)
         kill_after = None
-        if attempt <= self.max_kills_per_slot \
+        killable = (self.kill_slots is None or index in self.kill_slots)
+        if killable and attempt <= self.max_kills_per_slot \
                 and attempt_rng.random() < self.kill_rate:
             low, high = self.kill_window
             kill_after = attempt_rng.randrange(low, high)

@@ -1,0 +1,254 @@
+"""Open-loop load generation for the query service.
+
+Closed-loop benchmarks (issue another query when the last returns)
+cannot see overload: the offered rate politely collapses to whatever
+the service sustains.  An **open-loop** generator fixes the arrival
+process in advance — queries arrive on a wall-clock schedule whether
+or not the service has kept up — so queueing, shedding and deadline
+pressure actually happen, and the soak measures how the service
+*degrades*, not just how fast it is when comfortable.
+
+The generator is deterministic: :class:`OpenLoopGenerator` expands a
+:class:`LoadSpec` into a fixed list of :class:`Arrival`\\ s (Poisson
+inter-arrival gaps, query mix and priority classes all drawn from one
+seeded generator), so two soaks with the same spec offer the identical
+workload.  Only the *service's* timing varies between runs.
+
+:func:`run_soak` drives the arrivals through a
+:class:`~repro.serve.service.QueryService` in waves: whenever the
+service is free, every arrival whose time has come is submitted as one
+``run_many`` batch (with its priority class, so admission control
+sheds lowest-priority-youngest under pressure).  Per-arrival latency
+is completion minus *scheduled arrival* — it includes the time spent
+waiting for a wave slot, which is exactly the queueing delay an
+open-loop client would observe.
+
+The soak's acceptance gate is **exactly-once accounting**: every
+generated arrival must end in exactly one disposition — ``ok``,
+``shed``, or a typed error — with none lost and none duplicated, no
+matter how much chaos (worker kills, quarantines, degraded mode) the
+run absorbed.  With ``check_solutions`` the ``ok`` dispositions are
+additionally compared against a fault-free in-process reference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.service import QueryService
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """The deterministic recipe for one open-loop workload.
+
+    ``rate_qps`` fixes the mean arrival rate; ``total_queries`` fixes
+    the workload size (so the nominal duration is ``total / rate``).
+    ``priority_classes``/``priority_weights`` describe the importance
+    mix (smaller class is more important; weights need not sum to 1).
+    """
+
+    rate_qps: float = 50.0
+    total_queries: int = 200
+    seed: int = 0
+    priority_classes: Tuple[int, ...] = (0, 1, 2)
+    priority_weights: Tuple[float, ...] = (0.2, 0.3, 0.5)
+
+    def __post_init__(self):
+        if self.rate_qps <= 0:
+            raise ValueError("rate_qps must be > 0")
+        if self.total_queries < 1:
+            raise ValueError("total_queries must be >= 1")
+        if len(self.priority_classes) != len(self.priority_weights):
+            raise ValueError("priority classes and weights must pair up")
+        if not self.priority_classes:
+            raise ValueError("need at least one priority class")
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled query: arrives ``offset_s`` after the soak starts."""
+
+    id: int
+    offset_s: float
+    program: str
+    query: str
+    priority: int
+
+
+class OpenLoopGenerator:
+    """Expands a :class:`LoadSpec` over a query mix into a fixed
+    arrival schedule.
+
+    ``mix`` is the (program, query) pairs to draw from — typically a
+    PLM-corpus slice.  Everything (inter-arrival gaps, query choice,
+    priority class) comes from one ``random.Random(spec.seed)``, so
+    the schedule is a pure function of ``(spec, mix)``.
+    """
+
+    def __init__(self, spec: LoadSpec,
+                 mix: Sequence[Tuple[str, str]]):
+        if not mix:
+            raise ValueError("query mix must not be empty")
+        self.spec = spec
+        self.mix = list(mix)
+
+    def arrivals(self) -> List[Arrival]:
+        """The full deterministic arrival schedule, in time order."""
+        spec = self.spec
+        rng = random.Random(spec.seed)
+        schedule: List[Arrival] = []
+        clock = 0.0
+        for arrival_id in range(spec.total_queries):
+            # Poisson process: exponential gaps at the offered rate.
+            clock += rng.expovariate(spec.rate_qps)
+            program, query = self.mix[rng.randrange(len(self.mix))]
+            priority = rng.choices(spec.priority_classes,
+                                   weights=spec.priority_weights)[0]
+            schedule.append(Arrival(id=arrival_id, offset_s=clock,
+                                    program=program, query=query,
+                                    priority=priority))
+        return schedule
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, int(-(-q * len(ordered) // 100)))   # ceil, >= 1
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class SoakReport:
+    """What one open-loop soak observed."""
+
+    offered: int                    # arrivals generated
+    offered_qps: float              # spec rate
+    elapsed_s: float                # wall time, first submit to last return
+    waves: int                      # run_many batches issued
+    ok: int = 0
+    shed: int = 0
+    errors: Dict[str, int] = field(default_factory=dict)  # kind -> count
+    accounted: int = 0              # arrivals with exactly one disposition
+    accounting_ok: bool = False     # exactly-once invariant held
+    solutions_ok: bool = True       # ok results matched the reference
+    mismatches: List[str] = field(default_factory=list)
+    sustained_qps: float = 0.0      # ok completions per elapsed second
+    shed_rate: float = 0.0
+    p50_latency_s: float = 0.0      # completion - scheduled arrival
+    p99_latency_s: float = 0.0
+    max_latency_s: float = 0.0
+    health: Optional[object] = None   # final ServiceHealth snapshot
+
+
+def run_soak(service: QueryService,
+             arrivals: Sequence[Arrival],
+             offered_qps: float,
+             timeout_s: Optional[float] = None,
+             retry=None,
+             chaos=None,
+             max_wave: Optional[int] = None,
+             check_solutions: bool = False) -> SoakReport:
+    """Drive ``arrivals`` through ``service`` open-loop; account for
+    every one of them.
+
+    Waves: the driver sleeps until the next scheduled arrival, then
+    submits every arrival already due as one ``run_many`` batch
+    (bounded by ``max_wave`` — the overflow stays queued and ages,
+    which is what makes priority-aware shedding observable).  The
+    arrival clock never pauses for the service: a slow wave means the
+    next wave is bigger, exactly as a real open-loop client population
+    behaves.
+    """
+    reference: Dict[Tuple[str, str], List[dict]] = {}
+    if check_solutions:
+        distinct = sorted({(a.program, a.query) for a in arrivals})
+        with QueryService(service.programs, workers=0,
+                          all_solutions=service.all_solutions) \
+                as reference_service:
+            for program, query in distinct:
+                result = reference_service.run((program, query))
+                if result.ok:
+                    reference[(program, query)] = result.solutions
+
+    report = SoakReport(offered=len(arrivals), offered_qps=offered_qps,
+                        elapsed_s=0.0, waves=0)
+    dispositions: Dict[int, str] = {}
+    latencies: List[float] = []
+    queue: List[Arrival] = sorted(arrivals, key=lambda a: a.offset_s)
+    cursor = 0                       # first not-yet-submitted arrival
+    start = time.monotonic()
+
+    backlog: List[Arrival] = []
+    while cursor < len(queue) or backlog:
+        now = time.monotonic() - start
+        while cursor < len(queue) and queue[cursor].offset_s <= now:
+            backlog.append(queue[cursor])
+            cursor += 1
+        if not backlog:
+            time.sleep(min(0.05, max(0.0, queue[cursor].offset_s - now)))
+            continue
+        wave = backlog if max_wave is None else backlog[:max_wave]
+        backlog = [] if max_wave is None else backlog[len(wave):]
+        # Re-seed the chaos per wave: a policy's plans are a pure
+        # function of (seed, slot, attempt), and successive small
+        # waves reuse the same low slot indices — without this every
+        # wave would replay one identical plan set instead of
+        # sampling the configured kill/delay rates across the soak.
+        wave_chaos = (dataclasses.replace(
+            chaos, seed=chaos.seed + 7_919 * (report.waves + 1))
+            if chaos is not None else None)
+        results = service.run_many(
+            [(a.program, a.query) for a in wave],
+            timeout_s=timeout_s, retry=retry, chaos=wave_chaos,
+            priorities=[a.priority for a in wave])
+        done = time.monotonic() - start
+        report.waves += 1
+        for arrival, result in zip(wave, results):
+            if arrival.id in dispositions:
+                report.mismatches.append(
+                    f"arrival {arrival.id} disposed twice")
+                continue
+            if result.ok:
+                dispositions[arrival.id] = "ok"
+                report.ok += 1
+                latencies.append(done - arrival.offset_s)
+                if check_solutions:
+                    expected = reference.get(
+                        (arrival.program, arrival.query))
+                    if (expected is not None
+                            and result.solutions != expected):
+                        report.solutions_ok = False
+                        report.mismatches.append(
+                            f"arrival {arrival.id} "
+                            f"({arrival.program!r}): solutions "
+                            f"differ from fault-free reference")
+            elif result.error.kind == "Shed":
+                dispositions[arrival.id] = "shed"
+                report.shed += 1
+            else:
+                kind = result.error.kind
+                dispositions[arrival.id] = kind
+                report.errors[kind] = report.errors.get(kind, 0) + 1
+
+    report.elapsed_s = time.monotonic() - start
+    report.accounted = len(dispositions)
+    report.accounting_ok = (
+        report.accounted == len(arrivals)
+        and set(dispositions) == {a.id for a in arrivals}
+        and not any("disposed twice" in m for m in report.mismatches))
+    if report.elapsed_s > 0:
+        report.sustained_qps = report.ok / report.elapsed_s
+    if report.offered:
+        report.shed_rate = report.shed / report.offered
+    report.p50_latency_s = percentile(latencies, 50)
+    report.p99_latency_s = percentile(latencies, 99)
+    report.max_latency_s = max(latencies) if latencies else 0.0
+    report.health = service.health()
+    return report

@@ -1,0 +1,236 @@
+"""Overload robustness for the query service.
+
+Three mechanisms that keep one misbehaving query, one crash-looping
+worker, or one expired deadline from degrading everyone else's service
+(docs/RESILIENCE.md §7):
+
+**Deadline abandonment** (:class:`DeadlineAbandoned`) — per-query host
+deadlines travel *into* the worker as task options; the engine pool
+folds a cycle-grid stop check into :meth:`~repro.core.machine.Machine.
+run_sliced` and raises :class:`DeadlineAbandoned` at the first
+boundary past the deadline.  The worker reports a typed transient
+error and stays alive — an expired query costs the cycles to the next
+check, not a worker kill, a respawn and a cold engine pool.
+
+**Poison-query quarantine** (:class:`QuarantinePolicy` +
+:class:`QuarantineBreaker`) — a per-query-key circuit breaker.  A
+query whose attempts repeatedly kill workers or exhaust host budgets
+(the *strike kinds*) accumulates strikes; at ``threshold`` strikes the
+breaker opens and the service fails the query — and every later
+submission of the same key — immediately with
+``QueryError(kind="poisoned")`` instead of feeding it more workers.
+With ``cooldown_s`` the breaker half-opens after a quiet period and
+lets one attempt probe whether the poison was environmental.
+
+**Crash-loop supervision** (:class:`SupervisorPolicy` +
+:class:`WorkerSupervisor`) — a restart budget per worker slot with
+deterministic exponential backoff between respawns.  A worker that
+keeps dying is restarted at growing intervals and finally *retired*;
+when every slot is retired the pool has collapsed and the service
+enters **degraded** mode, routing the remaining work through the
+parent's in-process fallback pool (correct, just not parallel) and
+reporting ``degraded=True`` in :class:`~repro.serve.service.
+ServiceHealth`.
+
+Everything here is a pure function of its inputs plus explicitly
+passed clock values, so the chaos tests can drive each breaker and
+budget deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+#: the :class:`~repro.serve.service.QueryError` kind a quarantined
+#: query fails with.  Lowercase by design: it names a serving-layer
+#: *verdict* about the query, not an exception class or budget event.
+POISONED = "poisoned"
+
+#: failure kinds that count as strikes by default: the attempt killed
+#: its worker or exhausted its host wall budget.
+DEFAULT_STRIKE_KINDS: FrozenSet[str] = frozenset(
+    {"WorkerCrashed", "WallTimeout"})
+
+
+class DeadlineAbandoned(Exception):
+    """A query's host deadline expired mid-run and the engine abandoned
+    it cooperatively at a cycle-grid stop check.
+
+    ``kind`` is the :class:`~repro.serve.service.QueryError` kind the
+    deadline was dispatched under (``"WallTimeout"`` for a per-query
+    budget, ``"DeadlineExceeded"`` when the batch deadline was the
+    tighter bound); ``cycles`` is the simulated cycle count at the
+    abandonment boundary.
+    """
+
+    def __init__(self, kind: str, cycles: int):
+        super().__init__(
+            f"deadline expired mid-run; abandoned cooperatively "
+            f"at cycle {cycles}")
+        self.kind = kind
+        self.cycles = cycles
+
+
+# -- poison-query quarantine -------------------------------------------------
+
+@dataclass(frozen=True)
+class QuarantinePolicy:
+    """When repeated failures of one query key open its breaker.
+
+    ``threshold`` strikes of a ``strike_kinds`` failure open the
+    breaker.  ``cooldown_s=None`` keeps it open for the service's
+    lifetime (reset by hand via :meth:`QuarantineBreaker.reset`); a
+    finite cooldown half-opens the breaker after that many quiet
+    seconds — the strike count restarts, so one clean probe attempt
+    closes it and ``threshold`` fresh failures re-open it.
+    """
+
+    threshold: int = 3
+    cooldown_s: Optional[float] = None
+    strike_kinds: FrozenSet[str] = field(default=DEFAULT_STRIKE_KINDS)
+
+    def __post_init__(self):
+        if self.threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if self.cooldown_s is not None and self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+
+
+class QuarantineBreaker:
+    """The per-query-key circuit breaker a :class:`QuarantinePolicy`
+    configures.
+
+    Keys are image keys (:func:`repro.serve.cache.image_key`), so the
+    breaker survives across batches and across retries: state is per
+    *query*, not per submission.  All methods take an optional ``now``
+    (monotonic seconds) so tests can drive the cooldown clock.
+    """
+
+    def __init__(self, policy: QuarantinePolicy):
+        self.policy = policy
+        self._strikes: Dict[str, int] = {}
+        self._opened_at: Dict[str, float] = {}
+
+    def record(self, key: str, kind: str,
+               now: Optional[float] = None) -> bool:
+        """Record a failure of ``kind`` against ``key``; returns
+        ``True`` when this strike just opened the breaker."""
+        if kind not in self.policy.strike_kinds:
+            return False
+        strikes = self._strikes.get(key, 0) + 1
+        self._strikes[key] = strikes
+        if strikes >= self.policy.threshold and key not in self._opened_at:
+            self._opened_at[key] = (time.monotonic()
+                                    if now is None else now)
+            return True
+        return False
+
+    def quarantined(self, key: str, now: Optional[float] = None) -> bool:
+        """Whether ``key`` is currently quarantined (the cooldown, if
+        configured, half-opens an expired breaker as a side effect)."""
+        opened_at = self._opened_at.get(key)
+        if opened_at is None:
+            return False
+        cooldown = self.policy.cooldown_s
+        if cooldown is not None:
+            current = time.monotonic() if now is None else now
+            if current - opened_at >= cooldown:
+                # Half-open: forget the strikes and let one attempt
+                # probe; fresh failures walk back to the threshold.
+                del self._opened_at[key]
+                self._strikes.pop(key, None)
+                return False
+        return True
+
+    def strikes(self, key: str) -> int:
+        """Strikes recorded against ``key`` since it last (half-)opened."""
+        return self._strikes.get(key, 0)
+
+    def reset(self, key: Optional[str] = None) -> None:
+        """Forget one key's state (or everything with no key)."""
+        if key is None:
+            self._strikes.clear()
+            self._opened_at.clear()
+        else:
+            self._strikes.pop(key, None)
+            self._opened_at.pop(key, None)
+
+    @property
+    def open_keys(self) -> FrozenSet[str]:
+        """The keys whose breaker is currently open."""
+        return frozenset(self._opened_at)
+
+
+# -- crash-loop supervision --------------------------------------------------
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Restart budget and backoff for crash-looping workers.
+
+    ``max_respawns`` bounds restarts per worker slot over the service's
+    lifetime; the ``n``-th respawn of a slot waits
+    ``backoff_base_s * backoff_multiplier**(n-1)`` capped at
+    ``backoff_max_s`` — deterministic (no jitter: worker slots are few
+    and their backoffs need to be predictable in tests).  A worker past
+    its budget is *retired*; when every slot is retired the pool has
+    collapsed and the service degrades to the local fallback path.
+    """
+
+    max_respawns: int = 5
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 2.0
+
+    def __post_init__(self):
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoffs must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+
+    def backoff_s(self, respawn_number: int) -> float:
+        """Delay before respawn number ``respawn_number`` (1-based) of
+        one worker slot.  Monotone non-decreasing, capped."""
+        return min(self.backoff_max_s,
+                   self.backoff_base_s
+                   * self.backoff_multiplier ** (respawn_number - 1))
+
+
+class WorkerSupervisor:
+    """Tracks each worker slot's restart budget for the service."""
+
+    def __init__(self, policy: SupervisorPolicy):
+        self.policy = policy
+        self._respawns: Dict[int, int] = {}
+        self._retired: set = set()
+
+    def on_death(self, worker_id: int) -> Optional[float]:
+        """A worker died (or was killed): charge its budget.
+
+        Returns the backoff delay (seconds) to wait before respawning
+        it, or ``None`` when the budget is exhausted and the slot is
+        now retired.
+        """
+        if worker_id in self._retired:
+            return None
+        count = self._respawns.get(worker_id, 0) + 1
+        if count > self.policy.max_respawns:
+            self._retired.add(worker_id)
+            return None
+        self._respawns[worker_id] = count
+        return self.policy.backoff_s(count)
+
+    def retired(self, worker_id: int) -> bool:
+        """Whether ``worker_id`` has exhausted its restart budget."""
+        return worker_id in self._retired
+
+    @property
+    def retired_count(self) -> int:
+        return len(self._retired)
+
+    def respawns(self, worker_id: int) -> int:
+        """Respawns charged against ``worker_id`` so far."""
+        return self._respawns.get(worker_id, 0)

@@ -52,11 +52,15 @@ class RetryPolicy:
 
     ``max_attempts`` counts executions, not retries: 3 means the
     original try plus up to two more.  The delay before attempt
-    ``n+1`` is ``base_delay_s * multiplier**(n-1)`` capped at
-    ``max_delay_s``, stretched by up to ``jitter`` (a fraction) using
-    a generator seeded from ``(seed, slot index, attempt)`` — fully
-    deterministic, yet de-synchronised across slots so a killed
-    worker's retries don't stampede.
+    ``n+1`` is ``base_delay_s * multiplier**(n-1)`` stretched by up to
+    ``jitter`` (a fraction) using a generator seeded from
+    ``(seed, slot index, attempt)``, the whole thing capped at
+    ``max_delay_s`` — fully deterministic, yet de-synchronised across
+    slots so a killed worker's retries don't stampede.  The cap is
+    applied *after* the jitter, so for any ``multiplier >=
+    1 + jitter`` (the default comfortably qualifies) the delay is
+    monotone non-decreasing in the attempt number and never exceeds
+    ``max_delay_s``.
     """
 
     max_attempts: int = 3
@@ -81,9 +85,11 @@ class RetryPolicy:
     def delay_s(self, index: int, attempt: int) -> float:
         """Seconds to wait before re-dispatching slot ``index`` after
         its ``attempt``-th execution failed.  Pure function of
-        ``(policy, index, attempt)``."""
-        backoff = min(self.max_delay_s,
-                      self.base_delay_s * self.multiplier ** (attempt - 1))
+        ``(policy, index, attempt)``; monotone non-decreasing in
+        ``attempt`` (for ``multiplier >= 1 + jitter``) and capped at
+        ``max_delay_s``."""
+        backoff = self.base_delay_s * self.multiplier ** (attempt - 1)
         rng = random.Random(self.seed * 1_000_003
                             + index * 8_191 + attempt)
-        return backoff * (1.0 + self.jitter * rng.random())
+        return min(self.max_delay_s,
+                   backoff * (1.0 + self.jitter * rng.random()))

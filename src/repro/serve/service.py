@@ -59,19 +59,43 @@ Resilience (docs/RESILIENCE.md)
 Timeouts
     Two budgets per query: ``max_cycles`` bounds *simulated* time (the
     machine's own watchdog raises ``CycleLimitExceeded``, captured like
-    any error), and ``timeout_s`` bounds *host* time — on expiry the
-    worker is terminated and respawned, the query reports a
-    ``WallTimeout`` failure, and the batch continues.  A result that
-    reaches the parent in the same poll interval as its deadline wins
-    over the expiry: the collector drains delivered messages before
-    judging deadlines.
+    any error), and ``timeout_s`` bounds *host* time.  With deadline
+    propagation (the default), the deadline ships to the worker and the
+    engine abandons the query cooperatively at the next cycle-grid
+    check — the worker survives and reports a ``WallTimeout`` failure;
+    the parent's terminate-and-respawn only fires after a grace window,
+    as the backstop for a worker wedged outside the interpreter.  A
+    result that reaches the parent in the same poll interval as its
+    deadline wins over the expiry: the collector drains delivered
+    messages before judging deadlines.
+
+Overload hardening (docs/RESILIENCE.md §7, :mod:`repro.serve.overload`)
+    Per-query deadlines **propagate to workers**: the engine pool folds
+    a cycle-grid stop check into ``run_sliced`` and abandons an expired
+    query cooperatively (:class:`~repro.serve.overload.
+    DeadlineAbandoned`), so a timeout costs the cycles to the next
+    check instead of a worker kill and respawn; the parent's reaper and
+    ``_expire_batch`` give in-flight workers a grace window to
+    self-report before falling back to the kill.  A
+    :class:`~repro.serve.overload.QuarantinePolicy` arms a per-query-key
+    circuit breaker: a query whose attempts repeatedly kill workers or
+    exhaust budgets is failed with ``QueryError(kind="poisoned")`` —
+    immediately, on this and every later submission — instead of being
+    retried forever.  A :class:`~repro.serve.overload.SupervisorPolicy`
+    bounds worker respawns with exponential backoff; when every worker
+    slot has exhausted its budget the pool has collapsed and the
+    service turns **degraded**, draining the remaining work through the
+    parent's in-process fallback pool (still correct, no longer
+    parallel).  Admission control sheds by **priority class and age**
+    (``run_many(..., priorities=...)``) rather than FIFO position.
 
 ``workers=0`` degrades to in-process serving over the same engine-pool
 code path (no processes, no pickling); the parallel-service benchmark
 uses it as the warm sequential baseline.  The in-process path cannot
-preempt, kill or respawn anything, so ``timeout_s``, retry policies,
-admission control and chaos are worker-pool features; ``max_cycles``
-and ``checkpoint_every`` (cycle-sliced execution) work everywhere.
+preempt, kill or respawn anything, so retry policies, admission
+control and chaos are worker-pool features; ``max_cycles``,
+``checkpoint_every`` (cycle-sliced execution) and — via cooperative
+deadline propagation — ``timeout_s``/``deadline_s`` work everywhere.
 """
 
 from __future__ import annotations
@@ -94,6 +118,10 @@ from repro.core.traps import MachineCheckpoint
 from repro.errors import KCMError, MachineError
 from repro.serve.cache import ImageCache, default_image_cache, image_key
 from repro.serve.chaos import ChaosKilled, ChaosPolicy
+from repro.serve.overload import (
+    POISONED, DeadlineAbandoned, QuarantineBreaker, QuarantinePolicy,
+    SupervisorPolicy, WorkerSupervisor,
+)
 from repro.serve.retry import RetryPolicy, is_transient
 
 #: default name a bare-string program is registered under.
@@ -111,6 +139,14 @@ _CLOSE_GRACE = 5.0
 #: SIGKILL'd or faulted worker in the process table; the parent treats
 #: both identically as WorkerCrashed).
 _CHAOS_EXIT = 13
+
+#: default cycle cadence of the in-engine deadline stop check (only
+#: armed when the query actually carries a host deadline).
+_DEADLINE_CHECK_CYCLES = 25_000
+
+#: grace the parent gives a deadline-carrying worker to abandon the
+#: query and self-report before falling back to terminate-and-respawn.
+_DEADLINE_GRACE = 1.5
 
 
 @dataclass
@@ -145,6 +181,9 @@ class ServiceHealth:
     workers_alive: int              # processes currently alive
     queue_depth: int                # admitted-but-undispatched slots
     inflight: int                   # queries currently on workers
+    degraded: bool                  # worker pool collapsed; serving
+                                    # through the local fallback path
+    quarantined_keys: int           # query keys with an open breaker
     respawns: int                   # worker processes restarted
     retries: int                    # transient failures re-dispatched
     resumes: int                    # retries resumed from a checkpoint
@@ -154,6 +193,13 @@ class ServiceHealth:
     completed: int                  # slots finished ok
     failed: int                     # slots finished with a final error
     checkpoints_received: int       # checkpoint payloads collected
+    quarantines: int                # slots failed poisoned by the breaker
+    deadline_abandons: int          # queries abandoned cooperatively
+                                    # at an in-engine deadline check
+    local_fallbacks: int            # slots served by the degraded-mode
+                                    # in-process fallback pool
+    workers_retired: int            # worker slots past their restart
+                                    # budget (never respawned again)
     #: seconds since each worker was last heard from (startup herald or
     #: any result/checkpoint message).
     heartbeat_age_s: Dict[int, float] = field(default_factory=dict)
@@ -280,8 +326,15 @@ class EnginePool:
         collect_all = opts.get("all_solutions", False)
         every = opts.get("checkpoint_every")
         kill_at = opts.get("chaos_kill_cycles")
+        deadline = opts.get("deadline_monotonic")
+        check = opts.get("deadline_check_cycles")
+        # Deadline propagation: only armed when the query carries a
+        # host deadline *and* a check cadence — otherwise the dispatch
+        # path is byte-identical to the deadline-free one.
+        armed_deadline = (deadline if deadline is not None
+                          and check is not None else None)
         started = time.perf_counter()
-        if every is None and kill_at is None:
+        if every is None and kill_at is None and armed_deadline is None:
             # The idle path: exactly the pre-resilience dispatch.
             if resume_from is None:
                 stats = machine.run(image.entry, collect_all=collect_all,
@@ -305,6 +358,8 @@ class EnginePool:
                 targets.append(cycles - cycles % every + every)
             if armed_kill is not None:
                 targets.append(armed_kill)
+            if armed_deadline is not None:
+                targets.append(cycles - cycles % check + check)
             return min(targets) if targets else None
 
         previous = [resume_from]
@@ -312,6 +367,10 @@ class EnginePool:
         def on_stop(m: Machine) -> None:
             if armed_kill is not None and m.cycles >= armed_kill:
                 raise ChaosKilled(f"chaos kill at cycle {m.cycles}")
+            if (armed_deadline is not None
+                    and time.monotonic() >= armed_deadline):
+                raise DeadlineAbandoned(
+                    opts.get("deadline_kind", "WallTimeout"), m.cycles)
             if every is not None and on_checkpoint is not None:
                 ckpt = MachineCheckpoint.capture(m, since=previous[0])
                 previous[0] = ckpt
@@ -426,6 +485,14 @@ def _worker_main(worker_id: int, task_queue, result_queue,
             result_queue.close()
             result_queue.join_thread()
             os._exit(_CHAOS_EXIT)
+        except DeadlineAbandoned as err:
+            # Cooperative deadline expiry: the worker survives, the
+            # slot reports a typed transient failure, and the parent's
+            # reaper never has to kill anything.
+            result_queue.put(("err", worker_id, index, attempt,
+                              QueryError(kind=err.kind, message=str(err),
+                                         cycles=err.cycles,
+                                         transient=True), None))
         except MachineError as err:
             result_queue.put(("err", worker_id, index, attempt,
                               _capture_error(err, machine),
@@ -454,9 +521,13 @@ class _BatchState:
     batch_deadline: Optional[float]
     runnable: deque
     idle: deque
-    #: worker_id -> (slot index, attempt, host deadline)
-    inflight: Dict[int, Tuple[int, int, Optional[float]]] = field(
+    #: worker_id -> (slot index, attempt, host deadline, propagated —
+    #: whether the worker itself is watching that deadline)
+    inflight: Dict[int, Tuple[int, int, Optional[float], bool]] = field(
         default_factory=dict)
+    #: min-heap of (ready time, worker_id) awaiting a supervised
+    #: backoff-delayed respawn
+    respawn_ready: List[Tuple[float, int]] = field(default_factory=list)
     #: slot index -> executions started so far
     attempts: Dict[int, int] = field(default_factory=dict)
     #: slot index -> latest checkpoint payload from the live attempt
@@ -481,6 +552,14 @@ class QueryService:
     ``max_queue_depth`` (admission bound beyond the worker count), and
     ``chaos`` (a :class:`~repro.serve.chaos.ChaosPolicy`, tests/CI
     only).  Each has a per-batch override on :meth:`run_many`.
+
+    Overload knobs (:mod:`repro.serve.overload`): ``quarantine`` arms
+    the poison-query circuit breaker, ``supervisor`` bounds worker
+    respawns (exhausting every budget degrades the service to the
+    in-process fallback path), and ``deadline_check_cycles`` sets the
+    cadence of the in-engine deadline stop check (``None`` disables
+    propagation and restores parent-side kills as the only deadline
+    enforcement; it only engages for queries that carry a deadline).
     """
 
     def __init__(self, program: Union[str, Dict[str, str]],
@@ -494,7 +573,11 @@ class QueryService:
                  retry: Optional[RetryPolicy] = None,
                  checkpoint_every: Optional[int] = None,
                  max_queue_depth: Optional[int] = None,
-                 chaos: Optional[ChaosPolicy] = None):
+                 chaos: Optional[ChaosPolicy] = None,
+                 quarantine: Optional[QuarantinePolicy] = None,
+                 supervisor: Optional[SupervisorPolicy] = None,
+                 deadline_check_cycles: Optional[int]
+                 = _DEADLINE_CHECK_CYCLES):
         if isinstance(program, str):
             self.programs = {DEFAULT_PROGRAM: program}
         else:
@@ -508,6 +591,8 @@ class QueryService:
             raise ValueError("checkpoint_every must be positive")
         if max_queue_depth is not None and max_queue_depth < 0:
             raise ValueError("max_queue_depth must be >= 0")
+        if deadline_check_cycles is not None and deadline_check_cycles <= 0:
+            raise ValueError("deadline_check_cycles must be positive")
         self.workers = workers
         self.io_mode = io_mode
         self.all_solutions = all_solutions
@@ -518,10 +603,18 @@ class QueryService:
         self.checkpoint_every = checkpoint_every
         self.max_queue_depth = max_queue_depth
         self.chaos = chaos
+        self.quarantine = quarantine
+        self.deadline_check_cycles = deadline_check_cycles
         self.cache = cache if cache is not None else default_image_cache()
 
         self._closed = False
         self._local_pool: Optional[EnginePool] = None
+        self._fallback_pool: Optional[EnginePool] = None
+        self._degraded = False
+        self._breaker = (QuarantineBreaker(quarantine)
+                         if quarantine is not None else None)
+        self._supervisor = (WorkerSupervisor(supervisor)
+                            if supervisor is not None else None)
         self._payloads: Dict[str, bytes] = {}
         self._context = mp.get_context("spawn")
         self._result_queue = None
@@ -533,7 +626,9 @@ class QueryService:
         self._counters: Dict[str, int] = {
             "respawns": 0, "retries": 0, "resumes": 0, "sheds": 0,
             "timeouts": 0, "crashes": 0, "completed": 0, "failed": 0,
-            "checkpoints_received": 0,
+            "checkpoints_received": 0, "quarantines": 0,
+            "deadline_abandons": 0, "local_fallbacks": 0,
+            "workers_retired": 0,
         }
         if workers:
             self._result_queue = self._context.Queue()
@@ -564,34 +659,109 @@ class QueryService:
             self._shipped[worker_id] = set()
         process.start()
 
-    def _respawn(self, worker_id: int) -> None:
+    def _reclaim(self, worker_id: int) -> None:
+        """Terminate and reap worker ``worker_id``'s current process."""
         process = self._processes[worker_id]
         if process.is_alive():
             process.terminate()
         process.join(timeout=_CLOSE_GRACE)
+
+    def _respawn(self, worker_id: int) -> None:
+        """Replace a worker's process immediately (no backoff)."""
+        self._reclaim(worker_id)
         self._counters["respawns"] += 1
         self._spawn_worker(worker_id, fresh=False)
 
+    def _ensure_alive(self, worker_id: int) -> bool:
+        """Make ``worker_id`` dispatchable, honouring the supervisor's
+        restart budget; ``False`` means the slot is retired for good.
+
+        Used at dispatch time, where an idle worker may have died since
+        it was last used (e.g. a chaos exit racing its final result);
+        the supervised backoff is a between-attempts courtesy inside
+        the collection loop, so a dispatch-time respawn is immediate —
+        but still charged against the budget.
+        """
+        if self._supervisor is not None and self._supervisor.retired(
+                worker_id):
+            return False
+        if self._processes[worker_id].is_alive():
+            return True
+        if self._supervisor is not None:
+            if self._supervisor.on_death(worker_id) is None:
+                self._retire_worker(worker_id)
+                return False
+        self._respawn(worker_id)
+        return True
+
+    def _retire_worker(self, worker_id: int) -> None:
+        """The worker's restart budget is exhausted: reap the corpse
+        and take the slot out of rotation permanently."""
+        self._reclaim(worker_id)
+        self._counters["workers_retired"] += 1
+
+    def _recycle_worker(self, worker_id: int, state: _BatchState) -> None:
+        """A worker serving a query is gone (crashed, or killed for an
+        overrun): respawn it — immediately without a supervisor, after
+        a deterministic backoff under one — or retire it when its
+        restart budget is spent."""
+        if self._supervisor is None:
+            self._respawn(worker_id)
+            state.idle.append(worker_id)
+            return
+        delay = self._supervisor.on_death(worker_id)
+        if delay is None:
+            self._retire_worker(worker_id)
+            return
+        self._reclaim(worker_id)
+        heapq.heappush(state.respawn_ready,
+                       (time.monotonic() + delay, worker_id))
+
+    def _flush_respawns(self, state: _BatchState) -> None:
+        """Spawn every backoff-pending worker at batch end (the backoff
+        is a within-batch pacing device; the next batch deserves its
+        full pool)."""
+        while state.respawn_ready:
+            _, worker_id = heapq.heappop(state.respawn_ready)
+            self._counters["respawns"] += 1
+            self._spawn_worker(worker_id, fresh=False)
+
     def close(self) -> None:
-        """Stop every worker and release the pools (idempotent)."""
-        if self._closed:
+        """Stop every worker and release the pools.
+
+        Idempotent, and safe to call from ``__del__`` during
+        interpreter shutdown: queue and process teardown failures
+        (half-torn-down multiprocessing state, closed pipes) are
+        swallowed — close never raises.
+        """
+        if getattr(self, "_closed", True):
+            # Also covers __del__ after a failed __init__ (validation
+            # raised before _closed was assigned).
             return
         self._closed = True
         for task_queue in self._task_queues:
             try:
                 task_queue.put_nowait(None)
-            except (ValueError, queue_module.Full, OSError):
+            except Exception:
                 pass
-        deadline = time.monotonic() + _CLOSE_GRACE
-        for process in self._processes:
-            process.join(timeout=max(0.0, deadline - time.monotonic()))
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=_CLOSE_GRACE)
+        try:
+            deadline = time.monotonic() + _CLOSE_GRACE
+            for process in self._processes:
+                try:
+                    process.join(
+                        timeout=max(0.0, deadline - time.monotonic()))
+                    if process.is_alive():
+                        process.terminate()
+                        process.join(timeout=_CLOSE_GRACE)
+                except Exception:
+                    pass
+        except Exception:
+            pass
         self._processes = []
         self._task_queues = []
         self._shipped = []
         self._local_pool = None
+        self._fallback_pool = None
 
     def __enter__(self) -> "QueryService":
         return self
@@ -619,6 +789,9 @@ class QueryService:
             queue_depth=(len(state.runnable) + len(state.retry_ready)
                          if state is not None else 0),
             inflight=len(state.inflight) if state is not None else 0,
+            degraded=self._degraded,
+            quarantined_keys=(len(self._breaker.open_keys)
+                              if self._breaker is not None else 0),
             heartbeat_age_s={worker_id: now - seen
                              for worker_id, seen in self._last_seen.items()},
             **self._counters)
@@ -637,21 +810,31 @@ class QueryService:
                  checkpoint_every: Optional[int] = None,
                  deadline_s: Optional[float] = None,
                  chaos: Optional[ChaosPolicy] = None,
+                 priorities: Optional[Sequence[int]] = None,
                  ) -> List[ServiceResult]:
         """Execute a batch; returns one :class:`ServiceResult` per query
         in input order, failures captured per slot.
 
         ``timeout_s`` is the per-query host wall budget; ``deadline_s``
         bounds the whole batch — slots not finished when it passes fail
-        with ``DeadlineExceeded``.  ``retry``, ``checkpoint_every`` and
-        ``chaos`` override the service-level defaults for this batch.
-        Host-side controls (timeouts, retry, admission, chaos) apply to
-        worker pools only; the in-process path cannot preempt a running
-        engine — give it a ``max_cycles`` budget instead, which works
-        everywhere.
+        with ``DeadlineExceeded``.  Both propagate into the engines as
+        cooperative stop checks (``deadline_check_cycles``), so they
+        work on worker pools *and* the in-process path; with
+        propagation disabled, parent-side kills enforce them on worker
+        pools only.  ``retry``, ``checkpoint_every`` and ``chaos``
+        override the service-level defaults for this batch.
+
+        ``priorities`` assigns each slot a priority class (smaller is
+        more important, default 0).  Admission control sheds by
+        (priority, age): when the batch exceeds capacity, the
+        lowest-priority youngest slots go first — never FIFO tail
+        position — and dispatch order favours important slots, while
+        results stay in input order.
         """
         if self._closed:
             raise RuntimeError("service is closed")
+        if priorities is not None and len(priorities) != len(queries):
+            raise ValueError("priorities must match queries 1:1")
         policy = retry if retry is not None else self.retry
         chaos_policy = chaos if chaos is not None else self.chaos
         every = (checkpoint_every if checkpoint_every is not None
@@ -691,12 +874,15 @@ class QueryService:
             prepared.append((image_key(source, text, self.io_mode), image))
         runnable = deque(index for index, item in enumerate(prepared)
                          if item is not None)
-        runnable = self._admit(queries, runnable, results)
+        runnable = self._reject_quarantined(queries, prepared, runnable,
+                                            results)
+        runnable = self._admit(queries, runnable, results, priorities)
         batch_deadline = (time.monotonic() + deadline_s
                           if deadline_s is not None else None)
 
         if not self.workers:
-            self._run_local(queries, prepared, runnable, opts, results)
+            self._run_local(queries, prepared, runnable, opts, results,
+                            timeout_s, batch_deadline)
         else:
             self._run_pooled(queries, prepared, runnable, opts, timeout_s,
                              results, policy, chaos_policy, batch_deadline)
@@ -707,13 +893,51 @@ class QueryService:
                 f"internal error: batch slots {missing} were never filled")
         return results  # type: ignore[return-value]  # every slot filled
 
-    def _admit(self, queries, runnable: deque, results) -> deque:
-        """Admission control: bound the queue beyond worker capacity.
+    def _reject_quarantined(self, queries, prepared, runnable: deque,
+                            results) -> deque:
+        """Fail every slot whose query key has an open poison breaker
+        — before admission, so a quarantined query cannot consume
+        capacity another query could have used."""
+        if self._breaker is None:
+            return runnable
+        admitted = deque()
+        for index in runnable:
+            key = prepared[index][0]
+            if not self._breaker.quarantined(key):
+                admitted.append(index)
+                continue
+            name, text = self._describe(queries, index)
+            self._counters["quarantines"] += 1
+            self._counters["failed"] += 1
+            results[index] = ServiceResult(
+                index=index, program=name, query=text,
+                error=QueryError(
+                    POISONED,
+                    f"query key quarantined after "
+                    f"{self.quarantine.threshold} worker-killing or "
+                    f"budget-exhausting attempts; rejected without "
+                    f"dispatch", attempts=0))
+        return admitted
 
-        Slots past ``workers + max_queue_depth`` are shed immediately
-        with a transient ``Shed`` error rather than queued — the caller
-        sees backpressure now instead of unbounded latency later.
+    def _admit(self, queries, runnable: deque, results,
+               priorities: Optional[Sequence[int]] = None) -> deque:
+        """Admission control: bound the queue beyond worker capacity,
+        shedding by priority class and age.
+
+        Runnable slots are ordered by ``(priority, input position)`` —
+        input position is submission age within the batch, oldest
+        first.  With ``max_queue_depth`` set, the first
+        ``workers + max_queue_depth`` of that order are admitted and
+        the rest shed immediately with a transient ``Shed`` error: the
+        cheapest-to-lose work (lowest priority, youngest) goes first,
+        and the caller sees backpressure now instead of unbounded
+        latency later.  The priority order also becomes dispatch
+        order, so important slots reach workers first; results stay in
+        input order regardless.
         """
+        if priorities is not None:
+            runnable = deque(sorted(runnable,
+                                    key=lambda i: (priorities[i], i)))
         if not self.workers or self.max_queue_depth is None:
             return runnable
         capacity = self.workers + self.max_queue_depth
@@ -725,13 +949,15 @@ class QueryService:
                 admitted.append(index)
                 continue
             name, text = self._describe(queries, index)
+            priority = priorities[index] if priorities is not None else 0
             self._counters["sheds"] += 1
             results[index] = ServiceResult(
                 index=index, program=name, query=text,
                 error=QueryError(
                     "Shed",
-                    f"admission control: batch slot {position} exceeds "
-                    f"capacity {capacity} "
+                    f"admission control: priority-{priority} slot ranked "
+                    f"{position} by (priority, age) exceeds capacity "
+                    f"{capacity} "
                     f"({self.workers} workers + {self.max_queue_depth} queued)",
                     transient=True, attempts=0))
         return admitted
@@ -748,21 +974,69 @@ class QueryService:
 
     # -- in-process serving ----------------------------------------------------
 
-    def _run_local(self, queries, prepared, runnable, opts, results) -> None:
+    def _deadline_opts(self, opts: dict, timeout_s: Optional[float],
+                      batch_deadline: Optional[float],
+                      ) -> Tuple[dict, Optional[float], bool]:
+        """Task options with the effective deadline folded in.
+
+        Returns ``(opts, deadline, propagated)``: the tighter of the
+        per-query and batch deadlines, tagged with the error kind it
+        should expire as, plus whether the engine itself will watch it
+        (deadline propagation armed).
+        """
+        now = time.monotonic()
+        deadline = now + timeout_s if timeout_s is not None else None
+        kind = "WallTimeout"
+        if batch_deadline is not None and (deadline is None
+                                           or batch_deadline <= deadline):
+            deadline = batch_deadline
+            kind = "DeadlineExceeded"
+        check = self.deadline_check_cycles
+        if deadline is None or check is None:
+            return opts, deadline, False
+        merged = dict(opts)
+        merged["deadline_monotonic"] = deadline
+        merged["deadline_check_cycles"] = check
+        merged["deadline_kind"] = kind
+        return merged, deadline, True
+
+    def _run_local(self, queries, prepared, runnable, opts, results,
+                   timeout_s=None, batch_deadline=None) -> None:
         pool = self._local_pool
         assert pool is not None
         for index in runnable:
             key, image = prepared[index]
             name, text = self._describe(queries, index)
+            if (batch_deadline is not None
+                    and time.monotonic() >= batch_deadline):
+                self._counters["failed"] += 1
+                results[index] = ServiceResult(
+                    index=index, program=name, query=text,
+                    error=QueryError(
+                        "DeadlineExceeded",
+                        "batch deadline passed before the query was "
+                        "dispatched", transient=True, attempts=0))
+                continue
+            run_opts, _, _ = self._deadline_opts(opts, timeout_s,
+                                                 batch_deadline)
             machine: Optional[Machine] = None
             try:
-                machine, stats, seconds = pool.run(key, image, opts)
+                machine, stats, seconds = pool.run(key, image, run_opts)
                 self._counters["completed"] += 1
                 results[index] = ServiceResult(
                     index=index, program=name, query=text,
                     solutions=machine.solutions, stats=stats,
                     output="".join(machine.output),
                     host_seconds=seconds)
+            except DeadlineAbandoned as err:
+                self._counters["failed"] += 1
+                self._counters["deadline_abandons"] += 1
+                if err.kind == "WallTimeout":
+                    self._counters["timeouts"] += 1
+                results[index] = ServiceResult(
+                    index=index, program=name, query=text,
+                    error=QueryError(kind=err.kind, message=str(err),
+                                     cycles=err.cycles, transient=True))
             except MachineError as err:
                 self._counters["failed"] += 1
                 results[index] = ServiceResult(
@@ -785,11 +1059,15 @@ class QueryService:
 
     def _run_pooled(self, queries, prepared, runnable, opts, timeout_s,
                     results, policy, chaos, batch_deadline) -> None:
+        supervisor = self._supervisor
         state = _BatchState(
             queries=queries, prepared=prepared, opts=opts,
             timeout_s=timeout_s, results=results, policy=policy,
             chaos=chaos, batch_deadline=batch_deadline,
-            runnable=runnable, idle=deque(range(self.workers)))
+            runnable=runnable,
+            idle=deque(worker_id for worker_id in range(self.workers)
+                       if supervisor is None
+                       or not supervisor.retired(worker_id)))
         self._batch = state
         try:
             while state.runnable or state.retry_ready or state.inflight:
@@ -797,12 +1075,29 @@ class QueryService:
                 if batch_deadline is not None and now >= batch_deadline:
                     self._expire_batch(state)
                     break
+                while (state.respawn_ready
+                       and state.respawn_ready[0][0] <= now):
+                    _, worker_id = heapq.heappop(state.respawn_ready)
+                    self._counters["respawns"] += 1
+                    self._spawn_worker(worker_id, fresh=False)
+                    state.idle.append(worker_id)
                 while state.retry_ready and state.retry_ready[0][0] <= now:
                     _, index = heapq.heappop(state.retry_ready)
                     state.runnable.append(index)
                 while state.runnable and state.idle:
-                    self._dispatch(state.runnable.popleft(),
-                                   state.idle.popleft(), state)
+                    worker_id = state.idle.popleft()
+                    if not self._ensure_alive(worker_id):
+                        continue    # retired at dispatch; try the next
+                    self._dispatch(state.runnable.popleft(), worker_id,
+                                   state)
+                if (not state.inflight and not state.idle
+                        and not state.respawn_ready
+                        and (state.runnable or state.retry_ready)):
+                    # Every worker slot is retired and nothing is in
+                    # flight: the pool has collapsed.  Serve the rest
+                    # of the batch through the local fallback path.
+                    self._serve_degraded(state)
+                    break
                 try:
                     message = self._result_queue.get(
                         timeout=self._wait_interval(state))
@@ -811,19 +1106,25 @@ class QueryService:
                     continue
                 self._deliver(message, state)
         finally:
+            self._flush_respawns(state)
             self._batch = None
 
     def _wait_interval(self, state: _BatchState) -> float:
         """How long the collector may block before something (a wall
-        deadline, a retry becoming ready, the batch deadline) needs
-        attention."""
+        deadline, a retry or respawn becoming ready, the batch
+        deadline) needs attention."""
         wait = _POLL_SECONDS
         now = time.monotonic()
-        for _, _, deadline in state.inflight.values():
+        for _, _, deadline, propagated in state.inflight.values():
             if deadline is not None:
+                if propagated:
+                    deadline += _DEADLINE_GRACE
                 wait = min(wait, max(0.0, deadline - now) + 0.01)
         if state.retry_ready:
             wait = min(wait, max(0.0, state.retry_ready[0][0] - now) + 0.01)
+        if state.respawn_ready:
+            wait = min(wait,
+                       max(0.0, state.respawn_ready[0][0] - now) + 0.01)
         if state.batch_deadline is not None:
             wait = min(wait,
                        max(0.0, state.batch_deadline - now) + 0.01)
@@ -832,16 +1133,14 @@ class QueryService:
     def _dispatch(self, index: int, worker_id: int,
                   state: _BatchState) -> None:
         """Hand slot ``index`` (attempt N) to ``worker_id``."""
-        if not self._processes[worker_id].is_alive():
-            # An idle worker died (e.g. its chaos exit raced with the
-            # previous result): replace it before dispatching onto it.
-            self._respawn(worker_id)
         key, image = state.prepared[index]
         attempt = state.attempts.get(index, 0) + 1
         state.attempts[index] = attempt
         opts = state.opts
         if state.chaos is not None:
             opts = state.chaos.plan(index, attempt).apply(opts)
+        opts, deadline, propagated = self._deadline_opts(
+            opts, state.timeout_s, state.batch_deadline)
         self._ship_image(worker_id, key, image)
         payload = state.resume_payload.pop(index, None)
         if payload is not None:
@@ -850,13 +1149,7 @@ class QueryService:
         else:
             self._task_queues[worker_id].put(
                 ("run", index, attempt, key, opts))
-        now = time.monotonic()
-        deadline = (now + state.timeout_s
-                    if state.timeout_s is not None else None)
-        if state.batch_deadline is not None:
-            deadline = (state.batch_deadline if deadline is None
-                        else min(deadline, state.batch_deadline))
-        state.inflight[worker_id] = (index, attempt, deadline)
+        state.inflight[worker_id] = (index, attempt, deadline, propagated)
 
     def _deliver(self, message, state: _BatchState) -> None:
         """Apply one worker message to the batch state."""
@@ -885,13 +1178,19 @@ class QueryService:
                 worker=worker_id, host_seconds=seconds)
         else:
             _, _, _, _, error, partial_stats = message
-            # Worker-reported errors are deterministic machine/compile
-            # failures — permanent, never retried.
+            # Worker-reported machine/compile failures are
+            # deterministic and permanent; a worker-reported deadline
+            # abandonment (WallTimeout/DeadlineExceeded) is a transient
+            # host event — same disposition as a parent-side expiry,
+            # minus the kill and respawn.
             error.attempts = attempt
-            self._counters["failed"] += 1
-            state.results[index] = ServiceResult(
-                index=index, program=name, query=text,
-                stats=partial_stats, error=error, worker=worker_id)
+            if error.kind in ("WallTimeout", "DeadlineExceeded"):
+                self._counters["deadline_abandons"] += 1
+                if error.kind == "WallTimeout":
+                    self._counters["timeouts"] += 1
+            self._dispose_failure(index, attempt, error, state,
+                                  worker_id=worker_id,
+                                  partial_stats=partial_stats)
 
     def _drain(self, state: _BatchState) -> None:
         """Deliver everything already sitting in the result queue."""
@@ -913,8 +1212,16 @@ class QueryService:
         self._drain(state)
         now = time.monotonic()
         for worker_id in list(state.inflight):
-            index, attempt, deadline = state.inflight[worker_id]
-            if deadline is not None and now >= deadline:
+            index, attempt, deadline, propagated = state.inflight[worker_id]
+            # With propagation armed the engine should abandon the
+            # query itself; the parent only falls back to the kill
+            # after a grace window (a worker wedged outside the
+            # interpreter — or one whose result delivery is delayed —
+            # still cannot overrun forever).
+            effective = (deadline + _DEADLINE_GRACE
+                         if deadline is not None and propagated
+                         else deadline)
+            if effective is not None and now >= effective:
                 if (state.batch_deadline is not None
                         and now >= state.batch_deadline):
                     self._lose_worker(
@@ -934,22 +1241,52 @@ class QueryService:
 
     def _lose_worker(self, worker_id: int, kind: str, message: str,
                      state: _BatchState) -> None:
-        """A worker (and the attempt on it) is gone: respawn, then
-        either schedule a retry — resuming from the attempt's last
-        checkpoint when one arrived — or finalise the slot's failure."""
-        index, attempt, _ = state.inflight.pop(worker_id)
-        self._respawn(worker_id)
-        state.idle.append(worker_id)
+        """A worker (and the attempt on it) is gone: recycle the worker
+        through the supervisor, then dispose of the slot — quarantine,
+        retry (resuming from the attempt's last checkpoint when one
+        arrived) or final failure."""
+        index, attempt, _, _ = state.inflight.pop(worker_id)
         if kind == "WallTimeout":
             self._counters["timeouts"] += 1
         elif kind == "WorkerCrashed":
             self._counters["crashes"] += 1
+        self._recycle_worker(worker_id, state)
+        self._dispose_failure(
+            index, attempt,
+            QueryError(kind, message, transient=is_transient(kind),
+                       attempts=attempt),
+            state, worker_id=worker_id)
+
+    def _dispose_failure(self, index: int, attempt: int,
+                         error: QueryError, state: _BatchState,
+                         worker_id: int = -1,
+                         partial_stats=None) -> None:
+        """One attempt failed with a host-side condition: quarantine
+        the query if its breaker just opened (or already was open),
+        schedule a retry if the policy grants one, or finalise."""
+        key = state.prepared[index][0]
+        if self._breaker is not None:
+            self._breaker.record(key, error.kind)
+            if self._breaker.quarantined(key):
+                name, text = self._describe(state.queries, index)
+                self._counters["quarantines"] += 1
+                self._counters["failed"] += 1
+                state.results[index] = ServiceResult(
+                    index=index, program=name, query=text,
+                    worker=worker_id,
+                    error=QueryError(
+                        POISONED,
+                        f"query key quarantined: "
+                        f"{self._breaker.strikes(key)} worker-killing or "
+                        f"budget-exhausting attempts (last: {error.kind}: "
+                        f"{error.message})", attempts=attempt))
+                return
         now = time.monotonic()
         policy = state.policy
         within_deadline = (state.batch_deadline is None
                            or now < state.batch_deadline)
         if (policy is not None and within_deadline
-                and policy.retryable(kind, attempt)):
+                and policy.retryable(error.kind, attempt)):
             self._counters["retries"] += 1
             payload = state.checkpoints.get(index)
             if payload is not None:
@@ -962,13 +1299,101 @@ class QueryService:
         self._counters["failed"] += 1
         state.results[index] = ServiceResult(
             index=index, program=name, query=text, worker=worker_id,
-            error=QueryError(kind, message, transient=is_transient(kind),
-                             attempts=attempt))
+            stats=partial_stats, error=error)
+
+    # -- degraded-mode fallback ------------------------------------------------
+
+    def _serve_degraded(self, state: _BatchState) -> None:
+        """The worker pool collapsed (every slot retired): drain the
+        remaining work through an in-process engine pool.
+
+        Still correct — the warm-reuse determinism guarantee makes a
+        parent-side machine produce bit-identical results — just not
+        parallel, not preemptable and not chaos-ridden (chaos models
+        worker death; there is no worker left to die).  Slots whose
+        last attempt shipped a checkpoint resume from it.
+        """
+        self._degraded = True
+        if self._fallback_pool is None:
+            self._fallback_pool = EnginePool(max_machines=self.max_machines)
+        pending = list(state.runnable)
+        pending.extend(index for _, index in sorted(state.retry_ready))
+        state.runnable.clear()
+        state.retry_ready.clear()
+        for index in pending:
+            if state.results[index] is not None:
+                continue
+            if (state.batch_deadline is not None
+                    and time.monotonic() >= state.batch_deadline):
+                name, text = self._describe(state.queries, index)
+                self._counters["failed"] += 1
+                state.results[index] = ServiceResult(
+                    index=index, program=name, query=text,
+                    error=QueryError(
+                        "DeadlineExceeded",
+                        "batch deadline passed before the degraded "
+                        "fallback reached the query", transient=True,
+                        attempts=state.attempts.get(index, 0)))
+                continue
+            self._run_fallback_slot(index, state)
+
+    def _run_fallback_slot(self, index: int, state: _BatchState) -> None:
+        """Execute one slot on the parent's fallback engine pool."""
+        key, image = state.prepared[index]
+        name, text = self._describe(state.queries, index)
+        attempt = state.attempts.get(index, 0) + 1
+        state.attempts[index] = attempt
+        self._counters["local_fallbacks"] += 1
+        payload = state.resume_payload.pop(index, None)
+        resume_from = (pickle.loads(payload)
+                       if payload is not None else None)
+        run_opts, _, _ = self._deadline_opts(
+            state.opts, state.timeout_s, state.batch_deadline)
+        machine: Optional[Machine] = None
+        try:
+            machine, stats, seconds = self._fallback_pool.run(
+                key, image, run_opts, resume_from=resume_from)
+            self._counters["completed"] += 1
+            state.results[index] = ServiceResult(
+                index=index, program=name, query=text,
+                solutions=machine.solutions, stats=stats,
+                output="".join(machine.output),
+                host_seconds=seconds)
+        except DeadlineAbandoned as err:
+            self._counters["failed"] += 1
+            self._counters["deadline_abandons"] += 1
+            if err.kind == "WallTimeout":
+                self._counters["timeouts"] += 1
+            state.results[index] = ServiceResult(
+                index=index, program=name, query=text,
+                error=QueryError(kind=err.kind, message=str(err),
+                                 cycles=err.cycles, transient=True,
+                                 attempts=attempt))
+        except BaseException as err:    # noqa: BLE001 — batch must finish
+            self._counters["failed"] += 1
+            error = _capture_error(err, machine)
+            error.attempts = attempt
+            state.results[index] = ServiceResult(
+                index=index, program=name, query=text,
+                stats=getattr(err, "stats", None), error=error)
 
     def _expire_batch(self, state: _BatchState) -> None:
         """The batch deadline passed: drain what already finished (it
-        still wins), then fail everything unfinished."""
+        still wins), give deadline-watching workers a grace window to
+        abandon and self-report, then fail everything unfinished."""
         self._drain(state)
+        if any(propagated for *_, propagated in state.inflight.values()):
+            grace_end = time.monotonic() + _DEADLINE_GRACE
+            while state.inflight:
+                remaining = grace_end - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    message = self._result_queue.get(
+                        timeout=min(0.05, remaining))
+                except queue_module.Empty:
+                    continue
+                self._deliver(message, state)
         for worker_id in list(state.inflight):
             self._lose_worker(
                 worker_id, "DeadlineExceeded",

@@ -84,6 +84,61 @@ class TestCompileOnce:
         assert image_key("e1(a).", "e1(X)") not in cache
         assert image_key("e3(a).", "e3(X)") in cache
 
+    def test_byte_budget_evicts_lru_under_size_pressure(self):
+        """With max_bytes set, inserting past the budget evicts LRU
+        entries, the counters account exactly, and a re-miss on the
+        evicted key recompiles exactly once."""
+        probe = ImageCache(max_bytes=1 << 30)
+        probe.get("s1(a).", "s1(X)")
+        one_image = probe.stats.bytes_cached
+        assert one_image > 0
+
+        # Room for two images, not three.
+        cache = ImageCache(max_bytes=int(one_image * 2.5))
+        cache.get("s1(a).", "s1(X)")
+        cache.get("s2(a).", "s2(X)")
+        assert cache.stats.evictions == 0
+        assert len(cache) == 2
+        cache.get("s3(a).", "s3(X)")             # pressure: s1 is LRU
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+        assert image_key("s1(a).", "s1(X)") not in cache
+        assert image_key("s2(a).", "s2(X)") in cache
+        assert image_key("s3(a).", "s3(X)") in cache
+        assert cache.stats.bytes_cached <= int(one_image * 2.5)
+        assert cache.stats.hits == 0 and cache.stats.misses == 3
+
+        # Touch s2 so s3 becomes LRU, then re-miss the evicted s1:
+        # exactly one fresh compile, and LRU (not insertion) order
+        # decides the next victim.
+        cache.get("s2(a).", "s2(X)")
+        assert cache.stats.hits == 1
+        links = Linker.links_performed
+        cache.get("s1(a).", "s1(X)")
+        assert Linker.links_performed == links + 1
+        assert cache.stats.misses == 4
+        assert cache.stats.evictions == 2
+        assert image_key("s3(a).", "s3(X)") not in cache
+
+    def test_byte_budget_never_evicts_the_newest_entry(self):
+        """An image bigger than the whole budget is still cached and
+        served — the compile just paid for is never thrown away."""
+        cache = ImageCache(max_bytes=1)
+        cache.get("b1(a).", "b1(X)")
+        assert len(cache) == 1                    # kept despite the budget
+        cache.get("b1(a).", "b1(X)")
+        assert cache.stats.hits == 1
+        cache.get("b2(a).", "b2(X)")              # evicts b1, keeps b2
+        assert len(cache) == 1
+        assert cache.stats.evictions == 1
+        assert image_key("b2(a).", "b2(X)") in cache
+        cache.clear()
+        assert cache.stats.bytes_cached == 0
+
+    def test_max_bytes_validation(self):
+        with pytest.raises(ValueError):
+            ImageCache(max_bytes=0)
+
     def test_concurrent_misses_compile_exactly_once(self):
         """get() is atomic under its lock: racing threads asking for
         the same uncached key must produce one compile and one shared

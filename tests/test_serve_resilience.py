@@ -109,6 +109,42 @@ def test_crashed_slot_resumes_from_checkpoint():
     assert health.checkpoints_received >= 4
 
 
+# -- retry backoff -----------------------------------------------------------
+
+def test_retry_delay_monotone_in_attempt():
+    """The delay sequence for any slot never decreases with the
+    attempt number — including across the cap boundary, where the seed
+    policy's pre-jitter cap could order attempt 5 before attempt 4."""
+    for seed in range(5):
+        policy = RetryPolicy(base_delay_s=0.05, multiplier=2.0,
+                             max_delay_s=0.4, jitter=0.25, seed=seed)
+        for index in range(8):
+            delays = [policy.delay_s(index, attempt)
+                      for attempt in range(1, 12)]
+            assert all(a <= b for a, b in zip(delays, delays[1:])), \
+                f"non-monotone for seed {seed} slot {index}: {delays}"
+
+
+def test_retry_delay_capped_at_max():
+    policy = RetryPolicy(base_delay_s=0.05, multiplier=2.0,
+                         max_delay_s=0.4, jitter=0.25)
+    assert all(policy.delay_s(index, attempt) <= 0.4
+               for index in range(8) for attempt in range(1, 20))
+    assert policy.delay_s(0, 15) == 0.4      # deep attempts pin the cap
+
+
+def test_retry_delay_deterministic_for_fixed_seed():
+    first = RetryPolicy(seed=42)
+    second = RetryPolicy(seed=42)
+    other = RetryPolicy(seed=43)
+    grid = [(index, attempt)
+            for index in range(6) for attempt in range(1, 6)]
+    assert ([first.delay_s(i, a) for i, a in grid]
+            == [second.delay_s(i, a) for i, a in grid])
+    assert ([first.delay_s(i, a) for i, a in grid]
+            != [other.delay_s(i, a) for i, a in grid])
+
+
 # -- admission control and deadlines -----------------------------------------
 
 def test_admission_control_sheds_beyond_capacity():
@@ -158,6 +194,45 @@ def test_health_snapshot_shape():
         # Both workers heralded at startup; ages are fresh.
         assert set(health.heartbeat_age_s) <= {0, 1}
         assert all(age >= 0.0 for age in health.heartbeat_age_s.values())
+
+
+def _counter_fields(health: ServiceHealth) -> dict:
+    return {name: getattr(health, name)
+            for name in ("respawns", "retries", "resumes", "sheds",
+                         "timeouts", "crashes", "completed", "failed",
+                         "checkpoints_received", "quarantines",
+                         "deadline_abandons", "local_fallbacks",
+                         "workers_retired")}
+
+
+def test_health_counters_are_monotonic_across_batches():
+    """Every ServiceHealth lifetime counter only ever advances — a
+    snapshot taken after more work dominates one taken before, field
+    by field, and the events of each phase land in their counters."""
+    chaos = ChaosPolicy(seed=3, kill_rate=1.0, kill_window=(500, 2_000),
+                        max_kills_per_slot=1)
+    with QueryService(PROGRAMS, workers=1, max_queue_depth=1) as service:
+        snapshots = [_counter_fields(service.health())]
+        assert service.run(("facts", "colour(C)")).ok
+        snapshots.append(_counter_fields(service.health()))
+        service.run_many([("facts", "colour(C)")] * 4)     # sheds 2
+        snapshots.append(_counter_fields(service.health()))
+        service.run(("loop", "loop"), timeout_s=0.4)       # abandons
+        snapshots.append(_counter_fields(service.health()))
+        service.run_many([("nrev", "run(20, R)")], chaos=chaos,
+                         retry=RetryPolicy(max_attempts=3,
+                                           base_delay_s=0.01))
+        snapshots.append(_counter_fields(service.health()))
+    for before, after in zip(snapshots, snapshots[1:]):
+        for name, value in before.items():
+            assert after[name] >= value, \
+                f"counter {name} went backwards: {value} -> {after[name]}"
+    final = snapshots[-1]
+    assert final["completed"] >= 4
+    assert final["sheds"] == 2
+    assert final["timeouts"] == 1 and final["deadline_abandons"] == 1
+    assert final["crashes"] == 1 and final["retries"] == 1
+    assert final["respawns"] == 1
 
 
 # -- the chaos invariant over the PLM corpus ---------------------------------

@@ -143,8 +143,12 @@ def test_pool_captures_failures_and_keeps_serving():
 
 
 def test_wall_timeout_kills_and_respawns_worker():
+    # deadline_check_cycles=None disables cooperative abandonment so
+    # this keeps exercising the parent's kill-and-respawn backstop
+    # (the cooperative path has its own tests in test_serve_overload).
     programs = dict(PROGRAMS, loop=LOOP)
-    with QueryService(programs, workers=1) as service:
+    with QueryService(programs, workers=1,
+                      deadline_check_cycles=None) as service:
         results = service.run_many([
             ("loop", "loop"),              # no cycle budget: runs forever
             ("facts", "colour(C)"),
@@ -189,8 +193,9 @@ def test_delivered_result_beats_expired_deadline():
             time.sleep(0.02)
         # Now expire the wall deadline out from under it and reap: the
         # seed service killed the worker and reported WallTimeout here.
-        index, attempt, _ = state.inflight[0]
-        state.inflight[0] = (index, attempt, time.monotonic() - 1.0)
+        index, attempt, _, propagated = state.inflight[0]
+        state.inflight[0] = (index, attempt, time.monotonic() - 1.0,
+                             propagated)
         service._reap(state)
         assert results[0] is not None
         assert results[0].ok, results[0].error
