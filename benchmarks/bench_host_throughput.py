@@ -83,11 +83,23 @@ def main(argv=None) -> int:
     reps = QUICK_REPS if args.quick else FULL_REPS
     report = measure_suite(programs=programs, reps=reps)
     _report(report)
+    # Gate against the baseline BEFORE writing: --output may name the
+    # same file, and writing first would make the regression check
+    # compare the report against itself.
+    gate_failure = None
+    gate_message = None
+    if args.baseline:
+        try:
+            gate_message = check_regression(report, args.baseline,
+                                            args.max_regression)
+        except AssertionError as exc:
+            gate_failure = exc
     write_report(report, args.output)
     print(f"\n  report written to {args.output}")
-    if args.baseline:
-        print("  " + check_regression(report, args.baseline,
-                                      args.max_regression))
+    if gate_message:
+        print("  " + gate_message)
+    if gate_failure is not None:
+        raise gate_failure
     return 0
 
 

@@ -5,9 +5,12 @@ worker pool — optionally while a seeded
 :class:`~repro.serve.chaos.ChaosPolicy` kills workers mid-query — and
 measures how the service holds up: sustained qps, p50/p99 latency
 (completion minus scheduled arrival, queueing included), shed rate,
-and the resilience counters.  The gate is **exactly-once accounting**
-(every generated arrival ends in exactly one of ok / shed / typed
-error) plus solution correctness for every ``ok`` against a
+and the resilience counters.  The schedule is 100k+ arrivals at
+pressure rates, time-boxed by a wall-clock budget: arrivals the
+budget cuts off are reported as ``unsubmitted``.  The gate is
+**exactly-once accounting** (every submitted arrival ends in exactly
+one of ok / shed / typed error, and submitted + unsubmitted equals
+offered) plus solution correctness for every ``ok`` against a
 fault-free in-process reference.
 
 Run under pytest (``pytest benchmarks/bench_soak.py``) or standalone
@@ -34,7 +37,8 @@ def run_soak_bench(seed: int = 2026, rate_qps: float = 60.0,
                    timeout_s: float = 10.0,
                    chaos_kills: bool = True,
                    max_wave: int = 64,
-                   max_queue_depth: int = 16) -> dict:
+                   max_queue_depth: int = 16,
+                   budget_s: float = None) -> dict:
     from repro.bench.programs import SUITE
     from repro.serve import (ChaosPolicy, QueryService, RetryPolicy,
                              SupervisorPolicy)
@@ -67,7 +71,8 @@ def run_soak_bench(seed: int = 2026, rate_qps: float = 60.0,
                       ) as service:
         report = run_soak(service, arrivals, offered_qps=rate_qps,
                           timeout_s=timeout_s, retry=retry, chaos=chaos,
-                          max_wave=max_wave, check_solutions=True)
+                          max_wave=max_wave, check_solutions=True,
+                          budget_s=budget_s)
 
     health = report.health
     return {
@@ -76,6 +81,9 @@ def run_soak_bench(seed: int = 2026, rate_qps: float = 60.0,
         "rate_qps": rate_qps,
         "chaos_kills": chaos_kills,
         "offered": report.offered,
+        "submitted": report.submitted,
+        "unsubmitted": report.unsubmitted,
+        "budget_s": budget_s,
         "waves": report.waves,
         "elapsed_s": round(report.elapsed_s, 3),
         "ok": report.ok,
@@ -103,9 +111,13 @@ def run_soak_bench(seed: int = 2026, rate_qps: float = 60.0,
 def _report(row: dict) -> None:
     print(f"\n  open-loop soak: seed {row['seed']}, {row['workers']} "
           f"workers, {row['rate_qps']} qps offered"
-          + (", chaos kills on" if row["chaos_kills"] else ""))
-    print(f"  {row['offered']} arrivals in {row['waves']} waves over "
-          f"{row['elapsed_s']:.2f}s: {row['ok']} ok, {row['shed']} shed, "
+          + (", chaos kills on" if row["chaos_kills"] else "")
+          + (f", budget {row['budget_s']}s" if row.get("budget_s")
+             else ""))
+    print(f"  {row['offered']} arrivals offered, {row['submitted']} "
+          f"submitted in {row['waves']} waves over "
+          f"{row['elapsed_s']:.2f}s ({row['unsubmitted']} cut off by "
+          f"the budget): {row['ok']} ok, {row['shed']} shed, "
           f"errors {row['errors'] or '{}'}")
     print(f"  accounting: "
           f"{'exactly-once OK' if row['accounting_ok'] else 'VIOLATED'}; "
@@ -131,13 +143,19 @@ def _gate(row: dict) -> list:
         failures.append("ok solutions diverged from the reference")
     if row["sustained_qps"] <= 0:
         failures.append("sustained qps floor: no query completed")
+    if row["submitted"] <= 0:
+        failures.append("nothing submitted before the budget elapsed")
+    if row["submitted"] + row["unsubmitted"] != row["offered"]:
+        failures.append("submitted + unsubmitted != offered")
     return failures
 
 
 # -- pytest harness ----------------------------------------------------------
 
 def test_soak_smoke():
-    row = run_soak_bench(rate_qps=80.0, total_queries=150)
+    # Time-boxed slice of the 100k-arrival pressure schedule.
+    row = run_soak_bench(rate_qps=2500.0, total_queries=20_000,
+                         budget_s=8.0)
     _report(row)
     assert not _gate(row), _gate(row)
 
@@ -147,22 +165,28 @@ def test_soak_smoke():
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=2026)
-    parser.add_argument("--rate", type=float, default=60.0)
-    parser.add_argument("--queries", type=int, default=300)
+    parser.add_argument("--rate", type=float, default=2500.0)
+    parser.add_argument("--queries", type=int, default=100_000)
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--timeout", type=float, default=10.0)
+    parser.add_argument("--budget", type=float, default=60.0,
+                        help="wall-clock budget in seconds; arrivals "
+                             "not submitted when it elapses are "
+                             "reported as unsubmitted (0: unbounded)")
     parser.add_argument("--no-chaos", action="store_true",
                         help="soak without chaos worker kills")
     parser.add_argument("--quick", action="store_true",
-                        help="CI-sized soak (~20s)")
+                        help="CI-sized soak: the same 100k pressure "
+                             "schedule under a ~25s budget")
     parser.add_argument("--output", help="write the report as JSON here")
     args = parser.parse_args(argv)
     if args.quick:
-        args.rate, args.queries = 80.0, 150
+        args.budget = 25.0
     row = run_soak_bench(seed=args.seed, rate_qps=args.rate,
                          total_queries=args.queries, workers=args.workers,
                          timeout_s=args.timeout,
-                         chaos_kills=not args.no_chaos)
+                         chaos_kills=not args.no_chaos,
+                         budget_s=args.budget or None)
     _report(row)
     if args.output:
         with open(args.output, "w") as handle:

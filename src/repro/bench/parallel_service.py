@@ -42,6 +42,7 @@ real parallel scaling on top.
 from __future__ import annotations
 
 import json
+import os
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -56,8 +57,22 @@ SHORT_PROGRAMS = ("con1", "con6", "divide10", "log10", "ops8", "times10")
 #: CI smoke configuration: short programs plus one medium, few reps.
 QUICK_PROGRAMS = list(SHORT_PROGRAMS) + ["nrev1"]
 
-FULL_REPS = 5
+#: the committed serving-throughput batch: the short programs repeated
+#: heavily plus the two medium ones.  Serving traffic is what the
+#: subsystem exists for — many short queries whose cost is dominated
+#: by fixed overhead — so that is what the committed baseline (and the
+#: parallelism-pays gate) measures; one-shot long-query interpretation
+#: speed is BENCH_host_throughput's domain, not this benchmark's.
+SERVING_PROGRAMS = list(SHORT_PROGRAMS) + ["nrev1", "qs4"]
+
+FULL_REPS = 15
+FULL_SHORT_REPS = 8
 QUICK_REPS = 2
+
+#: naive passes are ~15x slower than served ones and only anchor the
+#: speedup-vs-naive ratio (the beats-cached gate never reads them), so
+#: the best-of-N rep count is capped for that mode.
+MAX_NAIVE_REPS = 5
 
 
 def build_batch(programs: Optional[List[str]] = None,
@@ -134,7 +149,7 @@ def measure_service(programs: Optional[List[str]] = None,
     # the first (cross-checked to be rep-stable).
     best = float("inf")
     reference: Optional[list] = None
-    for _ in range(reps):
+    for _ in range(min(reps, MAX_NAIVE_REPS)):
         elapsed, outcomes = _naive_pass(sources, batch)
         if reference is None:
             reference = outcomes
@@ -143,35 +158,53 @@ def measure_service(programs: Optional[List[str]] = None,
         best = min(best, elapsed)
     timings["naive_sequential"] = best
 
+    # Service modes are measured interleaved: every rep runs one pass
+    # of every mode before the next rep starts.  Block-per-mode timing
+    # lets a slow system epoch (scheduler churn, page cache pressure)
+    # land entirely on one mode and decide the beats-cached verdict;
+    # interleaving exposes every mode to the same epochs, so best-of-N
+    # compares like with like.
     modes = [("cached_sequential", 0)] + [
         (f"service_w{count}", count) for count in workers]
-    for mode, count in modes:
-        service = QueryService(sources, workers=count, io_mode="stub")
-        try:
+    services: Dict[str, QueryService] = {}
+    try:
+        for mode, count in modes:
+            service = QueryService(sources, workers=count, io_mode="stub")
+            services[mode] = service
             _service_pass(service, batch)      # warm: ship images, build
-            best = float("inf")                # machines, fill caches
-            for _ in range(reps):
-                elapsed, outcomes = _service_pass(service, batch)
+            timings[mode] = float("inf")       # machines, fill caches
+        for _ in range(reps):
+            for mode, _count in modes:
+                elapsed, outcomes = _service_pass(services[mode], batch)
                 _check_identity(mode, reference, outcomes, batch)
-                best = min(best, elapsed)
-            timings[mode] = best
-        finally:
+                timings[mode] = min(timings[mode], elapsed)
+    finally:
+        for service in services.values():
             service.close()
 
     size = len(batch)
     naive = timings["naive_sequential"]
+    cached = timings["cached_sequential"]
     gate_mode = f"service_w{max(workers)}"
     report_modes = {
         mode: {
             "seconds": round(seconds, 4),
             "queries_per_second": round(size / seconds, 2),
             "speedup_vs_naive": round(naive / seconds, 3),
+            "qps_vs_cached": round(cached / seconds, 3),
+            "beats_cached": seconds < cached,
         }
         for mode, seconds in timings.items()
     }
     return {
         "suite": f"kcm-{variant}",
         "reps": reps,
+        # The beats-cached verdicts only carry meaning relative to
+        # this: on a single-core host the pool cannot overlap work
+        # with the parent, so service_wN measures pure data-plane
+        # overhead against cached_sequential; with >= 2 cores the
+        # same comparison measures overhead minus real parallelism.
+        "host": {"cpu_count": os.cpu_count() or 1},
         "batch": {
             "queries": size,
             "programs": sorted(sources),
@@ -184,6 +217,13 @@ def measure_service(programs: Optional[List[str]] = None,
             "mode": gate_mode,
             "workers": max(workers),
             "speedup_vs_naive": report_modes[gate_mode]["speedup_vs_naive"],
+            # The parallelism-pays gate: every measured service_wN with
+            # N >= 2 must beat the warm single-process baseline.
+            "beats_cached": {
+                f"service_w{count}":
+                    report_modes[f"service_w{count}"]["beats_cached"]
+                for count in workers if count >= 2
+            },
         },
         "identity_checked": True,
     }
@@ -206,16 +246,75 @@ def check_regression(report: Dict, baseline_path: str,
     process scheduling and IPC, which are noisier than pure
     interpretation.  Raises ``AssertionError`` when the current ratio
     has lost more than ``max_regression`` of the committed one.
+
+    Speedup-vs-naive depends on the batch composition (a shorter-query
+    mix amortizes more), so that dimension only gates when the current
+    run measured the same batch the baseline did — a ``--quick`` smoke
+    gated against the committed full-batch report skips it and relies
+    on the qps-vs-cached dimension, which compares two modes over the
+    *same* batch and therefore transfers across batch mixes.
     """
     with open(baseline_path) as handle:
         baseline = json.load(handle)
     committed = baseline["gate"]["speedup_vs_naive"]
     current = report["gate"]["speedup_vs_naive"]
     floor = committed * (1.0 - max_regression)
-    assert current >= floor, (
-        f"parallel-service regression: speedup {current:.3f}x at "
-        f"{report['gate']['mode']} is below {floor:.3f}x "
-        f"({100 * max_regression:.0f}% under the committed "
-        f"{committed:.3f}x)")
+    same_batch = report.get("batch") == baseline.get("batch")
+    if same_batch:
+        assert current >= floor, (
+            f"parallel-service regression: speedup {current:.3f}x at "
+            f"{report['gate']['mode']} is below {floor:.3f}x "
+            f"({100 * max_regression:.0f}% under the committed "
+            f"{committed:.3f}x)")
+    # Second dimension: the data-plane overhead ratio.  qps-vs-cached
+    # strips the naive path out entirely, so it catches a regression
+    # in the worker transport itself (serialization, batching, pipe
+    # handling) that speedup-vs-naive would hide behind a slow naive
+    # pass.  Also dimensionless: more cores only raise it.
+    mode = report["gate"]["mode"]
+    committed_ratio = baseline["modes"].get(mode, {}).get("qps_vs_cached")
+    if committed_ratio is not None:
+        current_ratio = report["modes"][mode]["qps_vs_cached"]
+        ratio_floor = committed_ratio * (1.0 - max_regression)
+        assert current_ratio >= ratio_floor, (
+            f"parallel-service data-plane regression: {mode} at "
+            f"{current_ratio:.3f}x cached_sequential is below "
+            f"{ratio_floor:.3f}x (committed {committed_ratio:.3f}x)")
+    if not same_batch:
+        if committed_ratio is None:
+            return ("baseline has no qps_vs_cached and a different "
+                    "batch — nothing comparable to gate")
+        return (f"{mode} qps {report['modes'][mode]['qps_vs_cached']:.3f}x "
+                f"cached vs committed {committed_ratio:.3f}x — ok "
+                f"(different batch; speedup-vs-naive not compared)")
     return (f"{report['gate']['mode']} speedup {current:.3f}x vs "
             f"committed {committed:.3f}x (floor {floor:.3f}x) — ok")
+
+
+def check_beats_cached(report: Dict, min_workers: int = 2) -> str:
+    """Assert the parallelism-pays invariant: every measured
+    ``service_wN`` with ``N >= min_workers`` ran the batch faster than
+    ``cached_sequential`` (one warm in-process worker).  This is the
+    gate the micro-batched shared-memory data plane exists to hold —
+    a pool that loses to a single warm worker is pure overhead.
+    """
+    losers = []
+    checked = []
+    for mode, info in sorted(report["modes"].items()):
+        if not mode.startswith("service_w"):
+            continue
+        count = int(mode[len("service_w"):])
+        if count < min_workers:
+            continue
+        checked.append(f"{mode} {info['qps_vs_cached']:.3f}x")
+        if not info["beats_cached"]:
+            cached_qps = (report["modes"]["cached_sequential"]
+                          ["queries_per_second"])
+            losers.append(
+                f"{mode}: {info['queries_per_second']:.1f} qps <= "
+                f"cached_sequential {cached_qps:.1f} qps")
+    assert checked, (
+        f"no service_wN modes with N >= {min_workers} in the report")
+    assert not losers, (
+        "parallel service loses to one warm worker: " + "; ".join(losers))
+    return ("beats-cached gate: " + ", ".join(checked) + " — ok")

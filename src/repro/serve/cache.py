@@ -26,7 +26,7 @@ import pickle
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.compiler.linker import LinkedImage, Linker
 from repro.core.symbols import SymbolTable
@@ -96,6 +96,46 @@ class ImageCache:
         self._images: "OrderedDict[str, LinkedImage]" = OrderedDict()
         self._sizes: Dict[str, int] = {}
         self._lock = threading.Lock()
+        self._eviction_listeners: List[Callable[[str], None]] = []
+
+    def add_eviction_listener(self,
+                              listener: Callable[[str], None]) -> None:
+        """Register ``listener(key)`` to be called whenever an entry
+        leaves the cache (LRU/byte-budget eviction or :meth:`clear`).
+
+        The query service uses this to drop its derived per-key state —
+        pickled payloads, shared-memory segments, worker shipped-image
+        records — in step with the cache, so nothing derived from an
+        image outlives the image.  Listeners are called *outside* the
+        cache lock (the lock is not reentrant and a listener may well
+        call back into the cache); exceptions are swallowed — eviction
+        is bookkeeping and must never fail a ``get``.
+        """
+        with self._lock:
+            self._eviction_listeners.append(listener)
+
+    def remove_eviction_listener(self,
+                                 listener: Callable[[str], None]) -> None:
+        """Unregister ``listener``; unknown listeners are ignored."""
+        with self._lock:
+            try:
+                self._eviction_listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def _notify_evictions(self, keys: List[str]) -> None:
+        """Fire the eviction listeners (must be called with the lock
+        released — see :meth:`add_eviction_listener`)."""
+        if not keys:
+            return
+        with self._lock:
+            listeners = list(self._eviction_listeners)
+        for key in keys:
+            for listener in listeners:
+                try:
+                    listener(key)
+                except Exception:
+                    pass
 
     def get(self, program_text: str, query_text: str,
             io_mode: str = "stub") -> LinkedImage:
@@ -127,23 +167,28 @@ class ImageCache:
                 self._sizes[key] = len(
                     pickle.dumps(image, pickle.HIGHEST_PROTOCOL))
                 self.stats.bytes_cached += self._sizes[key]
-            self._evict_over_budget()
+            evicted = self._evict_over_budget()
+        self._notify_evictions(evicted)
         return image
 
-    def _evict_over_budget(self) -> None:
+    def _evict_over_budget(self) -> List[str]:
         """Drop LRU entries until count and byte budgets hold (lock
-        held by the caller).  The newest entry is never evicted."""
+        held by the caller); returns the evicted keys.  The newest
+        entry is never evicted."""
+        evicted: List[str] = []
         while len(self._images) > self.max_entries:
-            self._evict_oldest()
+            evicted.append(self._evict_oldest())
         if self.max_bytes is not None:
             while (self.stats.bytes_cached > self.max_bytes
                    and len(self._images) > 1):
-                self._evict_oldest()
+                evicted.append(self._evict_oldest())
+        return evicted
 
-    def _evict_oldest(self) -> None:
+    def _evict_oldest(self) -> str:
         key, _ = self._images.popitem(last=False)
         self.stats.bytes_cached -= self._sizes.pop(key, 0)
         self.stats.evictions += 1
+        return key
 
     def lookup(self, key: str) -> Optional[LinkedImage]:
         """The cached image under a precomputed ``key``, or ``None``."""
@@ -154,11 +199,14 @@ class ImageCache:
             return image
 
     def clear(self) -> None:
-        """Drop every cached image and zero the counters."""
+        """Drop every cached image and zero the counters (eviction
+        listeners fire for every dropped key)."""
         with self._lock:
+            dropped = list(self._images)
             self._images.clear()
             self._sizes.clear()
             self.stats.reset()
+        self._notify_evictions(dropped)
 
     def __len__(self) -> int:
         return len(self._images)

@@ -40,7 +40,7 @@ class ChaosKilled(Exception):
     """Raised inside a worker when its chaos plan says to die here.
 
     Internal control flow: the worker loop catches it, flushes its
-    result queue (checkpoints already shipped must survive — the crash
+    result pipe (checkpoints already shipped must survive — the crash
     model is SIGKILL between IPC writes, not a torn write) and calls
     ``os._exit``.
     """
@@ -142,7 +142,8 @@ def verify_chaos_invariant(programs: Dict[str, str],
                            workers: int = 2,
                            checkpoint_every: Optional[int] = 20_000,
                            timeout_s: Optional[float] = None,
-                           all_solutions: bool = False) -> Dict[str, object]:
+                           all_solutions: bool = False,
+                           **service_kwargs) -> Dict[str, object]:
     """Run ``batch`` fault-free and under ``chaos``; compare.
 
     The invariant (ISSUE 5 acceptance): solutions and statuses must be
@@ -154,7 +155,9 @@ def verify_chaos_invariant(programs: Dict[str, str],
     move simulated time).
 
     Returns a report dict with ``ok`` plus the mismatch lists the CI
-    smoke job prints on failure.
+    smoke job prints on failure.  Extra ``service_kwargs`` go to the
+    chaos-ridden service (e.g. ``batch_max``/``use_shared_memory``, to
+    pin the invariant across IPC protocol configurations).
     """
     from repro.serve.retry import RetryPolicy
     from repro.serve.service import QueryService
@@ -165,7 +168,8 @@ def verify_chaos_invariant(programs: Dict[str, str],
                       all_solutions=all_solutions) as reference_service:
         reference = reference_service.run_many(batch)
     with QueryService(programs, workers=workers,
-                      all_solutions=all_solutions) as service:
+                      all_solutions=all_solutions,
+                      **service_kwargs) as service:
         chaotic = service.run_many(batch, timeout_s=timeout_s,
                                    retry=retry, chaos=chaos,
                                    checkpoint_every=checkpoint_every)

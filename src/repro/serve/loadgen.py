@@ -36,8 +36,9 @@ from __future__ import annotations
 import dataclasses
 import random
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.serve.service import QueryService
 
@@ -132,6 +133,9 @@ class SoakReport:
     offered_qps: float              # spec rate
     elapsed_s: float                # wall time, first submit to last return
     waves: int                      # run_many batches issued
+    submitted: int = 0              # arrivals actually sent to the service
+    unsubmitted: int = 0            # cut off by the wall-clock budget
+    budget_s: Optional[float] = None
     ok: int = 0
     shed: int = 0
     errors: Dict[str, int] = field(default_factory=dict)  # kind -> count
@@ -154,7 +158,8 @@ def run_soak(service: QueryService,
              retry=None,
              chaos=None,
              max_wave: Optional[int] = None,
-             check_solutions: bool = False) -> SoakReport:
+             check_solutions: bool = False,
+             budget_s: Optional[float] = None) -> SoakReport:
     """Drive ``arrivals`` through ``service`` open-loop; account for
     every one of them.
 
@@ -165,6 +170,14 @@ def run_soak(service: QueryService,
     arrival clock never pauses for the service: a slow wave means the
     next wave is bigger, exactly as a real open-loop client population
     behaves.
+
+    ``budget_s`` bounds the soak by wall clock instead of by schedule
+    length: once the budget elapses no further wave is submitted, and
+    the cut-off arrivals are reported as ``unsubmitted`` (so a 100k+
+    schedule can be offered at pressure rates while the run stays
+    time-boxed).  The exactly-once accounting invariant then covers
+    every *submitted* arrival — each ends in exactly one disposition;
+    submitted + unsubmitted always equals offered.
     """
     reference: Dict[Tuple[str, str], List[dict]] = {}
     if check_solutions:
@@ -178,24 +191,31 @@ def run_soak(service: QueryService,
                     reference[(program, query)] = result.solutions
 
     report = SoakReport(offered=len(arrivals), offered_qps=offered_qps,
-                        elapsed_s=0.0, waves=0)
+                        elapsed_s=0.0, waves=0, budget_s=budget_s)
     dispositions: Dict[int, str] = {}
     latencies: List[float] = []
     queue: List[Arrival] = sorted(arrivals, key=lambda a: a.offset_s)
     cursor = 0                       # first not-yet-submitted arrival
     start = time.monotonic()
 
-    backlog: List[Arrival] = []
+    backlog: Deque[Arrival] = deque()
     while cursor < len(queue) or backlog:
         now = time.monotonic() - start
+        if budget_s is not None and now >= budget_s:
+            break
         while cursor < len(queue) and queue[cursor].offset_s <= now:
             backlog.append(queue[cursor])
             cursor += 1
         if not backlog:
             time.sleep(min(0.05, max(0.0, queue[cursor].offset_s - now)))
             continue
-        wave = backlog if max_wave is None else backlog[:max_wave]
-        backlog = [] if max_wave is None else backlog[len(wave):]
+        if max_wave is None:
+            wave = list(backlog)
+            backlog.clear()
+        else:
+            wave = [backlog.popleft()
+                    for _ in range(min(max_wave, len(backlog)))]
+        report.submitted += len(wave)
         # Re-seed the chaos per wave: a policy's plans are a pure
         # function of (seed, slot, attempt), and successive small
         # waves reuse the same low slot indices — without this every
@@ -238,15 +258,26 @@ def run_soak(service: QueryService,
                 report.errors[kind] = report.errors.get(kind, 0) + 1
 
     report.elapsed_s = time.monotonic() - start
+    report.unsubmitted = report.offered - report.submitted
     report.accounted = len(dispositions)
-    report.accounting_ok = (
-        report.accounted == len(arrivals)
-        and set(dispositions) == {a.id for a in arrivals}
-        and not any("disposed twice" in m for m in report.mismatches))
+    if budget_s is None:
+        # Without a budget everything offered must have been submitted
+        # and disposed exactly once.
+        report.accounting_ok = (
+            report.accounted == len(arrivals)
+            and set(dispositions) == {a.id for a in arrivals}
+            and not any("disposed twice" in m for m in report.mismatches))
+    else:
+        # Time-boxed: exactly-once over what was submitted, and the
+        # budget cut must account for the rest with nothing lost.
+        report.accounting_ok = (
+            report.accounted == report.submitted
+            and report.submitted + report.unsubmitted == report.offered
+            and not any("disposed twice" in m for m in report.mismatches))
     if report.elapsed_s > 0:
         report.sustained_qps = report.ok / report.elapsed_s
-    if report.offered:
-        report.shed_rate = report.shed / report.offered
+    if report.submitted:
+        report.shed_rate = report.shed / report.submitted
     report.p50_latency_s = percentile(latencies, 50)
     report.p99_latency_s = percentile(latencies, 99)
     report.max_latency_s = max(latencies) if latencies else 0.0

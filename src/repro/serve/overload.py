@@ -106,6 +106,15 @@ class QuarantineBreaker:
     breaker survives across batches and across retries: state is per
     *query*, not per submission.  All methods take an optional ``now``
     (monotonic seconds) so tests can drive the cooldown clock.
+
+    Micro-batched dispatch keeps strike attribution sound: a chunk
+    coalesces only same-key tasks, and when a worker dies the service
+    records **one** strike — for the task the worker was actually
+    running.  The chunk-mates queued behind it fail with the same kind
+    but without striking (``_dispose_failure(strike=False)``): they
+    share the head's key, so striking them too would charge one poison
+    event ``len(chunk)`` times and open the breaker on the first death
+    regardless of the configured threshold.
     """
 
     def __init__(self, policy: QuarantinePolicy):

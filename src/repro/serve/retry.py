@@ -32,12 +32,15 @@ from dataclasses import dataclass, field
 from typing import FrozenSet
 
 #: failure kinds that may succeed on re-execution (host conditions).
+#: ImageUnavailable is the rare shared-memory race where a worker's
+#: segment attach lost to a cache eviction; a retry re-ships the image.
 TRANSIENT_KINDS: FrozenSet[str] = frozenset(
-    {"WorkerCrashed", "WallTimeout", "Shed", "DeadlineExceeded"})
+    {"WorkerCrashed", "WallTimeout", "Shed", "DeadlineExceeded",
+     "ImageUnavailable"})
 
 #: the subset run_many retries automatically inside a batch.
 RETRYABLE_KINDS: FrozenSet[str] = frozenset(
-    {"WorkerCrashed", "WallTimeout"})
+    {"WorkerCrashed", "WallTimeout", "ImageUnavailable"})
 
 
 def is_transient(kind: str) -> bool:

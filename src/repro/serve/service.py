@@ -17,22 +17,42 @@ Architecture
     independent of which worker (and which machine incarnation) served
     a query.
 
-Spawn safety
+Spawn safety and image transport
     Workers are started with the ``spawn`` method — nothing is
     inherited by fork, so the protocol must ship everything explicitly.
     Images cross the boundary pickled (builtin handlers travel as
     (name, arity) specs, rebuilt on arrival); machines are built inside
     the worker, so the unpicklable fused memory closures and dispatch
-    tables never cross at all.  Each image is shipped at most once per
-    worker and re-used from the worker's pool afterwards.
+    tables never cross at all.  The pickled image bytes live in a
+    parent-owned :mod:`multiprocessing.shared_memory` segment, pickled
+    **once per service**: each worker — including every respawn after
+    a crash — registers an image from a constant-size
+    ``("image_shm", key, name, nbytes)`` message, copying the bytes
+    out and detaching immediately.  Segments are unlinked in step with
+    :class:`~repro.serve.cache.ImageCache` eviction (deferred to batch
+    end while a chunk may still attach) and at :meth:`close`.  Where
+    shared memory is unavailable the service falls back to shipping
+    the payload over each worker's task queue, at most once per
+    worker incarnation.
 
 Scheduling and ordering
-    ``run_many`` dispatches at most one in-flight query per worker and
-    hands each freed worker the next pending query, so a slow query
-    delays only its own worker.  Results are collected into the input
-    slot order — ``run_many(queries)[i]`` always answers
-    ``queries[i]`` — and failures are captured per query as structured
-    :class:`QueryError` records; a failed query never kills the pool.
+    ``run_many`` dispatches **micro-batches**: up to ``batch_max``
+    runnable slots sharing one image key coalesce into a single
+    ``("tasks", key, [(index, attempt, opts, ckpt), ...])`` message —
+    one queue hop and one image lookup amortized over the chunk — and
+    each worker holds at most one chunk in flight, so a slow query
+    delays only its own worker.  Workers **stream** outcomes back in
+    coalesced ``("done", ...)`` messages: sub-millisecond chunk-mates
+    usually return as one reply, while anything slower flushes on a
+    short cadence, so completion never waits for a whole chunk.
+    Results are collected into the input slot order —
+    ``run_many(queries)[i]`` always answers ``queries[i]`` — and
+    failures are captured per query as structured :class:`QueryError`
+    records; a failed query never kills the pool.  Deadline, retry,
+    quarantine and chaos semantics stay **per-query**: each task in a
+    chunk carries its own attempt counter and is disposed of
+    individually (see ``_lose_worker`` for how a dead worker's chunk
+    is accounted).
 
 Resilience (docs/RESILIENCE.md)
     Failures are classified transient vs permanent
@@ -100,16 +120,19 @@ deadline propagation — ``timeout_s``/``deadline_s`` work everywhere.
 
 from __future__ import annotations
 
+import gc
 import heapq
 import os
 import pickle
-import queue as queue_module
+import threading
 import time
+import weakref
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import multiprocessing as mp
+from multiprocessing import connection as mp_connection
 
 from repro.compiler.linker import LinkedImage
 from repro.core.machine import Machine
@@ -127,7 +150,7 @@ from repro.serve.retry import RetryPolicy, is_transient
 #: default name a bare-string program is registered under.
 DEFAULT_PROGRAM = "main"
 
-#: how long the collector waits on the result queue per poll when no
+#: how long the collector waits on the result pipes per poll when no
 #: wall deadline is pending (also bounds crash detection latency).
 _POLL_SECONDS = 1.0
 
@@ -147,6 +170,30 @@ _DEADLINE_CHECK_CYCLES = 25_000
 #: grace the parent gives a deadline-carrying worker to abandon the
 #: query and self-report before falling back to terminate-and-respawn.
 _DEADLINE_GRACE = 1.5
+
+#: default micro-batch size: how many same-image tasks may coalesce
+#: into one ``("tasks", ...)`` message (and, usually, one reply).
+_BATCH_MAX = 8
+
+#: how far into the runnable queue the chunker looks for same-image
+#: tasks to coalesce (bounds the per-dispatch scan on huge batches).
+_COALESCE_WINDOW = 256
+
+#: a worker flushes buffered outcomes at least this often while a
+#: chunk is still producing results — short queries batch into one
+#: reply, anything slower streams back as it finishes.
+_STREAM_FLUSH_S = 0.05
+
+#: minimum interval between worker liveness signals while a sliced
+#: run is in progress (checkpoint / deadline-check boundaries).
+_HB_INTERVAL = 0.5
+
+#: a worker runs with the cyclic garbage collector disabled and
+#: collects explicitly every this many completed tasks — collection
+#: happens between micro-batches, off the query path.  The in-process
+#: (workers=0) path never touches GC state: it runs in the caller's
+#: interpreter, which is not ours to tune.
+_GC_DEFER_TASKS = 200
 
 
 @dataclass
@@ -279,9 +326,17 @@ class EnginePool:
             self._recovered.add(key)
         return machine
 
+    def drop(self, key: str) -> None:
+        """Forget the warm machine for ``key`` (safe at any time: a
+        fresh machine over the same image is bit-identical)."""
+        self._machines.pop(key, None)
+        self._default_budget.pop(key, None)
+        self._recovered.discard(key)
+
     def run(self, key: str, image: LinkedImage, opts: dict,
             on_checkpoint: Optional[Callable] = None,
             resume_from: Optional[MachineCheckpoint] = None,
+            on_slice: Optional[Callable[[], None]] = None,
             ) -> Tuple[Machine, RunStats, float]:
         """Execute one query; returns (machine, stats, host_seconds).
 
@@ -316,11 +371,13 @@ class EnginePool:
                                   else self._default_budget[key])
         elif opts.get("max_cycles") is not None:
             machine.max_cycles = opts["max_cycles"]
-        return self._drive(machine, image, opts, on_checkpoint, resume_from)
+        return self._drive(machine, image, opts, on_checkpoint, resume_from,
+                           on_slice)
 
     def _drive(self, machine: Machine, image: LinkedImage, opts: dict,
                on_checkpoint: Optional[Callable],
                resume_from: Optional[MachineCheckpoint],
+               on_slice: Optional[Callable[[], None]] = None,
                ) -> Tuple[Machine, RunStats, float]:
         """Run (or resume) the machine, plain or cycle-sliced."""
         collect_all = opts.get("all_solutions", False)
@@ -365,6 +422,10 @@ class EnginePool:
         previous = [resume_from]
 
         def on_stop(m: Machine) -> None:
+            # Liveness first: a worker slicing a long query signals the
+            # parent even when this boundary is about to raise.
+            if on_slice is not None:
+                on_slice()
             if armed_kill is not None and m.cycles >= armed_kill:
                 raise ChaosKilled(f"chaos kill at cycle {m.cycles}")
             if (armed_deadline is not None
@@ -418,88 +479,247 @@ def _capture_error(err: BaseException,
     )
 
 
-def _worker_main(worker_id: int, task_queue, result_queue,
+class _ResultSender:
+    """Worker-side result streaming: buffer per-task outcomes and ship
+    them in coalesced ``("done", ...)`` messages.
+
+    Short queries amortize — a whole micro-batch of sub-millisecond
+    tasks usually returns as one pipe message — while anything slower
+    streams: :meth:`add` flushes whenever ``flush_interval_s`` has
+    passed since the last send, so the parent sees results (and
+    liveness) at that granularity without a per-task round-trip.
+    :meth:`tick` is the sliced-run liveness hook: called at checkpoint
+    and deadline-check boundaries, it flushes stale buffers and emits
+    an explicit heartbeat when there is nothing else to say.  The clock
+    is injectable for tests.
+    """
+
+    def __init__(self, result_conn, worker_id: int,
+                 flush_interval_s: float = _STREAM_FLUSH_S,
+                 hb_interval_s: float = _HB_INTERVAL,
+                 clock: Callable[[], float] = time.monotonic):
+        self._conn = result_conn
+        self._worker_id = worker_id
+        self._flush_interval = flush_interval_s
+        self._hb_interval = hb_interval_s
+        self._clock = clock
+        self._buffer: List[tuple] = []
+        self._last_send = clock()
+
+    def send_now(self, message: tuple) -> None:
+        """Ship ``message`` immediately (checkpoints, heartbeats)."""
+        self._conn.send(message)
+        self._last_send = self._clock()
+
+    def heartbeat(self) -> None:
+        self.send_now(("hb", self._worker_id, time.monotonic()))
+
+    def add(self, outcome: tuple) -> None:
+        """Buffer one task outcome; flush if the stream went stale."""
+        self._buffer.append(outcome)
+        if self._clock() - self._last_send >= self._flush_interval:
+            self.flush()
+
+    def flush(self) -> None:
+        """Ship everything buffered as one ``("done", ...)`` message."""
+        if self._buffer:
+            self._conn.send(("done", self._worker_id, self._buffer))
+            self._buffer = []
+            self._last_send = self._clock()
+
+    def tick(self) -> None:
+        """Mid-run liveness: flush or heartbeat if we have been quiet
+        longer than the heartbeat interval."""
+        if self._clock() - self._last_send < self._hb_interval:
+            return
+        if self._buffer:
+            self.flush()
+        else:
+            self.heartbeat()
+
+
+def _shm_available() -> bool:
+    """Whether :mod:`multiprocessing.shared_memory` is importable here
+    (absent on some minimal platforms; the service falls back to
+    per-worker queue shipping)."""
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+        return True
+    except Exception:
+        return False
+
+
+def _attach_shared_image(name: str, nbytes: int) -> LinkedImage:
+    """Unpickle a parent-shipped image out of a shared-memory segment.
+
+    The worker copies the bytes out and detaches immediately — the
+    parent owns the segment's lifetime (unlinked on cache eviction or
+    close), so the attachment must stay out of the resource tracker:
+    spawn children share the parent's tracker process, and a tracked
+    attachment would clobber the parent's own registration for the
+    segment (every worker death by ``os._exit`` — the chaos model —
+    would then leave the shared tracker confused about who owns what).
+    ``track=False`` does that on Python >= 3.13; earlier versions
+    attach-register unconditionally, so registration is suppressed for
+    the duration of the attach instead (the worker loop is
+    single-threaded, and the patch filters only shared-memory
+    registrations).
+    """
+    from multiprocessing import shared_memory
+    try:
+        shm = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        from multiprocessing import resource_tracker
+        original = resource_tracker.register
+
+        def _register(rname, rtype, _original=original):
+            if rtype != "shared_memory":
+                _original(rname, rtype)
+
+        resource_tracker.register = _register
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+    try:
+        return pickle.loads(bytes(shm.buf[:nbytes]))
+    finally:
+        shm.close()
+
+
+def _worker_main(worker_id: int, task_queue, result_conn,
                  max_machines: int) -> None:
     """The worker process loop (must stay a module-level function: the
     spawn start method imports this module and looks it up by name).
 
     Protocol, parent to worker:
       ``("image", key, payload)`` — register a pickled image,
-      ``("run", index, attempt, key, opts)`` — execute one query,
-      ``("resume", index, attempt, key, opts, ckpt)`` — continue a
-      query from a pickled checkpoint,
+      ``("image_shm", key, segment_name, nbytes)`` — register an image
+      from a parent-owned shared-memory segment (copied out and
+      detached on arrival),
+      ``("drop", key)`` — forget a registered image (cache eviction),
+      ``("tasks", key, [(index, attempt, opts, ckpt_or_None), ...])``
+      — execute a micro-batch of same-image queries in order,
       ``None`` — exit.
-    Worker to parent (shared result queue; every message carries the
-    attempt number so replies from a superseded execution are dropped):
-      ``("hb", worker_id, monotonic_ts)`` — startup herald,
-      ``("ckpt", worker_id, index, attempt, payload)``
-      ``("ok", worker_id, index, attempt, solutions, stats, output,
-      seconds)``
-      ``("err", worker_id, index, attempt, QueryError, stats_or_None)``
+    Worker to parent (a per-worker result pipe — single writer, no
+    queue feeder thread; every outcome carries the attempt number so
+    replies from a superseded execution are dropped):
+      ``("hb", worker_id, monotonic_ts)`` — startup herald / liveness,
+      ``("ckpt", worker_id, index, attempt, payload)`` — shipped
+      immediately (a buffered checkpoint would be useless after a
+      crash),
+      ``("done", worker_id, [outcome, ...])`` — streamed batches of
+      ``(index, attempt, "ok", solutions, stats, output, seconds)``
+      or ``(index, attempt, "err", QueryError, stats_or_None)``.
+
+    The worker defers cyclic garbage collection: the collector is
+    disabled at startup and run explicitly between micro-batches every
+    ``_GC_DEFER_TASKS`` tasks — a dedicated serving process can move
+    GC pauses off the query path, which an in-process library call
+    (workers=0 shares the caller's interpreter) must not do.
 
     A chaos-killed worker (:class:`ChaosKilled` from its plan's cycle
-    threshold) flushes the result queue — checkpoints already shipped
-    must survive; the crash model is death *between* IPC writes, not a
-    torn write — then dies via ``os._exit`` so the parent observes a
-    dead process mid-query.
+    threshold) flushes buffered outcomes and checkpoints — completed
+    work already handed to IPC must survive; the crash model is death
+    *between* IPC writes, not a torn write — then dies via
+    ``os._exit`` so the parent observes a dead process mid-chunk: the
+    flushed tasks stand, the rest fail ``WorkerCrashed`` and retry.
     """
     images: Dict[str, LinkedImage] = {}
     pool = EnginePool(max_machines=max_machines)
-    result_queue.put(("hb", worker_id, time.monotonic()))
+    sender = _ResultSender(result_conn, worker_id)
+    sender.heartbeat()
+    gc.disable()
+    tasks_since_collect = 0
     while True:
         message = task_queue.get()
         if message is None:
+            sender.flush()
             return
         kind = message[0]
         if kind == "image":
             _, key, payload = message
             images[key] = pickle.loads(payload)
             continue
-        if kind == "resume":
-            _, index, attempt, key, opts, ckpt_payload = message
-        else:
-            _, index, attempt, key, opts = message
-            ckpt_payload = None
-        machine: Optional[Machine] = None
-        try:
-            image = images[key]
-            resume_from = (pickle.loads(ckpt_payload)
-                           if ckpt_payload is not None else None)
-            on_checkpoint = None
-            if opts.get("checkpoint_every") is not None:
-                def on_checkpoint(ckpt, _index=index, _attempt=attempt):
-                    result_queue.put(
-                        ("ckpt", worker_id, _index, _attempt,
-                         pickle.dumps(ckpt,
-                                      protocol=pickle.HIGHEST_PROTOCOL)))
-            machine, stats, seconds = pool.run(
-                key, image, opts,
-                on_checkpoint=on_checkpoint, resume_from=resume_from)
-            delay = opts.get("chaos_delay_s")
-            if delay:
-                time.sleep(delay)
-            result_queue.put(("ok", worker_id, index, attempt,
-                              machine.solutions, stats,
-                              "".join(machine.output), seconds))
-        except ChaosKilled:
-            result_queue.close()
-            result_queue.join_thread()
-            os._exit(_CHAOS_EXIT)
-        except DeadlineAbandoned as err:
-            # Cooperative deadline expiry: the worker survives, the
-            # slot reports a typed transient failure, and the parent's
-            # reaper never has to kill anything.
-            result_queue.put(("err", worker_id, index, attempt,
-                              QueryError(kind=err.kind, message=str(err),
-                                         cycles=err.cycles,
-                                         transient=True), None))
-        except MachineError as err:
-            result_queue.put(("err", worker_id, index, attempt,
-                              _capture_error(err, machine),
-                              getattr(err, "stats", None)))
-        except BaseException as err:     # noqa: BLE001 — pool must survive
-            result_queue.put(("err", worker_id, index, attempt,
-                              _capture_error(err, machine), None))
+        if kind == "image_shm":
+            _, key, name, nbytes = message
+            try:
+                images[key] = _attach_shared_image(name, nbytes)
+            except Exception:
+                # Segment gone (evicted in a rare race): leave the key
+                # unregistered; the tasks below fail ImageUnavailable
+                # and the parent re-ships on retry.
+                images.pop(key, None)
+            continue
+        if kind == "drop":
+            _, key = message
+            images.pop(key, None)
+            pool.drop(key)
+            continue
+        _, key, tasks = message
+        image = images.get(key)
+        for index, attempt, opts, ckpt_payload in tasks:
+            machine: Optional[Machine] = None
+            try:
+                if image is None:
+                    sender.add((index, attempt, "err", QueryError(
+                        kind="ImageUnavailable",
+                        message=f"image {key[:12]}... not registered "
+                                f"with worker {worker_id}",
+                        transient=True), None))
+                    continue
+                deadline = opts.get("deadline_monotonic")
+                if (deadline is not None
+                        and opts.get("deadline_check_cycles") is not None
+                        and time.monotonic() >= deadline):
+                    # Expired while queued behind its chunk-mates: same
+                    # cooperative abandonment, zero cycles spent.
+                    raise DeadlineAbandoned(
+                        opts.get("deadline_kind", "WallTimeout"), 0)
+                resume_from = (pickle.loads(ckpt_payload)
+                               if ckpt_payload is not None else None)
+                on_checkpoint = None
+                if opts.get("checkpoint_every") is not None:
+                    def on_checkpoint(ckpt, _index=index,
+                                      _attempt=attempt):
+                        sender.send_now(
+                            ("ckpt", worker_id, _index, _attempt,
+                             pickle.dumps(
+                                 ckpt,
+                                 protocol=pickle.HIGHEST_PROTOCOL)))
+                machine, stats, seconds = pool.run(
+                    key, image, opts,
+                    on_checkpoint=on_checkpoint, resume_from=resume_from,
+                    on_slice=sender.tick)
+                delay = opts.get("chaos_delay_s")
+                if delay:
+                    time.sleep(delay)
+                sender.add((index, attempt, "ok", machine.solutions,
+                            stats, "".join(machine.output), seconds))
+            except ChaosKilled:
+                sender.flush()
+                result_conn.close()
+                os._exit(_CHAOS_EXIT)
+            except DeadlineAbandoned as err:
+                # Cooperative deadline expiry: the worker survives, the
+                # task reports a typed transient failure, and the
+                # parent's reaper never has to kill anything.
+                sender.add((index, attempt, "err",
+                            QueryError(kind=err.kind, message=str(err),
+                                       cycles=err.cycles,
+                                       transient=True), None))
+            except MachineError as err:
+                sender.add((index, attempt, "err",
+                            _capture_error(err, machine),
+                            getattr(err, "stats", None)))
+            except BaseException as err:  # noqa: BLE001 — pool survives
+                sender.add((index, attempt, "err",
+                            _capture_error(err, machine), None))
+        sender.flush()
+        tasks_since_collect += len(tasks)
+        if tasks_since_collect >= _GC_DEFER_TASKS:
+            gc.collect()
+            tasks_since_collect = 0
 
 
 #: a query is a bare string (against the default program) or an
@@ -521,10 +741,14 @@ class _BatchState:
     batch_deadline: Optional[float]
     runnable: deque
     idle: deque
-    #: worker_id -> (slot index, attempt, host deadline, propagated —
-    #: whether the worker itself is watching that deadline)
-    inflight: Dict[int, Tuple[int, int, Optional[float], bool]] = field(
-        default_factory=dict)
+    #: worker_id -> {slot index: (attempt, host deadline, propagated —
+    #: whether the worker itself is watching that deadline)}.  One
+    #: entry per worker holds its whole in-flight micro-batch; tasks
+    #: leave the inner dict as their outcomes stream back.  Insertion
+    #: order is chunk order, so the first remaining entry is the task
+    #: the worker is currently running (the ones behind it are queued).
+    inflight: Dict[int, Dict[int, Tuple[int, Optional[float], bool]]] = \
+        field(default_factory=dict)
     #: min-heap of (ready time, worker_id) awaiting a supervised
     #: backoff-delayed respawn
     respawn_ready: List[Tuple[float, int]] = field(default_factory=list)
@@ -577,7 +801,9 @@ class QueryService:
                  quarantine: Optional[QuarantinePolicy] = None,
                  supervisor: Optional[SupervisorPolicy] = None,
                  deadline_check_cycles: Optional[int]
-                 = _DEADLINE_CHECK_CYCLES):
+                 = _DEADLINE_CHECK_CYCLES,
+                 batch_max: int = _BATCH_MAX,
+                 use_shared_memory: bool = True):
         if isinstance(program, str):
             self.programs = {DEFAULT_PROGRAM: program}
         else:
@@ -593,7 +819,10 @@ class QueryService:
             raise ValueError("max_queue_depth must be >= 0")
         if deadline_check_cycles is not None and deadline_check_cycles <= 0:
             raise ValueError("deadline_check_cycles must be positive")
+        if batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
         self.workers = workers
+        self.batch_max = batch_max
         self.io_mode = io_mode
         self.all_solutions = all_solutions
         self.max_cycles = max_cycles
@@ -616,11 +845,28 @@ class QueryService:
         self._supervisor = (WorkerSupervisor(supervisor)
                             if supervisor is not None else None)
         self._payloads: Dict[str, bytes] = {}
+        #: key -> (SharedMemory segment, payload length).  The parent
+        #: owns every segment: created on first ship, unlinked on cache
+        #: eviction or close; workers copy out and detach immediately.
+        self._segments: Dict[str, Tuple] = {}
+        self._ship_lock = threading.Lock()
+        self._pending_drops: Set[str] = set()
+        self._use_shm = bool(workers) and use_shared_memory \
+            and _shm_available()
+        self._eviction_listener: Optional[Callable[[str], None]] = None
         self._context = mp.get_context("spawn")
-        self._result_queue = None
+        #: per-worker result pipes (receive ends).  One single-writer
+        #: pipe per worker instead of one shared queue: no feeder
+        #: threads on the result path, and a dead worker announces
+        #: itself instantly as EOF instead of waiting out a liveness
+        #: poll.
+        self._result_conns: List = []
         self._task_queues: List = []
         self._processes: List = []
         self._shipped: List[set] = []
+        #: image key of each worker's last dispatched chunk, for the
+        #: hot-worker affinity pick in :meth:`_claim_worker`.
+        self._worker_last_key: Dict[int, str] = {}
         self._batch: Optional[_BatchState] = None
         self._last_seen: Dict[int, float] = {}
         self._counters: Dict[str, int] = {
@@ -631,9 +877,23 @@ class QueryService:
             "workers_retired": 0,
         }
         if workers:
-            self._result_queue = self._context.Queue()
             for worker_id in range(workers):
                 self._spawn_worker(worker_id, fresh=True)
+            # Keep the parent's derived per-key state (payloads,
+            # segments, worker shipped-image records) in step with the
+            # cache.  The listener holds the service only weakly: the
+            # process-global cache outlives any one service, and a
+            # strong reference from it would keep a dropped service —
+            # and its worker processes — alive forever.
+            self_ref = weakref.ref(self)
+
+            def _on_evict(key: str, _ref=self_ref) -> None:
+                service = _ref()
+                if service is not None:
+                    service._on_cache_eviction(key)
+
+            self._eviction_listener = _on_evict
+            self.cache.add_eviction_listener(_on_evict)
         else:
             self._local_pool = EnginePool(max_machines=max_machines)
 
@@ -641,23 +901,35 @@ class QueryService:
 
     def _spawn_worker(self, worker_id: int, fresh: bool) -> None:
         task_queue = self._context.Queue()
+        receive_conn, send_conn = self._context.Pipe(duplex=False)
         process = self._context.Process(
             target=_worker_main,
-            args=(worker_id, task_queue, self._result_queue,
+            args=(worker_id, task_queue, send_conn,
                   self.max_machines),
             daemon=True,
             name=f"kcm-query-worker-{worker_id}")
         if fresh:
             self._task_queues.append(task_queue)
+            self._result_conns.append(receive_conn)
             self._processes.append(process)
             self._shipped.append(set())
         else:
-            # Respawn after a kill: fresh queue (the old one may hold
-            # undelivered messages) and a clean shipped-images record.
+            # Respawn after a kill: fresh queue and pipe (the old ones
+            # may hold undelivered messages) and a clean shipped-images
+            # record.
             self._task_queues[worker_id] = task_queue
+            try:
+                self._result_conns[worker_id].close()
+            except Exception:
+                pass
+            self._result_conns[worker_id] = receive_conn
             self._processes[worker_id] = process
             self._shipped[worker_id] = set()
+            self._worker_last_key.pop(worker_id, None)
         process.start()
+        # Close the parent's copy of the send end so the receive end
+        # reaches EOF the instant the worker dies.
+        send_conn.close()
 
     def _reclaim(self, worker_id: int) -> None:
         """Terminate and reap worker ``worker_id``'s current process."""
@@ -739,27 +1011,72 @@ class QueryService:
             # raised before _closed was assigned).
             return
         self._closed = True
+        listener = getattr(self, "_eviction_listener", None)
+        if listener is not None:
+            try:
+                self.cache.remove_eviction_listener(listener)
+            except Exception:
+                pass
+            self._eviction_listener = None
         for task_queue in self._task_queues:
             try:
                 task_queue.put_nowait(None)
             except Exception:
                 pass
         try:
+            # Drain the result pipes *while* joining: a worker with a
+            # backlog of undelivered results blocks at exit in
+            # ``Connection.send`` until the pipe empties, so a plain
+            # join would always burn the grace window and fall through
+            # to terminate().  Draining lets it flush, see the
+            # sentinel, and exit cleanly.
             deadline = time.monotonic() + _CLOSE_GRACE
-            for process in self._processes:
+            pending = list(self._processes)
+            while pending and time.monotonic() < deadline:
+                for conn in self._result_conns:
+                    try:
+                        while (conn is not None and not conn.closed
+                               and conn.poll(0)):
+                            conn.recv()
+                    except Exception:
+                        pass
+                still_alive = []
+                for process in pending:
+                    try:
+                        process.join(timeout=0.05)
+                        if process.is_alive():
+                            still_alive.append(process)
+                    except Exception:
+                        pass
+                pending = still_alive
+            for process in pending:
                 try:
-                    process.join(
-                        timeout=max(0.0, deadline - time.monotonic()))
-                    if process.is_alive():
-                        process.terminate()
-                        process.join(timeout=_CLOSE_GRACE)
+                    process.terminate()
+                    process.join(timeout=_CLOSE_GRACE)
                 except Exception:
                     pass
         except Exception:
             pass
+        for conn in self._result_conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for entry in list(getattr(self, "_segments", {}).values()):
+            segment = entry[0]
+            try:
+                segment.close()
+                segment.unlink()
+            except Exception:
+                pass
+        self._segments = {}
+        self._payloads = {}
+        self._pending_drops = set()
         self._processes = []
         self._task_queues = []
+        self._result_conns = []
         self._shipped = []
+        self._worker_last_key = {}
         self._local_pool = None
         self._fallback_pool = None
 
@@ -788,7 +1105,9 @@ class QueryService:
                               if process.is_alive()),
             queue_depth=(len(state.runnable) + len(state.retry_ready)
                          if state is not None else 0),
-            inflight=len(state.inflight) if state is not None else 0,
+            inflight=(sum(len(entries)
+                          for entries in state.inflight.values())
+                      if state is not None else 0),
             degraded=self._degraded,
             quarantined_keys=(len(self._breaker.open_keys)
                               if self._breaker is not None else 0),
@@ -1048,14 +1367,99 @@ class QueryService:
 
     def _ship_image(self, worker_id: int, key: str,
                     image: LinkedImage) -> None:
+        """Make ``key`` available to ``worker_id`` (idempotent).
+
+        Preferred transport is a parent-owned shared-memory segment:
+        the image is pickled once per service and every worker —
+        including every respawn — registers it with a constant-size
+        ``("image_shm", ...)`` message instead of re-receiving the
+        payload over its pipe.  When shared memory is unavailable (or
+        segment creation fails) the service falls back permanently to
+        per-worker queue shipping with a parent-side pickle cache.
+        """
         if key in self._shipped[worker_id]:
             return
+        if self._use_shm:
+            entry = self._segment_for(key, image)
+            if entry is not None:
+                segment, nbytes = entry
+                self._task_queues[worker_id].put(
+                    ("image_shm", key, segment.name, nbytes))
+                self._shipped[worker_id].add(key)
+                return
         payload = self._payloads.get(key)
         if payload is None:
             payload = pickle.dumps(image, protocol=pickle.HIGHEST_PROTOCOL)
             self._payloads[key] = payload
         self._task_queues[worker_id].put(("image", key, payload))
         self._shipped[worker_id].add(key)
+
+    def _segment_for(self, key: str, image: LinkedImage):
+        """The ``(SharedMemory, nbytes)`` entry backing ``key``,
+        created on first use (and re-created after a cache-eviction
+        drop when the key comes back).  Returns ``None`` — and flips
+        the service to queue shipping for good — if the platform
+        refuses segment creation."""
+        entry = self._segments.get(key)
+        if entry is not None:
+            return entry
+        payload = pickle.dumps(image, protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            from multiprocessing import shared_memory
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(1, len(payload)))
+            segment.buf[:len(payload)] = payload
+        except Exception:
+            self._use_shm = False
+            return None
+        entry = (segment, len(payload))
+        self._segments[key] = entry
+        return entry
+
+    def _on_cache_eviction(self, key: str) -> None:
+        """The :class:`ImageCache` dropped ``key``: drop everything the
+        service derived from it — the parent-side pickle, the shared
+        segment, and the workers' registered copies — so no per-key
+        state outlives the cache entry.
+
+        Deferred while a batch is collecting: a chunk already queued
+        against the segment must still be able to attach, so the drop
+        is parked and processed when the batch ends (or at close).
+        """
+        if getattr(self, "_closed", True) or not self.workers:
+            return
+        with self._ship_lock:
+            if self._batch is not None:
+                self._pending_drops.add(key)
+                return
+        self._drop_key_now(key)
+
+    def _drop_key_now(self, key: str) -> None:
+        self._payloads.pop(key, None)
+        entry = self._segments.pop(key, None)
+        if entry is not None:
+            segment = entry[0]
+            try:
+                segment.close()
+                segment.unlink()
+            except Exception:
+                pass
+        for worker_id, shipped in enumerate(self._shipped):
+            if key not in shipped:
+                continue
+            shipped.discard(key)
+            try:
+                if self._processes[worker_id].is_alive():
+                    self._task_queues[worker_id].put_nowait(("drop", key))
+            except Exception:
+                pass
+
+    def _flush_pending_drops(self) -> None:
+        with self._ship_lock:
+            drops = list(self._pending_drops)
+            self._pending_drops.clear()
+        for key in drops:
+            self._drop_key_now(key)
 
     def _run_pooled(self, queries, prepared, runnable, opts, timeout_s,
                     results, policy, chaos, batch_deadline) -> None:
@@ -1085,11 +1489,18 @@ class QueryService:
                     _, index = heapq.heappop(state.retry_ready)
                     state.runnable.append(index)
                 while state.runnable and state.idle:
-                    worker_id = state.idle.popleft()
-                    if not self._ensure_alive(worker_id):
-                        continue    # retired at dispatch; try the next
-                    self._dispatch(state.runnable.popleft(), worker_id,
-                                   state)
+                    chunk = self._next_chunk(state)
+                    key = state.prepared[chunk[0]][0]
+                    for_chunk = None
+                    while state.idle:
+                        worker_id = self._claim_worker(state, key)
+                        if self._ensure_alive(worker_id):
+                            for_chunk = worker_id
+                            break       # retired at claim; try the next
+                    if for_chunk is None:
+                        state.runnable.extendleft(reversed(chunk))
+                        break
+                    self._dispatch_chunk(chunk, for_chunk, state)
                 if (not state.inflight and not state.idle
                         and not state.respawn_ready
                         and (state.runnable or state.retry_ready)):
@@ -1098,16 +1509,18 @@ class QueryService:
                     # of the batch through the local fallback path.
                     self._serve_degraded(state)
                     break
-                try:
-                    message = self._result_queue.get(
-                        timeout=self._wait_interval(state))
-                except queue_module.Empty:
+                messages = self._collect_messages(
+                    self._wait_interval(state))
+                if not messages:
                     self._reap(state)
                     continue
-                self._deliver(message, state)
+                for message in messages:
+                    self._deliver(message, state)
         finally:
             self._flush_respawns(state)
-            self._batch = None
+            with self._ship_lock:
+                self._batch = None
+            self._flush_pending_drops()
 
     def _wait_interval(self, state: _BatchState) -> float:
         """How long the collector may block before something (a wall
@@ -1115,11 +1528,12 @@ class QueryService:
         deadline) needs attention."""
         wait = _POLL_SECONDS
         now = time.monotonic()
-        for _, _, deadline, propagated in state.inflight.values():
-            if deadline is not None:
-                if propagated:
-                    deadline += _DEADLINE_GRACE
-                wait = min(wait, max(0.0, deadline - now) + 0.01)
+        for entries in state.inflight.values():
+            for _, deadline, propagated in entries.values():
+                if deadline is not None:
+                    if propagated:
+                        deadline += _DEADLINE_GRACE
+                    wait = min(wait, max(0.0, deadline - now) + 0.01)
         if state.retry_ready:
             wait = min(wait, max(0.0, state.retry_ready[0][0] - now) + 0.01)
         if state.respawn_ready:
@@ -1130,26 +1544,90 @@ class QueryService:
                        max(0.0, state.batch_deadline - now) + 0.01)
         return wait
 
+    def _claim_worker(self, state: _BatchState, key: str) -> int:
+        """Pick an idle worker for a chunk keyed ``key``.
+
+        Prefers the most recently idled worker whose last chunk used
+        the same image (its :class:`EnginePool` already holds warm
+        machines for the key), then the most recently idled worker
+        outright.  Hot-worker (LIFO) reuse keeps a lightly loaded
+        pool's working set on as few processes as possible — the spare
+        workers stay parked instead of rotating through the CPU caches
+        — while a saturated pool still engages every worker, because
+        the idle stack drains whenever chunks outnumber idlers.
+        """
+        idle = state.idle
+        for position in range(len(idle) - 1, -1, -1):
+            if self._worker_last_key.get(idle[position]) == key:
+                worker_id = idle[position]
+                del idle[position]
+                return worker_id
+        return idle.pop()
+
+    def _next_chunk(self, state: _BatchState) -> List[int]:
+        """Pop the head of the runnable queue plus up to
+        ``batch_max - 1`` more slots sharing its image key.
+
+        Only same-key slots coalesce — a chunk is one image, one
+        quarantine key, one shipped payload — and the scan is bounded
+        by ``_COALESCE_WINDOW`` so dispatch stays O(window) on huge
+        batches.  Skipped (different-key) slots return to the front of
+        the queue in their original order, so they dispatch to the
+        next idle worker; a skipped slot is delayed by at most one
+        chunk, which priority ordering tolerates.
+        """
+        head = state.runnable.popleft()
+        chunk = [head]
+        if self.batch_max <= 1 or not state.runnable:
+            return chunk
+        key = state.prepared[head][0]
+        skipped: List[int] = []
+        scanned = 0
+        while (state.runnable and len(chunk) < self.batch_max
+               and scanned < _COALESCE_WINDOW):
+            index = state.runnable.popleft()
+            scanned += 1
+            if state.prepared[index][0] == key:
+                chunk.append(index)
+            else:
+                skipped.append(index)
+        state.runnable.extendleft(reversed(skipped))
+        return chunk
+
+    def _dispatch_chunk(self, indices: List[int], worker_id: int,
+                        state: _BatchState) -> None:
+        """Hand a micro-batch of same-image slots to ``worker_id`` as
+        one ``("tasks", ...)`` message.
+
+        The chunk shares one host deadline, computed here: a per-query
+        wall budget starts at dispatch, and a task that expires while
+        queued behind its chunk-mates is abandoned by the worker's
+        pre-run check without spending a cycle.
+        """
+        key, image = state.prepared[indices[0]]
+        self._ship_image(worker_id, key, image)
+        base_opts, deadline, propagated = self._deadline_opts(
+            state.opts, state.timeout_s, state.batch_deadline)
+        tasks = []
+        entries: Dict[int, Tuple[int, Optional[float], bool]] = {}
+        for index in indices:
+            attempt = state.attempts.get(index, 0) + 1
+            state.attempts[index] = attempt
+            opts = base_opts
+            if state.chaos is not None:
+                opts = state.chaos.plan(index, attempt).apply(opts)
+            tasks.append((index, attempt, opts,
+                          state.resume_payload.pop(index, None)))
+            entries[index] = (attempt, deadline, propagated)
+        self._task_queues[worker_id].put(("tasks", key, tasks))
+        self._worker_last_key[worker_id] = key
+        state.inflight[worker_id] = entries
+
     def _dispatch(self, index: int, worker_id: int,
                   state: _BatchState) -> None:
-        """Hand slot ``index`` (attempt N) to ``worker_id``."""
-        key, image = state.prepared[index]
-        attempt = state.attempts.get(index, 0) + 1
-        state.attempts[index] = attempt
-        opts = state.opts
-        if state.chaos is not None:
-            opts = state.chaos.plan(index, attempt).apply(opts)
-        opts, deadline, propagated = self._deadline_opts(
-            opts, state.timeout_s, state.batch_deadline)
-        self._ship_image(worker_id, key, image)
-        payload = state.resume_payload.pop(index, None)
-        if payload is not None:
-            self._task_queues[worker_id].put(
-                ("resume", index, attempt, key, opts, payload))
-        else:
-            self._task_queues[worker_id].put(
-                ("run", index, attempt, key, opts))
-        state.inflight[worker_id] = (index, attempt, deadline, propagated)
+        """Hand slot ``index`` alone to ``worker_id`` (a singleton
+        chunk; the collection loop goes through :meth:`_next_chunk`)."""
+        self._dispatch_chunk([index], worker_id, state)
 
     def _deliver(self, message, state: _BatchState) -> None:
         """Apply one worker message to the batch state."""
@@ -1157,48 +1635,99 @@ class QueryService:
         self._last_seen[worker_id] = time.monotonic()
         if kind == "hb":
             return
-        index, attempt = message[2], message[3]
-        current = state.inflight.get(worker_id)
-        if current is None or current[0] != index or current[1] != attempt:
-            return      # stale reply from a killed or superseded attempt
+        entries = state.inflight.get(worker_id)
         if kind == "ckpt":
-            state.checkpoints[index] = message[4]
+            _, _, index, attempt, payload = message
+            current = entries.get(index) if entries is not None else None
+            if current is None or current[0] != attempt:
+                return  # stale: a killed or superseded attempt
+            state.checkpoints[index] = payload
             self._counters["checkpoints_received"] += 1
             return
-        del state.inflight[worker_id]
-        state.idle.append(worker_id)
+        # kind == "done": a streamed batch of per-task outcomes.
+        outcomes = message[2]
+        for outcome in outcomes:
+            index, attempt = outcome[0], outcome[1]
+            current = entries.get(index) if entries is not None else None
+            if current is None or current[0] != attempt:
+                continue    # stale outcome from a superseded incarnation
+            del entries[index]
+            self._finish_outcome(outcome, worker_id, state)
+        if entries is not None and not entries:
+            del state.inflight[worker_id]
+            state.idle.append(worker_id)
+
+    def _finish_outcome(self, outcome, worker_id: int,
+                        state: _BatchState) -> None:
+        """Finalise one task outcome out of a ``("done", ...)`` batch."""
+        index, attempt, status = outcome[0], outcome[1], outcome[2]
         state.checkpoints.pop(index, None)
         name, text = self._describe(state.queries, index)
-        if kind == "ok":
-            _, _, _, _, solutions, stats, output, seconds = message
+        if status == "ok":
+            _, _, _, solutions, stats, output, seconds = outcome
             self._counters["completed"] += 1
             state.results[index] = ServiceResult(
                 index=index, program=name, query=text,
                 solutions=solutions, stats=stats, output=output,
                 worker=worker_id, host_seconds=seconds)
-        else:
-            _, _, _, _, error, partial_stats = message
-            # Worker-reported machine/compile failures are
-            # deterministic and permanent; a worker-reported deadline
-            # abandonment (WallTimeout/DeadlineExceeded) is a transient
-            # host event — same disposition as a parent-side expiry,
-            # minus the kill and respawn.
-            error.attempts = attempt
-            if error.kind in ("WallTimeout", "DeadlineExceeded"):
-                self._counters["deadline_abandons"] += 1
-                if error.kind == "WallTimeout":
-                    self._counters["timeouts"] += 1
-            self._dispose_failure(index, attempt, error, state,
-                                  worker_id=worker_id,
-                                  partial_stats=partial_stats)
+            return
+        _, _, _, error, partial_stats = outcome
+        # Worker-reported machine/compile failures are deterministic
+        # and permanent; a worker-reported deadline abandonment
+        # (WallTimeout/DeadlineExceeded) is a transient host event —
+        # same disposition as a parent-side expiry, minus the kill and
+        # respawn.  ImageUnavailable means the worker's segment attach
+        # lost a race with a cache eviction: forget the ship record so
+        # the retry re-ships a fresh copy.
+        error.attempts = attempt
+        if error.kind in ("WallTimeout", "DeadlineExceeded"):
+            self._counters["deadline_abandons"] += 1
+            if error.kind == "WallTimeout":
+                self._counters["timeouts"] += 1
+        elif error.kind == "ImageUnavailable":
+            if 0 <= worker_id < len(self._shipped):
+                self._shipped[worker_id].discard(state.prepared[index][0])
+        self._dispose_failure(index, attempt, error, state,
+                              worker_id=worker_id,
+                              partial_stats=partial_stats)
+
+    def _collect_messages(self, timeout: float) -> List[tuple]:
+        """Block up to ``timeout`` for worker messages; return every
+        message readable without blocking further.
+
+        A connection at EOF means its worker died mid-write or exited:
+        the parent closes its end (so the dead pipe stops reporting
+        ready) and joins the process briefly so the reaper's liveness
+        check sees the death immediately instead of next poll.
+        """
+        by_conn = {}
+        for worker_id, conn in enumerate(self._result_conns):
+            if conn is not None and not conn.closed:
+                by_conn[conn] = worker_id
+        if not by_conn:
+            if timeout > 0:
+                time.sleep(min(timeout, 0.05))
+            return []
+        messages: List[tuple] = []
+        for conn in mp_connection.wait(list(by_conn), timeout):
+            try:
+                messages.append(conn.recv())
+                while conn.poll(0):
+                    messages.append(conn.recv())
+            except (EOFError, OSError):
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+                try:
+                    self._processes[by_conn[conn]].join(timeout=1.0)
+                except Exception:
+                    pass
+        return messages
 
     def _drain(self, state: _BatchState) -> None:
-        """Deliver everything already sitting in the result queue."""
-        while True:
-            try:
-                message = self._result_queue.get_nowait()
-            except queue_module.Empty:
-                return
+        """Deliver everything already sitting in the result pipes."""
+        for message in self._collect_messages(0):
             self._deliver(message, state)
 
     def _reap(self, state: _BatchState) -> None:
@@ -1212,12 +1741,17 @@ class QueryService:
         self._drain(state)
         now = time.monotonic()
         for worker_id in list(state.inflight):
-            index, attempt, deadline, propagated = state.inflight[worker_id]
-            # With propagation armed the engine should abandon the
-            # query itself; the parent only falls back to the kill
-            # after a grace window (a worker wedged outside the
-            # interpreter — or one whose result delivery is delayed —
-            # still cannot overrun forever).
+            entries = state.inflight.get(worker_id)
+            if not entries:
+                continue
+            # The chunk shares one deadline (computed at dispatch), so
+            # the first remaining entry speaks for all of them.  With
+            # propagation armed the engine should abandon the query
+            # itself; the parent only falls back to the kill after a
+            # grace window (a worker wedged outside the interpreter —
+            # or one whose result delivery is delayed — still cannot
+            # overrun forever).
+            _, deadline, propagated = next(iter(entries.values()))
             effective = (deadline + _DEADLINE_GRACE
                          if deadline is not None and propagated
                          else deadline)
@@ -1241,32 +1775,55 @@ class QueryService:
 
     def _lose_worker(self, worker_id: int, kind: str, message: str,
                      state: _BatchState) -> None:
-        """A worker (and the attempt on it) is gone: recycle the worker
-        through the supervisor, then dispose of the slot — quarantine,
-        retry (resuming from the attempt's last checkpoint when one
-        arrived) or final failure."""
-        index, attempt, _, _ = state.inflight.pop(worker_id)
-        if kind == "WallTimeout":
-            self._counters["timeouts"] += 1
-        elif kind == "WorkerCrashed":
+        """A worker (and every task still in flight on it) is gone:
+        recycle the worker through the supervisor, then dispose of
+        each lost slot — quarantine, retry (resuming from the
+        attempt's last checkpoint when one arrived) or final failure.
+
+        Accounting is per event where the event is the worker's (one
+        ``crashes`` tick per death, however many chunk-mates it takes
+        down) and per task where the condition is the task's (one
+        ``timeouts`` tick per expired slot).  Only the first remaining
+        task — the one the worker was actually running — strikes the
+        quarantine breaker: the tasks queued behind it are collateral,
+        and striking them too would triple-charge one poison event
+        (see :mod:`repro.serve.overload`).
+        """
+        entries = state.inflight.pop(worker_id)
+        if kind == "WorkerCrashed":
             self._counters["crashes"] += 1
         self._recycle_worker(worker_id, state)
-        self._dispose_failure(
-            index, attempt,
-            QueryError(kind, message, transient=is_transient(kind),
-                       attempts=attempt),
-            state, worker_id=worker_id)
+        for position, (index, (attempt, _, _)) in enumerate(
+                entries.items()):
+            if kind == "WallTimeout":
+                self._counters["timeouts"] += 1
+            text = (message if position == 0 else
+                    f"lost with worker {worker_id} while queued behind "
+                    f"its micro-batch ({kind} on the running task)")
+            self._dispose_failure(
+                index, attempt,
+                QueryError(kind, text, transient=is_transient(kind),
+                           attempts=attempt),
+                state, worker_id=worker_id, strike=(position == 0))
 
     def _dispose_failure(self, index: int, attempt: int,
                          error: QueryError, state: _BatchState,
                          worker_id: int = -1,
-                         partial_stats=None) -> None:
+                         partial_stats=None,
+                         strike: bool = True) -> None:
         """One attempt failed with a host-side condition: quarantine
         the query if its breaker just opened (or already was open),
-        schedule a retry if the policy grants one, or finalise."""
+        schedule a retry if the policy grants one, or finalise.
+
+        ``strike=False`` records nothing with the breaker (collateral
+        chunk-mates of a lost worker) but still honours an already-open
+        quarantine — chunk-mates share the head task's key, so if the
+        head just poisoned it they are the same poison query.
+        """
         key = state.prepared[index][0]
         if self._breaker is not None:
-            self._breaker.record(key, error.kind)
+            if strike:
+                self._breaker.record(key, error.kind)
             if self._breaker.quarantined(key):
                 name, text = self._describe(state.queries, index)
                 self._counters["quarantines"] += 1
@@ -1382,18 +1939,17 @@ class QueryService:
         still wins), give deadline-watching workers a grace window to
         abandon and self-report, then fail everything unfinished."""
         self._drain(state)
-        if any(propagated for *_, propagated in state.inflight.values()):
+        if any(propagated
+               for entries in state.inflight.values()
+               for *_, propagated in entries.values()):
             grace_end = time.monotonic() + _DEADLINE_GRACE
             while state.inflight:
                 remaining = grace_end - time.monotonic()
                 if remaining <= 0:
                     break
-                try:
-                    message = self._result_queue.get(
-                        timeout=min(0.05, remaining))
-                except queue_module.Empty:
-                    continue
-                self._deliver(message, state)
+                for message in self._collect_messages(
+                        min(0.05, remaining)):
+                    self._deliver(message, state)
         for worker_id in list(state.inflight):
             self._lose_worker(
                 worker_id, "DeadlineExceeded",

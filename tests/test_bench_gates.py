@@ -1,0 +1,68 @@
+"""The parallel-service bench regression gates: the speedup-vs-naive
+dimension only compares like batches, the qps-vs-cached data-plane
+dimension transfers across batch mixes, and the parallelism-pays gate
+reads the measured verdicts.  Pure JSON plumbing — no pools spawned."""
+
+import json
+
+import pytest
+
+from repro.bench.parallel_service import check_beats_cached, check_regression
+
+BATCH = {"queries": 50, "programs": ["con1"], "short_reps": 8}
+OTHER_BATCH = {"queries": 25, "programs": ["con1"], "short_reps": 4}
+
+
+def _report(batch, speedup, qps_ratio, beats=True):
+    worker_mode = {"qps_vs_cached": qps_ratio,
+                   "queries_per_second": 500.0 * qps_ratio,
+                   "beats_cached": beats}
+    return {
+        "batch": dict(batch),
+        "gate": {"mode": "service_w4", "workers": 4,
+                 "speedup_vs_naive": speedup,
+                 "beats_cached": {"service_w2": beats,
+                                  "service_w4": beats}},
+        "modes": {"service_w4": dict(worker_mode),
+                  "service_w2": dict(worker_mode),
+                  "cached_sequential": {"qps_vs_cached": 1.0,
+                                        "queries_per_second": 500.0}},
+    }
+
+
+@pytest.fixture
+def baseline(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(_report(BATCH, 15.0, 1.0)))
+    return str(path)
+
+
+def test_same_batch_gates_speedup(baseline):
+    message = check_regression(_report(BATCH, 14.0, 0.95), baseline,
+                               max_regression=0.35)
+    assert "speedup" in message
+    with pytest.raises(AssertionError, match="regression"):
+        check_regression(_report(BATCH, 9.0, 0.95), baseline,
+                         max_regression=0.35)
+
+
+def test_different_batch_skips_speedup_dimension(baseline):
+    # 9.0x would trip the same-batch floor (15.0 * 0.65 = 9.75), but a
+    # quick smoke measures a different mix, so it must not gate there.
+    message = check_regression(_report(OTHER_BATCH, 9.0, 0.95), baseline,
+                               max_regression=0.35)
+    assert "different batch" in message
+
+
+def test_qps_vs_cached_gates_across_batches(baseline):
+    with pytest.raises(AssertionError, match="data-plane"):
+        check_regression(_report(OTHER_BATCH, 9.0, 0.5), baseline,
+                         max_regression=0.35)
+
+
+def test_beats_cached_reads_verdicts():
+    assert "beats" in check_beats_cached(_report(BATCH, 15.0, 1.1),
+                                         min_workers=2)
+    with pytest.raises(AssertionError):
+        check_beats_cached(_report(BATCH, 15.0, 0.9, beats=False),
+                           min_workers=2)
