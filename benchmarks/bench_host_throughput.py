@@ -54,9 +54,12 @@ def test_host_throughput(benchmark):
     benchmark.extra_info["geomean_speedup"] = \
         report["aggregate"]["geomean_speedup"]
     assert report["identity_checked"]
-    # The fast path must actually be one: a wash (or a slowdown) means
-    # the predecode layer has stopped carrying its weight.
-    assert report["aggregate"]["speedup"] > 1.0
+    # The fast path must decisively be one: with superinstruction
+    # fusion the full suite runs ~2.5x on an idle host, so even a
+    # noisy shared runner clears 1.8x with margin — dropping under it
+    # means the fusion layer (or the predecode layer under it) has
+    # stopped carrying its weight.
+    assert report["aggregate"]["speedup"] > 1.8
 
 
 # -- standalone CI smoke -----------------------------------------------------

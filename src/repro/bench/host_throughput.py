@@ -10,12 +10,15 @@ second), under the predecoded threaded-dispatch fast path
 docs/PERF.md for the design of the fast path and the methodology notes
 behind the numbers.
 
-Methodology: both configurations are loaded and warmed first, then
-measured in alternating order with the pair's order flipped every
-round, taking the per-program best-of-N.  Alternation matters: on a
-warmed-up host a fixed A-then-B slot assignment systematically biases
-whichever side runs behind the other's cache/branch-predictor
-footprint by tens of percent on millisecond-scale programs.
+Methodology (shared with ``repro.bench.parallel_service``): both
+configurations are loaded and warmed first, then measured interleaved
+per rep — every rep runs one full-suite pass of each mode before the
+next rep starts, with the mode order flipped every rep — taking the
+per-program best-of-N.  Interleaving matters: block-per-mode timing
+lets a slow system epoch (scheduler churn, page-cache pressure,
+frequency steps) land entirely on one mode and decide the speedup
+verdict; alternating passes expose both modes to the same epochs, so
+best-of-N compares like with like.
 
 Every measurement round also cross-checks that the two configurations
 produced bit-identical simulated results (cycles, instructions,
@@ -45,12 +48,15 @@ QUICK_PROGRAMS = ["con6", "nrev1", "qs4", "times10"]
 
 
 def _identity_key(runner: SuiteRunner, name: str, variant: str):
-    """The simulated observables one measured run must reproduce."""
+    """The simulated observables one measured run must reproduce:
+    the cycle/instruction/inference/memory counters plus the rendered
+    solution bindings themselves — a fast path that returned the right
+    counts with the wrong answers must still fail the check."""
     machine = runner.load(name, variant)
     stats = machine.stats
     return (stats.cycles, stats.instructions, stats.inferences,
             stats.data_reads, stats.data_writes,
-            len(machine.solutions))
+            len(machine.solutions), str(machine.solutions))
 
 
 def measure_suite(programs: Optional[List[str]] = None,
@@ -79,14 +85,15 @@ def measure_suite(programs: Optional[List[str]] = None,
     best_fast = {name: float("inf") for name in names}
     best_ablation = {name: float("inf") for name in names}
     for rep in range(reps):
-        for name in names:
-            pair = ((fast, best_fast), (ablation, best_ablation))
-            if rep % 2:
-                pair = tuple(reversed(pair))
-            for runner, best in pair:
+        pair = ((fast, best_fast), (ablation, best_ablation))
+        if rep % 2:
+            pair = tuple(reversed(pair))
+        for runner, best in pair:
+            for name in names:
                 t0 = time.perf_counter()
                 runner.run(name, variant, warm=False)
                 best[name] = min(best[name], time.perf_counter() - t0)
+        for name in names:
             assert _identity_key(fast, name, variant) \
                 == _identity_key(ablation, name, variant), \
                 f"{name}: fast path diverged from the ablation"

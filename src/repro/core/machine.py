@@ -49,13 +49,14 @@ from repro.core.opcodes import ArithOp, Op, TestOp
 from repro.core.registers import RegisterFile, ShadowState
 from repro.core.statistics import RunStats
 from repro.core.symbols import SymbolTable
-from repro.core.tags import Type, Zone
+from repro.core.tags import ADDRESS_MASK, Type, Zone, tag_zone
 from repro.core.trail import Trail
 from repro.core.word import (
     Word, make_code_ptr, make_data_ptr, make_float, make_functor, make_int,
     make_list, make_struct, make_unbound, to_single_precision, wrap_int32,
 )
 from repro.core.predecode import PredecodedCode, predecode
+from repro.core.superops import SuperopFuser
 from repro.core.traps import MachineCheckpoint, TrapReport, TrapVector
 from repro.errors import (
     ArithmeticError_, CycleLimitExceeded, ExistenceError, InstructionError,
@@ -161,6 +162,10 @@ class Machine:
         #: predecoded block table (repro.core.predecode), built lazily
         #: per code image and dropped whenever the code zone changes.
         self._predecoded: Optional[PredecodedCode] = None
+        #: code-zone generation: bumped by every code writer (including
+        #: same-length in-place rewrites via patch_code, which a code-
+        #: length staleness check alone would miss).
+        self._code_generation = 0
         self._stubs: Dict[int, int] = {}
         self._recent_pcs: List[int] = [-1] * RECENT_RING
         self._recent_index = 0
@@ -312,7 +317,10 @@ class Machine:
         """
         while word.type is Type.REF:
             address = word.value
-            cell = self._read(address, word.zone, Type.REF)
+            zone = word.zone
+            if zone is None:
+                zone = tag_zone(word.tag)   # raises, invalid encoding
+            cell = self._read(address, zone, Type.REF)
             self.cycles += self.costs.deref_per_link
             self.stats.dereference_links += 1
             if cell.type is Type.REF and cell.value == address:
@@ -418,6 +426,386 @@ class Machine:
                 if a.tag != b.tag or a.value != b.value:
                     return False
         return True
+
+    def _fused_control_path(self):
+        """Single-frame replacements for the hot control-path methods
+        (``bind``, ``unify``, ``fail``, choice-point create/pop/
+        refresh) used during fast-path runs, mirroring
+        :meth:`MemorySystem.fused_data_path`.
+
+        Both replicate the class methods above statement for statement
+        — same counters, same cycle charges, same raise points — with
+        the per-call attribute traffic (costs, stats, trail, symbol
+        table) hoisted into the closure, and the trail check/push of
+        :meth:`bind` inlined.  Built by :meth:`_execute` after the
+        fused data accessors are installed so they capture those;
+        uninstalled with them, so the ablation and inter-run accesses
+        always take the class methods.
+        """
+        machine = self
+        stats = self.stats
+        trail = self.trail
+        costs = self.costs
+        read = self._read
+        write = self._write
+        deref = self.deref
+        serial_penalty = 0 if self.features.parallel_trail else \
+            max(costs.trail_check, self.features.serial_trail_cycles)
+        trail_push_cost = costs.trail_push
+        bind_extra = costs.bind - 1
+        unify_per_cell = costs.unify_per_cell
+        functor_key = self.symbols.functor_key
+        mdp = make_data_ptr
+        GLOBAL = Zone.GLOBAL
+        LOCAL = Zone.LOCAL
+        TRAIL = Zone.TRAIL
+        REF = Type.REF
+        LIST = Type.LIST
+        STRUCT = Type.STRUCT
+        FLOAT = Type.FLOAT
+
+        def bind(address, zone, value):
+            stats.trail_checks += 1
+            if serial_penalty:
+                machine.cycles += serial_penalty
+            trail.checks += 1
+            if (address < machine.hb if zone is GLOBAL
+                    else address < machine.lb if zone is LOCAL else True):
+                top = trail.top
+                w = mdp(address, zone)
+                # wr_trail's hit path expanded in place: one push per
+                # trailed binding makes this the densest write site on
+                # the fast path, worth saving the call frame.
+                hit = False
+                if (te_ok and machine._undo_log is None
+                        and not store.track_dirty
+                        and not te.write_protected):
+                    c = chunks.get(top >> 16)
+                    if c is not None:
+                        if sectioned:
+                            j = te_base | (top & 1023)
+                            t = top >> 10
+                        else:
+                            j = top & 8191
+                            t = top >> 13
+                        if (dtags[j] == t
+                                and te.low_bound <= top < te.high_bound
+                                and 0 <= top <= amask):
+                            te.checks += 1
+                            c[top & 0xFFFF] = w
+                            ds.writes += 1
+                            ds.write_hits += 1
+                            ddirty[j] = True
+                            stats.data_writes += 1
+                            hit = True
+                if not hit:
+                    write(top, w, TRAIL)
+                trail.top = top + 1
+                trail.pushes += 1
+                machine.cycles += trail_push_cost
+                stats.trail_pushes += 1
+            if zone is GLOBAL:
+                wr_global(address, value)
+            elif zone is LOCAL:
+                wr_local(address, value)
+            else:
+                write(address, value, zone)
+            machine.cycles += bind_extra
+
+        def unify(left, right):
+            stats.general_unifications += 1
+            worklist = [(left, right)]
+            while worklist:
+                a, b = worklist.pop()
+                if a.type is REF:
+                    a = deref(a)
+                if b.type is REF:
+                    b = deref(b)
+                machine.cycles += unify_per_cell
+                ta = a.type
+                tb = b.type
+                if ta is REF and tb is REF:
+                    if a.value == b.value:
+                        continue
+                    if a.zone == b.zone:
+                        young, old = (a, b) if a.value > b.value else (b, a)
+                    elif a.zone is LOCAL:
+                        young, old = a, b
+                    else:
+                        young, old = b, a
+                    bind(young.value, young.zone, old)
+                elif ta is REF:
+                    bind(a.value, a.zone, b)
+                elif tb is REF:
+                    bind(b.value, b.zone, a)
+                elif ta is LIST and tb is LIST:
+                    ah, bh = a.value, b.value
+                    az, bz = a.zone, b.zone
+                    worklist.append((read(ah + 1, az), read(bh + 1, bz)))
+                    worklist.append((read(ah, az), read(bh, bz)))
+                elif ta is STRUCT and tb is STRUCT:
+                    av, bv, az, bz = a.value, b.value, a.zone, b.zone
+                    fa = read(av, az)
+                    fb = read(bv, bz)
+                    if fa.value != fb.value:
+                        return False
+                    _, arity = functor_key(int(fa.value))
+                    for i in range(arity, 0, -1):
+                        worklist.append((read(av + i, az),
+                                         read(bv + i, bz)))
+                elif ta is FLOAT and tb is FLOAT:
+                    if a.value != b.value:
+                        return False
+                else:
+                    if a.tag != b.tag or a.value != b.value:
+                        return False
+            return True
+
+        shadow = self.shadow
+        set_x = self.regs.set_x
+        reg_x = self.regs.x
+        memory = self.memory
+        store = memory.store
+        chunks = store._chunks
+        dcache = memory.data_cache
+        dtags = dcache.tags
+        ddirty = dcache.dirty
+        ds = dcache.stats
+        sectioned = dcache.sectioned
+        timing = memory.timing_enabled
+        zone_checking = memory.zones.enabled
+        DPT = Type.DATA_PTR
+        amask = ADDRESS_MASK
+
+        def specialise(zone):
+            """Constant-zone read/write with the cache/zone hit path
+            inlined, the same shape the superinstruction emitter
+            (repro.core.superops) generates for build-time-constant
+            zones: every counter commits only after all conditions
+            passed, and any edge — timing or zone checking off, armed
+            undo log, dirty-chunk tracking, write protection, missing
+            chunk, uninitialised cell, bounds, cache miss — falls back
+            to the generic fused accessor, which owns those cases.
+            ``allowed_types`` is never reassigned after construction,
+            so the membership test is baked; limits and protection are
+            read per access (growth handlers move them mid-run)."""
+            entry = memory.zones.entries.get(zone)
+            ok = (entry is not None and DPT in entry.allowed_types
+                  and timing and zone_checking)
+            base = (int(zone) & 7) << 10
+
+            def rd(a):
+                if ok:
+                    c = chunks.get(a >> 16)
+                    if c is not None:
+                        if sectioned:
+                            j = base | (a & 1023)
+                            t = a >> 10
+                        else:
+                            j = a & 8191
+                            t = a >> 13
+                        if dtags[j] == t:
+                            w = c[a & 0xFFFF]
+                            if (w is not None
+                                    and entry.low_bound <= a
+                                    < entry.high_bound
+                                    and 0 <= a <= amask):
+                                entry.checks += 1
+                                ds.reads += 1
+                                ds.read_hits += 1
+                                stats.data_reads += 1
+                                return w
+                return read(a, zone)
+
+            def wr(a, w):
+                if (ok and machine._undo_log is None
+                        and not store.track_dirty
+                        and not entry.write_protected):
+                    c = chunks.get(a >> 16)
+                    if c is not None:
+                        if sectioned:
+                            j = base | (a & 1023)
+                            t = a >> 10
+                        else:
+                            j = a & 8191
+                            t = a >> 13
+                        if (dtags[j] == t
+                                and entry.low_bound <= a
+                                < entry.high_bound
+                                and 0 <= a <= amask):
+                            entry.checks += 1
+                            c[a & 0xFFFF] = w
+                            ds.writes += 1
+                            ds.write_hits += 1
+                            ddirty[j] = True
+                            stats.data_writes += 1
+                            return
+                write(a, w, zone)
+
+            return rd, wr, entry, ok
+        shallow_enabled = self.features.shallow_backtracking
+        fail_shallow = costs.fail_shallow
+        unwind_cost = costs.trail_unwind_per_entry
+        cp_restore_base = costs.cp_restore_base
+        cp_restore_per_reg = costs.cp_restore_per_reg
+        fail_deep_branch = costs.fail_deep_branch
+        cp_create_base = costs.cp_create_base
+        cp_save_per_reg = costs.cp_save_per_reg
+        global_base = self._stack_base[GLOBAL]
+        local_base = self._stack_base[LOCAL]
+        control_base = self._stack_base[Zone.CONTROL]
+        CONTROL = Zone.CONTROL
+        mcp = make_code_ptr
+        mki = make_int
+        rd_control, wr_control, ce, ce_ok = specialise(CONTROL)
+        ce_base = (int(CONTROL) & 7) << 10
+        rd_trail, wr_trail, te, te_ok = specialise(TRAIL)
+        wr_global = specialise(GLOBAL)[1]
+        wr_local = specialise(LOCAL)[1]
+        te_base = (int(TRAIL) & 7) << 10
+
+        mku = make_unbound
+
+        def unwind(mark):
+            # Trail.unwind_to with the specialised accessors; trail.top
+            # moves before each entry's restore, like the class method,
+            # so a trap mid-unwind leaves identical partial state.
+            undone = 0
+            while trail.top > mark:
+                t = trail.top - 1
+                trail.top = t
+                entry = rd_trail(t)
+                address = int(entry.value)
+                z = entry.zone
+                if z is GLOBAL:
+                    wr_global(address, mku(address, z))
+                elif z is LOCAL:
+                    wr_local(address, mku(address, z))
+                else:
+                    write(address, mku(address, z), z)
+                undone += 1
+            return undone
+
+        def fail():
+            tracer = machine.tracer
+            if tracer is not None:
+                note = getattr(tracer, "note_failure", None)
+                if note is not None:
+                    note()
+            if shallow_enabled and machine.shallow_flag:
+                stats.shallow_fails += 1
+                machine.cycles += fail_shallow
+                if not machine.cp_flag:
+                    undone = unwind(shadow.tr)
+                    machine.cycles += undone * unwind_cost
+                    machine.h = shadow.h
+                    machine.p = shadow.alt
+                else:
+                    b = machine.b
+                    tr = int(rd_control(b + CP_SAVED_TR).value)
+                    undone = unwind(tr)
+                    machine.cycles += undone * unwind_cost
+                    machine.h = int(rd_control(b + CP_SAVED_H).value)
+                    machine.p = int(rd_control(b + CP_ALT).value)
+                return
+
+            stats.deep_fails += 1
+            b = machine.b
+            if not b:
+                machine.running = False
+                machine.exhausted = True
+                return
+            arity = int(rd_control(b + CP_ARITY).value)
+            for i in range(arity):
+                set_x(i, rd_control(b + CP_ARGS + i))
+            machine.cp = int(rd_control(b + CP_SAVED_CP).value)
+            machine.e = int(rd_control(b + CP_SAVED_E).value)
+            machine.b0 = int(rd_control(b + CP_SAVED_B0).value)
+            tr = int(rd_control(b + CP_SAVED_TR).value)
+            undone = unwind(tr)
+            h = int(rd_control(b + CP_SAVED_H).value)
+            machine.h = h
+            machine.hb = h
+            machine.lb = int(rd_control(b + CP_SAVED_LB).value)
+            machine.p = int(rd_control(b + CP_ALT).value)
+            machine.cp_flag = True
+            machine.shallow_flag = False
+            machine.cycles += (cp_restore_base
+                               + arity * cp_restore_per_reg
+                               + fail_deep_branch
+                               + undone * unwind_cost)
+
+        def create_choice_point(alt, arity, h, tr, lb):
+            b = machine.b
+            base = (b + CP_ARGS
+                    + int(rd_control(b + CP_ARITY).value)) if b \
+                else control_base
+            # The frame's 9 + arity words go to consecutive ascending
+            # addresses, so wr_control's hit path is expanded once as a
+            # loop (per-word fallback keeps access order and counters
+            # exact).  The undo-log/dirty-tracking/protection guards
+            # hoist out of the loop: no handler can run between the
+            # writes of one instruction on the fast loop, and the
+            # recovering loop always has the undo log armed, which
+            # routes every word through the generic accessor.
+            words = [mki(arity), mdp(b, CONTROL), mcp(machine.cp),
+                     mdp(machine.e, LOCAL), mdp(h, GLOBAL),
+                     mdp(tr, TRAIL), mdp(machine.b0, CONTROL),
+                     mdp(lb, LOCAL), mcp(alt)]
+            for i in range(arity):
+                words.append(reg_x(i))
+            a = base
+            if (ce_ok and machine._undo_log is None
+                    and not store.track_dirty
+                    and not ce.write_protected):
+                for w in words:
+                    c = chunks.get(a >> 16)
+                    hit = False
+                    if c is not None:
+                        if sectioned:
+                            j = ce_base | (a & 1023)
+                            t = a >> 10
+                        else:
+                            j = a & 8191
+                            t = a >> 13
+                        if (dtags[j] == t
+                                and ce.low_bound <= a < ce.high_bound
+                                and 0 <= a <= amask):
+                            ce.checks += 1
+                            c[a & 0xFFFF] = w
+                            ds.writes += 1
+                            ds.write_hits += 1
+                            ddirty[j] = True
+                            stats.data_writes += 1
+                            hit = True
+                    if not hit:
+                        write(a, w, CONTROL)
+                    a += 1
+            else:
+                for w in words:
+                    write(a, w, CONTROL)
+                    a += 1
+            machine.b = base
+            machine.hb = h
+            machine.lb = lb
+            machine.cycles += cp_create_base + arity * cp_save_per_reg
+            stats.choice_points_created += 1
+
+        def refresh_barriers():
+            b = machine.b
+            if b:
+                machine.hb = int(rd_control(b + CP_SAVED_H).value)
+                machine.lb = int(rd_control(b + CP_SAVED_LB).value)
+            else:
+                machine.hb = global_base
+                machine.lb = local_base
+
+        def pop_choice_point():
+            machine.b = int(rd_control(machine.b + CP_PREV_B).value)
+            refresh_barriers()
+
+        return (bind, unify, fail, create_choice_point,
+                refresh_barriers, pop_choice_point)
 
     # ------------------------------------------------------------------
     # stack geometry
@@ -676,9 +1064,19 @@ class Machine:
         # below uninstalls them so accesses between runs (bootstrap
         # frame setup, tests poking _read directly) take the layered
         # class methods again.
+        trail = self.trail
         if self.fast_path:
             self._read, self._write, self.deref = \
                 self.memory.fused_data_path(self)
+            (self.bind, self.unify, self.fail,
+             self._create_choice_point, self._refresh_barriers,
+             self._pop_choice_point) = self._fused_control_path()
+            # The trail's accessors forward through _trail_read/_write
+            # to self._read/_write; pointing them at the fused closures
+            # for the run saves the forwarding frame on every push and
+            # unwind entry.  Restored below with the fused accessors.
+            trail._read = self._read
+            trail._write = self._write
         try:
             if self.trap_vector.armed or self.injector is not None:
                 self._loop_recovering()
@@ -709,6 +1107,14 @@ class Machine:
             self.__dict__.pop("_read", None)
             self.__dict__.pop("_write", None)
             self.__dict__.pop("deref", None)
+            self.__dict__.pop("bind", None)
+            self.__dict__.pop("unify", None)
+            self.__dict__.pop("fail", None)
+            self.__dict__.pop("_create_choice_point", None)
+            self.__dict__.pop("_refresh_barriers", None)
+            self.__dict__.pop("_pop_choice_point", None)
+            trail._read = self._trail_read
+            trail._write = self._trail_write
             stats.cycles = self.cycles
             stats.solutions = len(self.solutions)
             stats.trail_pushes = self.trail.pushes
@@ -720,16 +1126,47 @@ class Machine:
         """Drop the predecoded block table; every code-zone writer
         (linker install, incremental loader, bootstrap-stub allocator)
         calls this, and :meth:`_ensure_predecoded` re-checks the code
-        length defensively."""
+        length and generation defensively."""
         self._predecoded = None
+        self._code_generation += 1
+
+    def patch_code(self, address: int, instr: "Instruction") -> None:
+        """Rewrite one already-decoded instruction in place.
+
+        The blessed API for same-length code-word rewrites (runtime
+        specialisation, debugger breakpoints): validates that an
+        instruction of the same encoded size starts at ``address``,
+        writes it, and bumps the code-zone generation *without*
+        dropping the predecoded table — :meth:`_ensure_predecoded`
+        notices the stale generation on the next run and retranslates.
+        A raw ``machine.code[address] = ...`` store would leave the
+        fast path executing the old predecoded instruction.
+        """
+        old = self.code[address] if 0 <= address < len(self.code) else None
+        if old is None:
+            raise InstructionError(
+                f"no instruction starts at code address {address}")
+        if instr.size != old.size:
+            raise InstructionError(
+                f"patch at {address} changes instruction size "
+                f"({old.size} -> {instr.size} words); only same-size "
+                f"rewrites keep the code layout valid")
+        self.code[address] = instr
+        self._code_generation += 1
 
     def _ensure_predecoded(self) -> PredecodedCode:
         """The predecoded table for the current code zone, rebuilt only
-        when the code changed since the last build."""
+        when the code changed since the last build.  With
+        ``features.superops`` on, profile-selected hot blocks are fused
+        into single closures (repro.core.superops) during translation."""
         table = self._predecoded
-        if table is None or not table.valid_for(self.code):
+        if table is None or not table.valid_for(self.code,
+                                                self._code_generation):
+            fuser = SuperopFuser(self) if self.features.superops else None
             table = predecode(self.code, self._dispatch,
-                              self.costs.static_cost_table())
+                              self.costs.static_cost_table(),
+                              fuser=fuser,
+                              generation=self._code_generation)
             self._predecoded = table
         return table
 
@@ -748,12 +1185,17 @@ class Machine:
         unchanged).  Code-fetch timing still runs per instruction —
         the code cache is stateful — with the hit path inlined and its
         two counters batched locally, flushed on every exit path.
+
+        Blocks the profile marked hot carry a superinstruction closure
+        (``entry[4]``, built by repro.core.superops): the whole run
+        executes as one call with identical observables — the closure
+        performs the same per-instruction ring writes, code-fetch
+        probes and deviation uncharges this loop would.
         """
         entries = self._ensure_predecoded().entries
         memory = self.memory
         stats = self.stats
         recent = self._recent_pcs
-        idx = self._recent_index
         max_cycles = self.max_cycles
         timing = memory.timing_enabled
         code_fetch = memory.code_fetch
@@ -768,12 +1210,22 @@ class Machine:
                     raise InstructionError(
                         f"execution fell into the middle of "
                         f"a multi-word instruction at {p}")
-                steps, block_cost, block_instr, block_infer = entry
+                steps, block_cost, block_instr, block_infer, fused = entry
                 self.cycles += block_cost
                 stats.instructions += block_instr
                 stats.inferences += block_infer
+                if fused is not None:
+                    # Superinstruction: the whole run executes inside
+                    # one generated closure (repro.core.superops) that
+                    # maintains P, the recent-PC ring, code-fetch
+                    # timing and the deviation uncharges itself.
+                    fused()
+                    if self.cycles > max_cycles:
+                        raise self._cycle_limit_error(max_cycles)
+                    continue
                 i = 0
                 n = len(steps)
+                idx = self._recent_index
                 try:
                     while True:
                         step = steps[i]
@@ -806,7 +1258,7 @@ class Machine:
                             # Early transfer out of the block: the
                             # suffix sums are the table entry at the
                             # fall-through address.
-                            _, cost, n_instr, n_infer = entries[next_p]
+                            _, cost, n_instr, n_infer, _ = entries[next_p]
                             self.cycles -= cost
                             stats.instructions -= n_instr
                             stats.inferences -= n_infer
@@ -816,17 +1268,17 @@ class Machine:
                     # The faulting step at index ``i`` was charged and
                     # counted before dispatch, exactly as in the seed
                     # loop; uncharge only the unexecuted suffix.
+                    self._recent_index = idx  # error reads the ring
                     if i + 1 < n:
-                        _, cost, n_instr, n_infer = entries[next_p]
+                        _, cost, n_instr, n_infer, _ = entries[next_p]
                         self.cycles -= cost
                         stats.instructions -= n_instr
                         stats.inferences -= n_infer
                     raise
+                self._recent_index = idx
                 if self.cycles > max_cycles:
-                    self._recent_index = idx  # error reads the ring
                     raise self._cycle_limit_error(max_cycles)
         finally:
-            self._recent_index = idx
             if hits:
                 cache_stats.reads += hits
                 cache_stats.read_hits += hits
@@ -884,19 +1336,19 @@ class Machine:
         stats = self.stats
         recent = self._recent_pcs
         injector = self.injector
-        entries = self._ensure_predecoded().entries if self.fast_path \
+        singles = self._ensure_predecoded().singles if self.fast_path \
             else None
         undo: list = []
         replay = False
         while self.running:
             p = self.p
-            if entries is not None:
-                entry = entries[p]
-                if entry is None:
+            if singles is not None:
+                step = singles[p]
+                if step is None:
                     raise InstructionError(
                         f"execution fell into the middle of "
                         f"a multi-word instruction at {p}")
-                handler, cost, infer, next_p, instr = entry[0][0]
+                handler, cost, infer, next_p, instr = step
             else:
                 instr = code[p]
                 if instr is None:

@@ -27,11 +27,22 @@ table entry of the fall-through address — when a mid-block failure or
 trap transfers control early.  Simulated cycle accounting is therefore
 bit-identical to the seed loop; only host work changes.
 
+On top of the block views sits the superinstruction layer
+(:mod:`repro.core.superops`): when a fuser is supplied, blocks whose
+opcode runs the profile marked hot are compiled into single closures
+and their entries carry that closure in the ``fused`` slot (with the
+same sums, so mid-block uncharges that land on a fused fall-through
+address still read correct suffix totals).  The per-address plain
+steps survive in :attr:`PredecodedCode.singles` for the recovering
+loop, which always executes one instruction at a time.
+
 The table is a pure cache over ``machine.code``: anything that writes
 the code zone (the linker's :meth:`LinkedImage.install`, the
-incremental loader, the bootstrap-stub allocator) must call
-``machine.invalidate_predecode()``.  A code-length check catches
-stragglers defensively.
+incremental loader, the bootstrap-stub allocator, ``patch_code``) must
+call ``machine.invalidate_predecode()`` or bump the machine's code
+generation.  Staleness is checked on both the code length *and* the
+generation counter — a length check alone misses same-length in-place
+code-word rewrites.
 """
 
 from __future__ import annotations
@@ -58,33 +69,57 @@ BLOCK_ENDERS = frozenset({
 Step = Tuple[Callable, int, int, int, object]
 
 #: One table entry: (steps-from-here-to-block-end, static-cycle sum,
-#: instruction count, inference count).
-BlockView = Tuple[Tuple[Step, ...], int, int, int]
+#: instruction count, inference count, fused-closure-or-None).  Fused
+#: entries keep their sums but carry an empty steps tuple — the closure
+#: embodies the whole run.
+BlockView = Tuple[Tuple[Step, ...], int, int, int, Optional[Callable]]
 
 
 class PredecodedCode:
     """The per-address block table for one machine's code zone."""
 
-    __slots__ = ("entries", "code_len")
+    __slots__ = ("entries", "singles", "code_len", "generation",
+                 "fused_count")
 
-    def __init__(self, entries: List[Optional[BlockView]], code_len: int):
+    #: Total code-zone translations performed in this process; serving
+    #: regression tests snapshot it around ``reset_for_reuse`` cycles
+    #: to prove warm engines do not re-translate (mirrors the linker's
+    #: ``links_performed`` counter).
+    translations_performed = 0
+
+    def __init__(self, entries: List[Optional[BlockView]], code_len: int,
+                 singles: Optional[List[Optional[Step]]] = None,
+                 generation: int = 0, fused_count: int = 0):
         self.entries = entries
+        self.singles = singles if singles is not None else \
+            [entry[0][0] if entry and entry[0] else None
+             for entry in entries]
         self.code_len = code_len
+        self.generation = generation
+        self.fused_count = fused_count
 
-    def valid_for(self, code: list) -> bool:
-        """Cheap staleness check: the code zone is append-mostly, so a
-        length change catches every install/extend that forgot the
-        explicit ``invalidate_predecode`` call."""
-        return self.code_len == len(code)
+    def valid_for(self, code: list, generation: Optional[int] = None) -> bool:
+        """Staleness check: code length (catches installs/extends that
+        forgot the explicit ``invalidate_predecode`` call) plus, when
+        given, the machine's code-zone generation counter (catches
+        same-length in-place rewrites, e.g. ``patch_code``)."""
+        if self.code_len != len(code):
+            return False
+        return generation is None or self.generation == generation
 
 
 def predecode(code: list, dispatch: Dict[Op, Callable],
-              static_costs: Dict[Op, int]) -> PredecodedCode:
+              static_costs: Dict[Op, int],
+              fuser=None, generation: int = 0) -> PredecodedCode:
     """Translate ``code`` into a :class:`PredecodedCode` table.
 
     ``dispatch`` maps opcodes to bound handlers (the machine's dispatch
     table); ``static_costs`` maps opcodes to their fixed per-execution
-    cycle charge (:meth:`CostModel.static_cost_table`).
+    cycle charge (:meth:`CostModel.static_cost_table`).  ``fuser``, when
+    given, is a :class:`repro.core.superops.SuperopFuser` consulted per
+    block entry; blocks it fuses execute as one closure on the fast
+    loop.  ``generation`` stamps the table with the machine's code-zone
+    generation for the :meth:`PredecodedCode.valid_for` check.
 
     Entries are built right to left so each address's block view shares
     the step tuples (not the tuples-of-steps) of its suffix addresses:
@@ -109,11 +144,28 @@ def predecode(code: list, dispatch: Dict[Op, Callable],
         next_p = step[3]
         if (code[address].op in BLOCK_ENDERS
                 or next_p >= n or entries[next_p] is None):
-            entries[address] = ((step,), step[1], 1, step[2])
+            entries[address] = ((step,), step[1], 1, step[2], None)
         else:
-            tail_steps, tail_cost, tail_instr, tail_infer = entries[next_p]
+            tail_steps, tail_cost, tail_instr, tail_infer, _ = \
+                entries[next_p]
             entries[address] = ((step,) + tail_steps,
                                 step[1] + tail_cost,
                                 1 + tail_instr,
-                                step[2] + tail_infer)
-    return PredecodedCode(entries, n)
+                                step[2] + tail_infer,
+                                None)
+
+    fused_count = 0
+    if fuser is not None:
+        for address in range(n):
+            entry = entries[address]
+            if entry is None:
+                continue
+            closure = fuser.fuse(address, entry[0])
+            if closure is not None:
+                entries[address] = ((), entry[1], entry[2], entry[3],
+                                    closure)
+                fused_count += 1
+
+    PredecodedCode.translations_performed += 1
+    return PredecodedCode(entries, n, singles=steps,
+                          generation=generation, fused_count=fused_count)

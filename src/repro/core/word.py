@@ -18,15 +18,17 @@ from typing import Union
 
 from repro.core.tags import (
     TAG_TYPE_SHIFT,
+    TAG_ZONE_SHIFT,
     TYPE_BY_INDEX,
     TYPE_MASK,
     Type,
     Zone,
+    ZONE_BY_INDEX,
+    ZONE_MASK,
     make_tag,
     tag_gc_link,
     tag_gc_mark,
     tag_type,
-    tag_zone,
     with_gc_link,
     with_gc_mark,
     VALUE_MASK,
@@ -59,24 +61,25 @@ class Word:
     immutable; memory cells are replaced, never mutated.
     """
 
-    __slots__ = ("tag", "value", "type")
+    __slots__ = ("tag", "value", "type", "zone")
 
     def __init__(self, tag: int, value: Union[int, float]):
         self.tag = tag
         self.value = value
-        #: The 4-bit type field, decoded eagerly: reading ``.type`` is
-        #: the single hottest operation in the simulator (deref, bind,
-        #: zone check, MWAC dispatch) and outnumbers Word creations, so
-        #: a plain slot beats a property frame per access.  Total over
-        #: the 16 possible field values — never raises.
+        #: The 4-bit type and zone fields, decoded eagerly: reading
+        #: ``.type``/``.zone`` are the hottest operations in the
+        #: simulator (deref, bind, zone check, MWAC dispatch) and
+        #: outnumber Word creations, so a plain slot beats a property
+        #: frame per access.  The type decode is total over the 16
+        #: possible field values; the zone decode leaves ``None`` in
+        #: the slot for the 8 invalid encodings — accessors that must
+        #: preserve the seed's raise-on-access behaviour (deref) call
+        #: :func:`repro.core.tags.tag_zone` on the tag when they see
+        #: ``None``.
         self.type = TYPE_BY_INDEX[(tag >> TAG_TYPE_SHIFT) & TYPE_MASK]
+        self.zone = ZONE_BY_INDEX[(tag >> TAG_ZONE_SHIFT) & ZONE_MASK]
 
     # -- field accessors ----------------------------------------------------
-
-    @property
-    def zone(self) -> Zone:
-        """The 4-bit zone field of this word."""
-        return tag_zone(self.tag)
 
     @property
     def gc_mark(self) -> bool:
@@ -129,7 +132,8 @@ class Word:
     def __repr__(self) -> str:
         t = self.type
         z = self.zone
-        zone_part = f",{z.name}" if z is not Zone.NONE else ""
+        zone_part = f",{z.name}" if z is not None and z is not Zone.NONE \
+            else ""
         return f"<{t.name}{zone_part}:{self.value}>"
 
 

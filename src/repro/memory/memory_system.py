@@ -23,7 +23,7 @@ from typing import Callable, Dict, Optional
 
 from repro.core.tags import (
     ADDRESS_MASK, TAG_TYPE_SHIFT, TAG_ZONE_SHIFT, Type, Zone,
-    ZONE_BY_INDEX, ZONE_GRANULE_WORDS,
+    ZONE_BY_INDEX, tag_zone,
 )
 from repro.core.word import Word, ZERO_WORD
 from repro.memory.cache import CodeCache, DataCache
@@ -126,6 +126,11 @@ class MemorySystem:
         zones = self.zones
         zone_enabled = zones.enabled
         entries = zones.entries
+        # Zone enums are IntEnums 0..7 and the entries dict's key set is
+        # fixed at construction (values are mutated in place), so a
+        # 16-slot tuple turns the per-access dict hash into an index.
+        zone_entry = tuple(entries.get(Zone(i)) if i < 8 else None
+                           for i in range(16))
         zone_check = zones.check
         store = self.store
         chunks = store._chunks
@@ -138,7 +143,6 @@ class MemorySystem:
         main = cache.memory
         translate = self.mmu.translate
         stats = machine.stats
-        granule = ZONE_GRANULE_WORDS
         address_mask = ADDRESS_MASK
         DATA_PTR = Type.DATA_PTR
 
@@ -149,12 +153,10 @@ class MemorySystem:
             # is known to complete (an MMU page-fault trap on the miss
             # path must leave them untouched, as data_read would).
             if zone_enabled:
-                entry = entries.get(zone)
+                entry = zone_entry[zone]
                 if (entry is not None and 0 <= address <= address_mask
                         and word_type in entry.allowed_types
-                        and (entry.min_address
-                             - entry.min_address % granule) <= address
-                        < -(-entry.max_address // granule) * granule):
+                        and entry.low_bound <= address < entry.high_bound):
                     entry.checks += 1
                 else:
                     zone_check(zone, address, word_type, False)  # raises
@@ -198,13 +200,11 @@ class MemorySystem:
                 # succeeded functionally before the fault.
                 undo.append((address, store.peek(address)))
             if zone_enabled:
-                entry = entries.get(zone)
+                entry = zone_entry[zone]
                 if (entry is not None and 0 <= address <= address_mask
                         and word_type in entry.allowed_types
                         and not entry.write_protected
-                        and (entry.min_address
-                             - entry.min_address % granule) <= address
-                        < -(-entry.max_address // granule) * granule):
+                        and entry.low_bound <= address < entry.high_bound):
                     entry.checks += 1
                 else:
                     zone_check(zone, address, word_type, True)  # raises
@@ -261,17 +261,16 @@ class MemorySystem:
                 if (wtag >> type_shift) & 15 != ref_index:
                     return word
                 address = word.value
-                zone = zone_table[(wtag >> zone_shift) & 15]
+                zone = word.zone
                 if zone is None:
-                    zone = word.zone        # raises, as the seed would
+                    zone = tag_zone(wtag)   # raises, as the seed would
                 cell = None
                 if zone_enabled and timing:
-                    entry = entries.get(zone)
+                    entry = zone_entry[zone]
                     if (entry is not None and 0 <= address <= address_mask
                             and REF_TYPE in entry.allowed_types
-                            and (entry.min_address
-                                 - entry.min_address % granule) <= address
-                            < -(-entry.max_address // granule) * granule):
+                            and entry.low_bound <= address
+                            < entry.high_bound):
                         chunk = chunks.get(address >> 16)
                         if chunk is not None:
                             cell = chunk[address & 0xFFFF]

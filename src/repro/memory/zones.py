@@ -52,12 +52,25 @@ class ZoneEntry:
     write_protected: bool = False
     #: Count of checks performed against this zone (statistics only).
     checks: int = field(default=0, repr=False)
+    #: Granule-rounded limits, derived from min/max by
+    #: :meth:`refresh_bounds`.  Every limit mutation funnels through
+    #: :meth:`ZoneChecker.set_limits` / :meth:`ZoneChecker.reset_limits`
+    #: (which refresh), so the hot accessors compare against these two
+    #: integers instead of re-rounding per access.
+    low_bound: int = field(default=0, repr=False)
+    high_bound: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        self.refresh_bounds()
+
+    def refresh_bounds(self) -> None:
+        self.low_bound = _granule_floor(self.min_address)
+        self.high_bound = _granule_ceil(self.max_address)
 
     def contains(self, address: int) -> bool:
         """Granule-level containment test, as the hardware comparator
         sees it (bits 27..12 against the RAM field)."""
-        return (_granule_floor(self.min_address) <= address
-                < _granule_ceil(self.max_address))
+        return self.low_bound <= address < self.high_bound
 
 
 class ZoneChecker:
@@ -92,6 +105,7 @@ class ZoneChecker:
             entry = self.entries[zone]
             entry.min_address = region.base
             entry.max_address = region.limit
+            entry.refresh_bounds()
             entry.write_protected = False
             entry.checks = 0
         self.violations = 0
@@ -104,6 +118,7 @@ class ZoneChecker:
         entry = self.entries[zone]
         entry.min_address = min_address
         entry.max_address = max_address
+        entry.refresh_bounds()
 
     def move_limits(self, zone: Zone, min_address: int,
                     max_address: int) -> None:

@@ -38,13 +38,18 @@ class TestBlockTable:
             pc += instr.size
 
     def test_block_sums_match_member_steps(self):
+        # Structural invariants are asserted on an unfused translation
+        # (no fuser): fused entries carry an empty steps tuple by
+        # design and are covered by test_superops.py.
         machine = loaded_machine()
-        table = machine._ensure_predecoded()
+        table = predecode(machine.code, machine._dispatch,
+                          machine.costs.static_cost_table())
         costs = machine.costs.static_cost_table()
         for entry in table.entries:
             if entry is None:
                 continue
-            steps, cycle_sum, instr_count, infer_count = entry
+            steps, cycle_sum, instr_count, infer_count, fused = entry
+            assert fused is None, "no fuser was supplied"
             assert instr_count == len(steps)
             assert cycle_sum == sum(step[1] for step in steps)
             assert infer_count == sum(step[2] for step in steps)
@@ -58,7 +63,8 @@ class TestBlockTable:
 
     def test_blocks_end_at_enders_or_boundaries(self):
         machine = loaded_machine()
-        table = machine._ensure_predecoded()
+        table = predecode(machine.code, machine._dispatch,
+                          machine.costs.static_cost_table())
         for entry in table.entries:
             if entry is None:
                 continue
@@ -67,6 +73,22 @@ class TestBlockTable:
             assert (last[4].op in BLOCK_ENDERS
                     or next_p >= len(machine.code)
                     or table.entries[next_p] is not None)
+
+    def test_singles_mirror_per_address_steps(self):
+        # The recovering loop executes one instruction at a time from
+        # .singles; every instruction start must have its plain step
+        # there even when the block entry itself is fused.
+        machine = loaded_machine()
+        table = machine._ensure_predecoded()
+        for pc, instr in enumerate(machine.code):
+            if instr is None:
+                assert table.singles[pc] is None
+            else:
+                handler, cost, infer, next_p, step_instr = \
+                    table.singles[pc]
+                assert step_instr is instr
+                assert next_p == pc + instr.size
+                assert handler is machine._dispatch[instr.op]
 
     def test_static_cost_table_matches_dynamic_costs(self):
         machine = loaded_machine()

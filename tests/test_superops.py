@@ -1,0 +1,138 @@
+"""The superinstruction layer: fused-entry structure, ablation
+equivalence, generation-counter staleness and warm-reuse translation
+caching (the regressions ISSUE 8 hardens)."""
+
+from repro.api import compile_and_load
+from repro.core.costs import Features
+from repro.core.instruction import Instruction
+from repro.core.machine import Machine
+from repro.core.opcodes import Op
+from repro.core.predecode import PredecodedCode, predecode
+from repro.core.superops import FusionTable, SuperopFuser
+from repro.core.symbols import SymbolTable
+from repro.core.word import make_int
+from repro.prolog.writer import term_to_text
+
+APPEND = ("append([], L, L).\n"
+          "append([H|T], L, [H|R]) :- append(T, L, R).\n")
+QUERY = "append([1,2,3], [4,5], R)"
+
+
+def loaded_machine(program=APPEND, query=QUERY, **kwargs):
+    return compile_and_load(program, query,
+                            machine=Machine(symbols=SymbolTable(),
+                                            fast_path=True, **kwargs))
+
+
+def run_loaded(machine):
+    return machine.run(machine.image.entry,
+                       answer_names=machine.image.query_variable_names)
+
+
+def self_table(machine):
+    """A FusionTable naming every static block of ``machine.code``, so
+    fusion does not depend on what the committed profile selected."""
+    plain = predecode(machine.code, machine._dispatch,
+                      machine.costs.static_cost_table())
+    return FusionTable([tuple(step[4].op.name for step in entry[0])
+                        for entry in plain.entries if entry is not None])
+
+
+class TestFusedEntries:
+    def test_fused_entries_preserve_block_sums(self):
+        machine = loaded_machine()
+        plain = predecode(machine.code, machine._dispatch,
+                          machine.costs.static_cost_table())
+        fuser = SuperopFuser(machine, table=self_table(machine))
+        fused = predecode(machine.code, machine._dispatch,
+                          machine.costs.static_cost_table(), fuser=fuser)
+        assert fused.fused_count > 0
+        seen_fused = 0
+        for address, entry in enumerate(fused.entries):
+            ref = plain.entries[address]
+            assert (entry is None) == (ref is None)
+            if entry is None:
+                continue
+            steps, cycles, instrs, infers, closure = entry
+            # The uncharge sums a fused entry carries must be the plain
+            # translation's, or mid-block deviations landing on it
+            # would settle wrong cycle counts.
+            assert (cycles, instrs, infers) == (ref[1], ref[2], ref[3])
+            if closure is not None:
+                seen_fused += 1
+                assert steps == ()
+                assert callable(closure)
+            else:
+                assert steps == ref[0]
+            # The recovering loop needs the plain per-address step even
+            # under a fused entry.
+            assert fused.singles[address] == plain.singles[address]
+        assert seen_fused == fused.fused_count
+
+    def test_superops_ablation_runs_unfused_and_identical(self):
+        fused = loaded_machine()
+        unfused = loaded_machine(features=Features(superops=False))
+        stats_fused = run_loaded(fused)
+        stats_unfused = run_loaded(unfused)
+        assert unfused._predecoded.fused_count == 0
+        assert all(entry is None or entry[4] is None
+                   for entry in unfused._predecoded.entries)
+        assert fused._predecoded.fused_count > 0
+        assert stats_fused.cycles == stats_unfused.cycles
+        assert stats_fused.instructions == stats_unfused.instructions
+        assert stats_fused.inferences == stats_unfused.inferences
+        assert [term_to_text(s["R"]) for s in fused.solutions] == \
+            [term_to_text(s["R"]) for s in unfused.solutions]
+
+
+class TestGenerationStaleness:
+    def test_valid_for_checks_generation(self):
+        machine = loaded_machine()
+        table = machine._ensure_predecoded()
+        assert table.valid_for(machine.code, machine._code_generation)
+        # A length-preserving change only moves the generation; the
+        # staleness check must still catch it.
+        assert not table.valid_for(machine.code,
+                                   machine._code_generation + 1)
+        # Without a generation the check degrades to length-only.
+        assert table.valid_for(machine.code)
+
+    def test_patch_code_retranslates_same_length_rewrite(self):
+        machine = loaded_machine("value(1).", "value(X)")
+        run_loaded(machine)
+        assert term_to_text(machine.solutions[0]["X"]) == "1"
+        address, old = next(
+            (a, i) for a, i in enumerate(machine.code)
+            if i is not None and i.op is Op.GET_CONSTANT)
+        machine.patch_code(address, Instruction(
+            Op.GET_CONSTANT, make_int(2), old.b, infer=old.infer))
+        machine.reset_for_reuse()
+        run_loaded(machine)
+        # With a length-only staleness check the fast path would keep
+        # executing the stale predecoded constant and still answer 1.
+        assert term_to_text(machine.solutions[0]["X"]) == "2"
+
+
+class TestWarmReuseTranslationCache:
+    def test_reset_for_reuse_keeps_translation(self):
+        machine = loaded_machine()
+        first = run_loaded(machine)
+        table = machine._predecoded
+        baseline = PredecodedCode.translations_performed
+        machine.reset_for_reuse()
+        second = run_loaded(machine)
+        # Same table object, no new translation work — the warm-pool
+        # analogue of the linker's links_performed guarantee.
+        assert machine._predecoded is table
+        assert PredecodedCode.translations_performed == baseline
+        assert second.cycles == first.cycles
+        assert second.instructions == first.instructions
+
+    def test_invalidation_translates_exactly_once(self):
+        machine = loaded_machine()
+        run_loaded(machine)
+        baseline = PredecodedCode.translations_performed
+        machine.invalidate_predecode()
+        machine.reset_for_reuse()
+        run_loaded(machine)
+        assert PredecodedCode.translations_performed == baseline + 1
