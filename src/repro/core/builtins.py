@@ -475,6 +475,14 @@ def _bi_answer(machine, arity: int) -> bool:
         solution[name] = decode_word(machine, machine.regs.x(i))
     machine.solutions.append(solution)
     if machine.collect_all:
+        if machine.stop_on_solution:
+            # Pause at the next instruction boundary: returning False
+            # still runs fail() first, so the backtrack (or exhaustion)
+            # lands exactly as in an unpaused run — fail() only touches
+            # ``running`` on exhaustion, so the pause survives it and
+            # resume() continues the search bit-identically.
+            machine.running = False
+            machine.solution_paused = True
         return False
     machine.running = False
     machine.halted = True

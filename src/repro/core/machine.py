@@ -57,7 +57,9 @@ from repro.core.word import (
 )
 from repro.core.predecode import PredecodedCode, predecode
 from repro.core.superops import SuperopFuser
-from repro.core.traps import MachineCheckpoint, TrapReport, TrapVector
+from repro.core.traps import (
+    MachineCheckpoint, TrapLogRing, TrapReport, TrapVector,
+)
 from repro.errors import (
     ArithmeticError_, CycleLimitExceeded, ExistenceError, InstructionError,
     MachineError, MachineTrap,
@@ -143,6 +145,16 @@ class Machine:
         self.solutions: List[dict] = []
         self.answer_names: List[str] = []
         self.collect_all = False
+        #: session hook: with collect_all set, pause (running = False at
+        #: the next instruction boundary, after the answer's fail/
+        #: backtrack) each time '$answer' records a solution, instead of
+        #: driving on to exhaustion.  resume() continues the search for
+        #: the next solution bit-identically (docs/SESSIONS.md).
+        self.stop_on_solution = False
+        #: set by the '$answer' escape when stop_on_solution pauses the
+        #: run; cleared on the next run/resume entry.  Distinguishes
+        #: "paused with a fresh solution" from cycle-budget pauses.
+        self.solution_paused = False
 
         # Output from write/1 and friends when real I/O is linked in.
         self.output: List[str] = []
@@ -155,8 +167,10 @@ class Machine:
         self.trap_vector = TrapVector()
         #: optional deterministic fault injector (repro.recovery.inject).
         self.injector = None
-        #: TrapReports of every delivered trap, recovered or fatal.
-        self.trap_log: List[TrapReport] = []
+        #: TrapReports of delivered traps, recovered or fatal (a
+        #: bounded ring: long-lived session engines keep the newest
+        #: TRAP_LOG_RING reports plus a dropped-count).
+        self.trap_log = TrapLogRing()
 
         self._dispatch = self._build_dispatch()
         #: predecoded block table (repro.core.predecode), built lazily
@@ -200,7 +214,8 @@ class Machine:
         self.running = False
         self.halted = False
         self.exhausted = False
-        self.trap_log = []
+        self.solution_paused = False
+        self.trap_log = TrapLogRing()
         self._recent_pcs = [-1] * RECENT_RING
         self._recent_index = 0
         self._retry_pc = -1
@@ -1056,6 +1071,9 @@ class Machine:
         """Run the main loop until halt/exhaustion, finalizing stats and
         annotating escaping errors no matter how the loop exits."""
         stats = self.stats
+        # A fresh (re)entry consumes any pending stop-at-solution pause;
+        # the '$answer' escape re-raises it at the next solution.
+        self.solution_paused = False
         # Under fast_path, shadow _read/_write with the memory system's
         # fused single-frame closures for the duration of this run —
         # same observables (docs/PERF.md), so the ablation keeps the

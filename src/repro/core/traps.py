@@ -50,6 +50,12 @@ TrapHandler = Callable[[object, BaseException, "TrapReport"], bool]
 #: this is deliberately conservative and configurable per vector).
 DEFAULT_SERVICE_CYCLES = 100
 
+#: how many TrapReports a machine's audit log retains (newest wins).
+#: A long-lived session engine may service thousands of recovered page
+#: faults over its lifetime; an unbounded list would grow the engine's
+#: resident size — and every checkpoint — without bound.
+TRAP_LOG_RING = 256
+
 
 @dataclass
 class TrapReport:
@@ -88,6 +94,87 @@ class TrapReport:
         outcome = "recovered" if self.recovered else "fatal"
         via = f" by {self.handler}" if self.handler else ""
         return f"{self.kind} at {where}{target}: {outcome}{via}"
+
+
+class TrapLogRing:
+    """``machine.trap_log``: a bounded, ordered trap audit log.
+
+    Behaves like the list it replaced — ``append``, ``len``, indexing,
+    iteration oldest-first — but retains only the newest
+    ``capacity`` reports, counting evictions in ``dropped`` (the same
+    keep-the-tail discipline as the machine's recent-PC ring, applied
+    to reports rather than addresses).  The total delivered count is
+    therefore always ``len(ring) + ring.dropped``, and a long-lived
+    engine's audit trail stops growing with its lifetime.
+
+    :meth:`snapshot` / :meth:`restore` round-trip the ring through
+    :class:`MachineCheckpoint` bit-identically — entries, drop count
+    and capacity all survive, so a resumed engine's log is
+    indistinguishable from an uninterrupted one's.
+    """
+
+    __slots__ = ("capacity", "dropped", "_entries")
+
+    def __init__(self, capacity: int = TRAP_LOG_RING,
+                 entries: Optional[List[TrapReport]] = None,
+                 dropped: int = 0):
+        if capacity < 1:
+            raise ValueError("trap log capacity must be >= 1")
+        self.capacity = capacity
+        self.dropped = dropped
+        self._entries: List[TrapReport] = list(entries or ())
+        overflow = len(self._entries) - capacity
+        if overflow > 0:
+            del self._entries[:overflow]
+            self.dropped += overflow
+
+    def append(self, report: TrapReport) -> None:
+        self._entries.append(report)
+        if len(self._entries) > self.capacity:
+            del self._entries[0]
+            self.dropped += 1
+
+    def clear(self) -> None:
+        self._entries = []
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __getitem__(self, index):
+        return self._entries[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, TrapLogRing):
+            return (self._entries == other._entries
+                    and self.dropped == other.dropped
+                    and self.capacity == other.capacity)
+        if isinstance(other, list):
+            return self._entries == other and not self.dropped
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (f"TrapLogRing({len(self._entries)} of {self.capacity} "
+                f"retained, {self.dropped} dropped)")
+
+    def snapshot(self) -> Tuple[List[TrapReport], int, int]:
+        """Checkpoint form: ``(entries, dropped, capacity)``."""
+        return (list(self._entries), self.dropped, self.capacity)
+
+    @classmethod
+    def restore(cls, snapshot) -> "TrapLogRing":
+        """Rebuild from :meth:`snapshot` output (or, for checkpoints
+        predating the ring, a plain report list)."""
+        if isinstance(snapshot, tuple):
+            entries, dropped, capacity = snapshot
+            return cls(capacity=capacity, entries=entries, dropped=dropped)
+        return cls(entries=list(snapshot))
 
 
 class TrapVector:
@@ -221,6 +308,8 @@ class MachineCheckpoint:
             "cycles": machine.cycles, "max_cycles": machine.max_cycles,
             "running": machine.running, "halted": machine.halted,
             "exhausted": machine.exhausted,
+            "stop_on_solution": machine.stop_on_solution,
+            "solution_paused": machine.solution_paused,
         }
         store = machine.memory.store
         if since is not None and store.track_dirty:
@@ -251,7 +340,9 @@ class MachineCheckpoint:
             "retry_pc": machine._retry_pc,
             "retry_kind": machine._retry_kind,
             "retry_count": machine._retry_count,
-            "trap_log": list(machine.trap_log),
+            "trap_log": (machine.trap_log.snapshot()
+                         if isinstance(machine.trap_log, TrapLogRing)
+                         else list(machine.trap_log)),
             "injector": (injector.runtime_state()
                          if injector is not None else None),
         }
@@ -303,6 +394,8 @@ class MachineCheckpoint:
         machine.running = state["running"]
         machine.halted = state["halted"]
         machine.exhausted = state["exhausted"]
+        machine.stop_on_solution = state.get("stop_on_solution", False)
+        machine.solution_paused = state.get("solution_paused", False)
         machine.regs.cells[:] = self.registers
         store = machine.memory.store
         store._chunks.clear()
@@ -328,6 +421,6 @@ class MachineCheckpoint:
             machine._retry_pc = host["retry_pc"]
             machine._retry_kind = host["retry_kind"]
             machine._retry_count = host["retry_count"]
-            machine.trap_log = list(host["trap_log"])
+            machine.trap_log = TrapLogRing.restore(host["trap_log"])
             if host["injector"] is not None and machine.injector is not None:
                 machine.injector.set_runtime_state(host["injector"])

@@ -53,6 +53,10 @@ class ChaosPlan:
     kill_after_cycles: Optional[int] = None   # worker suicide threshold
     delay_result_s: float = 0.0               # sleep before result delivery
     inject: Optional[Dict[str, int]] = None   # FaultInjector kwargs
+    #: interpret the kill threshold relative to the cycles the run
+    #: starts at (session steps resume mid-stream at high cumulative
+    #: counts an absolute window could never reach).
+    kill_relative: bool = False
 
     @property
     def empty(self) -> bool:
@@ -68,6 +72,8 @@ class ChaosPlan:
         merged = dict(opts)
         if self.kill_after_cycles is not None:
             merged["chaos_kill_cycles"] = self.kill_after_cycles
+            if self.kill_relative:
+                merged["chaos_kill_relative"] = True
         if self.delay_result_s:
             merged["chaos_delay_s"] = self.delay_result_s
         if self.inject is not None:
@@ -88,6 +94,11 @@ class ChaosPolicy:
     seed: int = 0
     kill_rate: float = 0.0
     kill_window: Tuple[int, int] = (1_000, 120_000)
+    #: draw kill thresholds relative to each run's starting cycle count
+    #: instead of as absolute simulated-time windows.  Session streams
+    #: accumulate cycles across steps, so only a relative threshold
+    #: keeps late steps killable (see ``ChaosPlan.kill_relative``).
+    kill_relative: bool = False
     max_kills_per_slot: int = 1
     #: restrict kills to these batch slots (None: every slot draws).
     #: The poison-query tests use a single-slot tuple to model one
@@ -127,7 +138,8 @@ class ChaosPolicy:
         if attempt_rng.random() < self.delay_rate:
             delay = attempt_rng.random() * self.max_delay_s
         return ChaosPlan(kill_after_cycles=kill_after,
-                         delay_result_s=delay, inject=inject)
+                         delay_result_s=delay, inject=inject,
+                         kill_relative=self.kill_relative)
 
     def injects(self, index: int) -> bool:
         """Whether slot ``index`` runs with injected machine faults
@@ -199,6 +211,153 @@ def verify_chaos_invariant(programs: Dict[str, str],
         "ok": not mismatches,
         "slots": len(batch),
         "stats_checked": stats_checked,
+        "mismatches": mismatches,
+        "health": health,
+    }
+
+
+def verify_session_chaos_invariant(programs: Dict[str, str],
+                                   mix: Sequence[Tuple[str, str]],
+                                   chaos: ChaosPolicy,
+                                   retry=None,
+                                   workers: int = 2,
+                                   checkpoint_every: Optional[int] = 5_000,
+                                   expire_slots: Optional[
+                                       Dict[int, int]] = None,
+                                   seed: int = 0,
+                                   store_budget: Optional[int] = None,
+                                   **session_kwargs) -> Dict[str, object]:
+    """The session-layer chaos invariant (ISSUE 10 acceptance).
+
+    Opens one session per ``mix`` slot, advances them round-robin
+    (every still-open session steps in each round, so the steps
+    micro-batch together) under ``chaos`` kills plus forced lease
+    expiries, and checks:
+
+    - every *surviving* session's solution sequence — and its final
+      ``RunStats`` — is bit-identical to the fault-free in-process
+      all-solutions reference for the same query;
+    - expired sessions were reclaimed exactly as planned
+      (``leases_expired`` matches, no surviving stream for them);
+    - no engine leaked: the store and the active-session gauge are
+      both zero once all traffic drained, and the disposition counters
+      balance (``opened == done + failed + expired``).
+
+    ``expire_slots`` maps slot index to the 1-based round *before*
+    which its lease is forced to lapse; ``None`` draws a seeded plan
+    expiring roughly a third of the slots in rounds 1-3.  Fault
+    injection is rejected: injected traps legitimately add recovery
+    cycles, which would make the bit-identity check vacuous.
+
+    Returns a report dict shaped like :func:`verify_chaos_invariant`.
+    """
+    from repro.serve.engine import EngineStore
+    from repro.serve.retry import RetryPolicy
+    from repro.serve.session import (DONE, EXPIRED, FAILED, SOLUTION,
+                                     SessionService)
+    if chaos.inject_rate:
+        raise ValueError("session invariant requires inject_rate == 0: "
+                         "injected faults move simulated time")
+    if retry is None:
+        retry = RetryPolicy(max_attempts=chaos.max_kills_per_slot + 2)
+    if expire_slots is None:
+        rng = random.Random(seed)
+        expire_slots = {index: rng.randrange(1, 4)
+                        for index in range(len(mix))
+                        if rng.random() < 0.34}
+
+    from repro.serve.service import QueryService
+    with QueryService(programs, workers=0,
+                      all_solutions=True) as reference_service:
+        reference = reference_service.run_many(list(mix))
+
+    store = (EngineStore(budget_bytes=store_budget)
+             if store_budget is not None else EngineStore())
+    streams: Dict[int, List[dict]] = {i: [] for i in range(len(mix))}
+    finals: Dict[int, object] = {}
+    expired: set = set()
+    failures: Dict[int, object] = {}
+    migrations_seen = 0
+    with SessionService(programs, workers=workers, chaos=chaos,
+                        retry=retry, checkpoint_every=checkpoint_every,
+                        store=store, **session_kwargs) as service:
+        session_ids = [service.open(name, query) for name, query in mix]
+        slot_of = {sid: i for i, sid in enumerate(session_ids)}
+        open_ids = list(session_ids)
+        round_number = 0
+        while open_ids:
+            round_number += 1
+            for slot, when in expire_slots.items():
+                if when == round_number and session_ids[slot] in open_ids:
+                    service.expire_lease(session_ids[slot])
+            outcomes = service.advance(open_ids)
+            still_open = []
+            for session_id, outcome in zip(open_ids, outcomes):
+                slot = slot_of[session_id]
+                migrations_seen += max(0, outcome.attempts - 1)
+                if outcome.status == SOLUTION:
+                    streams[slot].append(outcome.solution)
+                    still_open.append(session_id)
+                elif outcome.status == DONE:
+                    finals[slot] = outcome
+                elif outcome.status == EXPIRED:
+                    expired.add(slot)
+                else:
+                    assert outcome.status == FAILED
+                    failures[slot] = outcome.error
+            open_ids = still_open
+        health = service.health()
+        counters = service.counters
+        leaked = (len(service.store), service.active_sessions)
+
+    mismatches: List[str] = []
+    stats_checked = 0
+    for slot, expected in enumerate(reference):
+        name = mix[slot][0]
+        where = f"slot {slot} ({name!r})"
+        if slot in expired:
+            if slot in finals:
+                mismatches.append(f"{where}: both expired and finished")
+            continue
+        if slot in failures:
+            mismatches.append(f"{where}: failed — {failures[slot]}")
+            continue
+        if slot not in finals:
+            mismatches.append(f"{where}: never finished")
+            continue
+        outcome = finals[slot]
+        if streams[slot] != expected.solutions:
+            mismatches.append(f"{where}: streamed solutions differ")
+        if outcome.solutions != expected.solutions:
+            mismatches.append(f"{where}: final solutions differ")
+        stats_checked += 1
+        if outcome.stats != expected.stats:
+            mismatches.append(f"{where}: RunStats differ")
+    planned = {slot for slot, when in expire_slots.items()
+               if slot in expired}
+    if expired - set(expire_slots):
+        mismatches.append(
+            f"unplanned expiries: {sorted(expired - set(expire_slots))}")
+    if health.leases_expired != len(expired):
+        mismatches.append(
+            f"leases_expired {health.leases_expired} != {len(expired)}")
+    if leaked != (0, 0):
+        mismatches.append(
+            f"engines leaked at drain: store={leaked[0]} "
+            f"active={leaked[1]}")
+    opened = counters["sessions_opened"]
+    settled = (counters["sessions_done"] + counters["sessions_failed"]
+               + counters["leases_expired"] + counters["sessions_closed"])
+    if opened != settled:
+        mismatches.append(
+            f"disposition imbalance: opened {opened} != settled {settled}")
+    return {
+        "ok": not mismatches,
+        "slots": len(mix),
+        "stats_checked": stats_checked,
+        "expired": sorted(expired),
+        "planned_expiries": sorted(planned),
+        "migrations": migrations_seen,
         "mismatches": mismatches,
         "health": health,
     }

@@ -283,3 +283,192 @@ def run_soak(service: QueryService,
     report.max_latency_s = max(latencies) if latencies else 0.0
     report.health = service.health()
     return report
+
+
+# -- session soak ------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SessionLoadSpec:
+    """The deterministic recipe for one session-mix soak.
+
+    ``sessions`` streams run concurrently, advanced round-robin (every
+    still-open session steps each round, so steps micro-batch across
+    the pool).  ``abandon_rate`` of them are *abandoned* mid-stream —
+    their client walks away after ``abandon_after`` 1-3 solutions
+    (seeded draw), the lease lapses, and the
+    :class:`~repro.serve.session.SessionReaper` must reclaim them.
+    Everything is drawn from one ``random.Random(seed)``, so the same
+    spec over the same mix offers the identical session workload.
+    """
+
+    sessions: int = 12
+    seed: int = 0
+    abandon_rate: float = 0.25
+    max_rounds: int = 200             # runaway guard, not a tuning knob
+
+    def __post_init__(self):
+        if self.sessions < 1:
+            raise ValueError("sessions must be >= 1")
+        if not 0.0 <= self.abandon_rate <= 1.0:
+            raise ValueError("abandon_rate must be in [0, 1]")
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+
+
+@dataclass
+class SessionSoakReport:
+    """What one session soak observed."""
+
+    sessions: int                   # sessions opened
+    rounds: int = 0                 # advance rounds driven
+    solutions_streamed: int = 0
+    done: int = 0                   # streams that ran to exhaustion
+    expired: int = 0                # abandoned sessions reaped
+    failed: int = 0                 # streams ending in a QueryError
+    planned_abandons: int = 0
+    migrations: int = 0             # crashed step attempts survived
+    hibernation_spills: int = 0     # resume tokens spilled to disk
+    hibernation_wakes: int = 0
+    accounted: int = 0              # sessions with exactly one disposition
+    accounting_ok: bool = False     # exactly-once + no engine leaked
+    solutions_ok: bool = True       # finished streams match the reference
+    mismatches: List[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    p50_step_latency_s: float = 0.0   # wall time per advance step
+    p99_step_latency_s: float = 0.0
+    health: Optional[object] = None   # final ServiceHealth snapshot
+
+
+def run_session_soak(service: "SessionService",
+                     spec: SessionLoadSpec,
+                     mix: Sequence[Tuple[str, str]],
+                     check_solutions: bool = True) -> SessionSoakReport:
+    """Soak a :class:`~repro.serve.session.SessionService` with a
+    concurrent session mix; account for every session exactly once.
+
+    Each session draws its query from ``mix``; abandoned sessions have
+    their lease forced to lapse (standing in for a vanished client)
+    and must be reclaimed by the reaper — the soak drives
+    :meth:`~repro.serve.session.SessionReaper.tick` on a synthetic
+    clock so sweeps are deterministic per spec.  The acceptance gate
+    mirrors :func:`run_soak`: every opened session ends in exactly one
+    disposition (done / failed / expired), finished streams match the
+    fault-free reference when ``check_solutions``, and no engine leaks
+    — the store and the active-session gauge drain to zero.
+    """
+    from repro.serve.session import (DONE, EXPIRED, FAILED, SOLUTION,
+                                     SessionReaper)
+
+    rng = random.Random(spec.seed)
+    draws = [mix[rng.randrange(len(mix))] for _ in range(spec.sessions)]
+    abandon_after = {index: rng.randrange(1, 4)
+                     for index in range(spec.sessions)
+                     if rng.random() < spec.abandon_rate}
+
+    reference: Dict[Tuple[str, str], List[dict]] = {}
+    if check_solutions:
+        with QueryService(service.service.programs, workers=0,
+                          all_solutions=True) as reference_service:
+            for program, query in sorted(set(draws)):
+                result = reference_service.run((program, query))
+                if result.ok:
+                    reference[(program, query)] = result.solutions
+
+    report = SessionSoakReport(sessions=spec.sessions,
+                               planned_abandons=len(abandon_after))
+    sweep_interval = 2.0
+    reaper = SessionReaper(service, interval_s=sweep_interval,
+                           jitter=0.0, seed=spec.seed,
+                           clock=lambda: 0.0)
+    session_ids = [service.open(name, query) for name, query in draws]
+    slot_of = {sid: index for index, sid in enumerate(session_ids)}
+    streams: Dict[int, List[dict]] = {i: [] for i in range(spec.sessions)}
+    dispositions: Dict[int, str] = {}
+    abandoned: set = set()
+    step_latencies: List[float] = []
+    open_ids = list(session_ids)
+    start = time.monotonic()
+
+    while open_ids and report.rounds < spec.max_rounds:
+        report.rounds += 1
+        # Abandonments planned for this point in each stream: force
+        # the lease to lapse and stop advancing — the reaper, not the
+        # driver, must reclaim the session.
+        advancing = []
+        for session_id in open_ids:
+            slot = slot_of[session_id]
+            when = abandon_after.get(slot)
+            if when is not None and len(streams[slot]) >= when:
+                service.expire_lease(session_id)
+                abandoned.add(session_id)
+            else:
+                advancing.append(session_id)
+        wave_started = time.monotonic()
+        outcomes = service.advance(advancing) if advancing else []
+        wave_seconds = time.monotonic() - wave_started
+        if advancing:
+            step_latencies.extend([wave_seconds / len(advancing)]
+                                  * len(advancing))
+        still_open = list(abandoned & set(open_ids))
+        for session_id, outcome in zip(advancing, outcomes):
+            slot = slot_of[session_id]
+            report.migrations += max(0, outcome.attempts - 1)
+            if outcome.status == SOLUTION:
+                streams[slot].append(outcome.solution)
+                report.solutions_streamed += 1
+                still_open.append(session_id)
+            elif outcome.status == DONE:
+                dispositions[slot] = "done"
+                report.done += 1
+                if check_solutions:
+                    expected = reference.get(draws[slot])
+                    if (expected is not None
+                            and (streams[slot] != expected
+                                 or outcome.solutions != expected)):
+                        report.solutions_ok = False
+                        report.mismatches.append(
+                            f"session {slot} ({draws[slot][0]!r}): "
+                            f"stream differs from reference")
+            elif outcome.status == FAILED:
+                dispositions[slot] = "failed"
+                report.failed += 1
+            else:
+                assert outcome.status == EXPIRED   # only via races
+                dispositions[slot] = "expired"
+                report.expired += 1
+        # Sweep on the synthetic clock: one sweep per interval of
+        # rounds, plus the reaped sessions leave the open set.
+        for session_id in reaper.tick(now=report.rounds * 1.0):
+            dispositions[slot_of[session_id]] = "expired"
+            report.expired += 1
+        open_ids = [sid for sid in still_open
+                    if slot_of[sid] not in dispositions]
+
+    # Final sweep: anything still leased-out lapsed (abandoned late).
+    for session_id in reaper.tick(now=(report.rounds + sweep_interval)
+                                  * 2.0):
+        dispositions[slot_of[session_id]] = "expired"
+        report.expired += 1
+
+    report.elapsed_s = time.monotonic() - start
+    report.accounted = len(dispositions)
+    counters = service.counters
+    settled = (counters["sessions_done"] + counters["sessions_failed"]
+               + counters["leases_expired"] + counters["sessions_closed"])
+    store = service.store
+    report.hibernation_spills = store.spills
+    report.hibernation_wakes = store.wakes
+    report.accounting_ok = (
+        report.accounted == spec.sessions
+        and counters["sessions_opened"] == settled
+        and service.active_sessions == 0
+        and len(store) == 0)
+    if not report.accounting_ok:
+        report.mismatches.append(
+            f"accounting: {report.accounted}/{spec.sessions} disposed, "
+            f"opened {counters['sessions_opened']} vs settled {settled}, "
+            f"active {service.active_sessions}, store {len(store)}")
+    report.p50_step_latency_s = percentile(step_latencies, 50)
+    report.p99_step_latency_s = percentile(step_latencies, 99)
+    report.health = service.health()
+    return report

@@ -172,6 +172,32 @@ class QuarantineBreaker:
         return frozenset(self._opened_at)
 
 
+# -- session leases ----------------------------------------------------------
+
+@dataclass(frozen=True)
+class LeasePolicy:
+    """Lease-based session ownership (docs/SESSIONS.md).
+
+    Every open session carries a client lease of ``ttl_s`` seconds,
+    renewed implicitly by each ``next_solution`` call (and explicitly
+    via ``renew``).  A session whose lease lapses is an *orphan* — its
+    client crashed, hung or walked away — and the
+    :class:`~repro.serve.session.SessionReaper` expires it, reclaiming
+    the paused engine instead of leaking it forever.  ``max_sessions``
+    bounds how many sessions may be open at once (admission control
+    for the session layer; ``None`` is unbounded).
+    """
+
+    ttl_s: float = 30.0
+    max_sessions: Optional[int] = None
+
+    def __post_init__(self):
+        if self.ttl_s <= 0:
+            raise ValueError("ttl_s must be positive")
+        if self.max_sessions is not None and self.max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+
+
 # -- crash-loop supervision --------------------------------------------------
 
 @dataclass(frozen=True)

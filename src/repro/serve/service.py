@@ -247,6 +247,13 @@ class ServiceHealth:
                                     # in-process fallback pool
     workers_retired: int            # worker slots past their restart
                                     # budget (never respawned again)
+    # Session-layer gauges and counters (zero on a bare QueryService;
+    # filled in by repro.serve.session.SessionService.health()).
+    active_sessions: int = 0        # open sessions holding an engine
+    hibernated_engines: int = 0     # paused engines spilled to disk
+    migrations: int = 0             # session steps recovered on another
+                                    # worker after a mid-stream crash
+    leases_expired: int = 0         # sessions reclaimed by the reaper
     #: seconds since each worker was last heard from (startup herald or
     #: any result/checkpoint message).
     heartbeat_age_s: Dict[int, float] = field(default_factory=dict)
@@ -270,6 +277,14 @@ class ServiceResult:
     error: Optional[QueryError] = None
     worker: int = -1                # -1: parent (in-process or pre-run)
     host_seconds: float = 0.0       # wall time inside the engine
+    #: session streaming (:meth:`QueryService.run_steps`): the engine
+    #: paused at a fresh solution instead of running to exhaustion;
+    #: ``session_payload`` is its pickled checkpoint, the token the
+    #: next step resumes from.  ``attempts`` counts executions this
+    #: step consumed (>1 means crashed attempts were recovered).
+    paused: bool = False
+    session_payload: Optional[bytes] = None
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -371,6 +386,10 @@ class EnginePool:
                                   else self._default_budget[key])
         elif opts.get("max_cycles") is not None:
             machine.max_cycles = opts["max_cycles"]
+        # Assigned (not just set) every run: a pooled machine must not
+        # leak one query's stop-at-solution mode into the next, and a
+        # restored checkpoint's captured flag must yield to the step's.
+        machine.stop_on_solution = bool(opts.get("stop_on_solution"))
         return self._drive(machine, image, opts, on_checkpoint, resume_from,
                            on_slice)
 
@@ -402,8 +421,12 @@ class EnginePool:
 
         # A chaos kill planned at a cycle the resumed run is already
         # past stays disarmed — otherwise a resume could die instantly
-        # at its first boundary, forever.
+        # at its first boundary, forever.  Relative plans instead arm
+        # at start + threshold: a session step deep into a stream (high
+        # cumulative cycles) stays killable mid-step.
         start_cycles = machine.cycles if resume_from is not None else 0
+        if kill_at is not None and opts.get("chaos_kill_relative"):
+            kill_at = start_cycles + kill_at
         armed_kill = (kill_at if kill_at is not None
                       and start_cycles < kill_at else None)
 
@@ -609,8 +632,10 @@ def _worker_main(worker_id: int, task_queue, result_conn,
       immediately (a buffered checkpoint would be useless after a
       crash),
       ``("done", worker_id, [outcome, ...])`` — streamed batches of
-      ``(index, attempt, "ok", solutions, stats, output, seconds)``
-      or ``(index, attempt, "err", QueryError, stats_or_None)``.
+      ``(index, attempt, "ok", solutions, stats, output, seconds)``,
+      ``(index, attempt, "paused", solutions, stats, output, seconds,
+      ckpt_payload)`` (stop-at-solution session steps), or
+      ``(index, attempt, "err", QueryError, stats_or_None)``.
 
     The worker defers cyclic garbage collection: the collector is
     disabled at startup and run explicitly between micro-batches every
@@ -694,8 +719,23 @@ def _worker_main(worker_id: int, task_queue, result_conn,
                 delay = opts.get("chaos_delay_s")
                 if delay:
                     time.sleep(delay)
-                sender.add((index, attempt, "ok", machine.solutions,
-                            stats, "".join(machine.output), seconds))
+                if (machine.solution_paused
+                        and not machine.halted and not machine.exhausted):
+                    # Stop-at-solution: the engine paused with a fresh
+                    # answer and more search left.  Ship its checkpoint
+                    # as the resume token — the machine itself stays
+                    # here only as a warm pool entry; the parent owns
+                    # the session state (a later step may resume on any
+                    # worker).
+                    sender.add((index, attempt, "paused",
+                                machine.solutions, stats,
+                                "".join(machine.output), seconds,
+                                pickle.dumps(
+                                    MachineCheckpoint.capture(machine),
+                                    protocol=pickle.HIGHEST_PROTOCOL)))
+                else:
+                    sender.add((index, attempt, "ok", machine.solutions,
+                                stats, "".join(machine.output), seconds))
             except ChaosKilled:
                 sender.flush()
                 result_conn.close()
@@ -758,6 +798,11 @@ class _BatchState:
     checkpoints: Dict[int, bytes] = field(default_factory=dict)
     #: slot index -> payload the next dispatch should resume from
     resume_payload: Dict[int, bytes] = field(default_factory=dict)
+    #: slot index -> the payload the slot *started* from (session
+    #: steps).  A retry with no mid-run checkpoint must fall back to
+    #: this, never to a from-scratch run: restarting a mid-session
+    #: step from the query entry would re-find solution #1.
+    base_payload: Dict[int, bytes] = field(default_factory=dict)
     #: min-heap of (ready time, slot index) awaiting retry backoff
     retry_ready: List[Tuple[float, int]] = field(default_factory=list)
 
@@ -1166,33 +1211,7 @@ class QueryService:
             "recovery": self.recovery,
             "checkpoint_every": every,
         }
-        results: List[Optional[ServiceResult]] = [None] * len(queries)
-        prepared: List[Optional[Tuple[str, LinkedImage]]] = []
-        for index, query in enumerate(queries):
-            name, text = self._normalize(query)
-            try:
-                source = self.programs[name]
-            except KeyError:
-                results[index] = ServiceResult(
-                    index=index, program=name, query=text,
-                    error=QueryError("UnknownProgram",
-                                     f"no program registered as {name!r}"))
-                prepared.append(None)
-                continue
-            try:
-                # Compile in the parent, once per distinct pair, so a
-                # batch of N identical queries costs one compile no
-                # matter how many workers serve it.
-                image = self.cache.get(source, text, io_mode=self.io_mode)
-            except KCMError as err:
-                results[index] = ServiceResult(
-                    index=index, program=name, query=text,
-                    error=_capture_error(err, None))
-                prepared.append(None)
-                continue
-            prepared.append((image_key(source, text, self.io_mode), image))
-        runnable = deque(index for index, item in enumerate(prepared)
-                         if item is not None)
+        results, prepared, runnable = self._prepare(queries)
         runnable = self._reject_quarantined(queries, prepared, runnable,
                                             results)
         runnable = self._admit(queries, runnable, results, priorities)
@@ -1211,6 +1230,100 @@ class QueryService:
             raise RuntimeError(
                 f"internal error: batch slots {missing} were never filled")
         return results  # type: ignore[return-value]  # every slot filled
+
+    def _prepare(self, queries: Sequence[Query]):
+        """Compile every slot in the parent (once per distinct
+        program/query pair, so a batch of N identical queries costs one
+        compile no matter how many workers serve it); unknown programs
+        and compile failures finalise immediately."""
+        results: List[Optional[ServiceResult]] = [None] * len(queries)
+        prepared: List[Optional[Tuple[str, LinkedImage]]] = []
+        for index, query in enumerate(queries):
+            name, text = self._normalize(query)
+            try:
+                source = self.programs[name]
+            except KeyError:
+                results[index] = ServiceResult(
+                    index=index, program=name, query=text,
+                    error=QueryError("UnknownProgram",
+                                     f"no program registered as {name!r}"))
+                prepared.append(None)
+                continue
+            try:
+                image = self.cache.get(source, text, io_mode=self.io_mode)
+            except KCMError as err:
+                results[index] = ServiceResult(
+                    index=index, program=name, query=text,
+                    error=_capture_error(err, None))
+                prepared.append(None)
+                continue
+            prepared.append((image_key(source, text, self.io_mode), image))
+        runnable = deque(index for index, item in enumerate(prepared)
+                         if item is not None)
+        return results, prepared, runnable
+
+    # -- the session-step API --------------------------------------------------
+
+    def run_steps(self, steps: Sequence[Tuple[str, str, Optional[bytes]]],
+                  timeout_s: Optional[float] = None,
+                  retry: Optional[RetryPolicy] = None,
+                  checkpoint_every: Optional[int] = None,
+                  chaos: Optional[ChaosPolicy] = None,
+                  max_cycles: Optional[int] = None,
+                  ) -> List[ServiceResult]:
+        """Advance a batch of session steps one solution each.
+
+        Each step is ``(program, query, payload)``: ``payload=None``
+        opens the stream (the query runs from entry), a payload from an
+        earlier step's ``session_payload`` resumes its search.  Every
+        step runs in stop-at-solution mode — the engine pauses at each
+        fresh answer instead of running to exhaustion — and its result
+        reports ``paused=True`` plus the next resume token, or
+        ``paused=False`` when the search finished (the final
+        solutions/stats are those of the equivalent uninterrupted
+        all-solutions run, bit-identically).
+
+        Rides the full :meth:`run_many` data plane: micro-batching,
+        retry-with-resume (a crashed step resumes from its last mid-run
+        checkpoint, or from the payload it started from — never from
+        scratch), quarantine, chaos, degraded fallback.  This is the
+        primitive :class:`repro.serve.session.SessionService` builds
+        ``next_solution`` on.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        policy = retry if retry is not None else self.retry
+        chaos_policy = chaos if chaos is not None else self.chaos
+        every = (checkpoint_every if checkpoint_every is not None
+                 else self.checkpoint_every)
+        opts = {
+            "all_solutions": True,
+            "stop_on_solution": True,
+            "max_cycles": self.max_cycles if max_cycles is None
+            else max_cycles,
+            "recovery": self.recovery,
+            "checkpoint_every": every,
+        }
+        queries: List[Query] = [(name, text) for name, text, _ in steps]
+        results, prepared, runnable = self._prepare(queries)
+        runnable = self._reject_quarantined(queries, prepared, runnable,
+                                            results)
+        payloads = {index: payload
+                    for index, (_, _, payload) in enumerate(steps)
+                    if payload is not None}
+        if not self.workers:
+            self._run_local(queries, prepared, runnable, opts, results,
+                            timeout_s, None, step_payloads=payloads)
+        else:
+            self._run_pooled(queries, prepared, runnable, opts, timeout_s,
+                             results, policy, chaos_policy, None,
+                             step_payloads=payloads)
+        missing = [index for index, result in enumerate(results)
+                   if result is None]
+        if missing:
+            raise RuntimeError(
+                f"internal error: step slots {missing} were never filled")
+        return results  # type: ignore[return-value]
 
     def _reject_quarantined(self, queries, prepared, runnable: deque,
                             results) -> deque:
@@ -1320,7 +1433,8 @@ class QueryService:
         return merged, deadline, True
 
     def _run_local(self, queries, prepared, runnable, opts, results,
-                   timeout_s=None, batch_deadline=None) -> None:
+                   timeout_s=None, batch_deadline=None,
+                   step_payloads=None) -> None:
         pool = self._local_pool
         assert pool is not None
         for index in runnable:
@@ -1338,15 +1452,26 @@ class QueryService:
                 continue
             run_opts, _, _ = self._deadline_opts(opts, timeout_s,
                                                  batch_deadline)
+            payload = (step_payloads.get(index)
+                       if step_payloads is not None else None)
+            resume_from = (pickle.loads(payload)
+                           if payload is not None else None)
             machine: Optional[Machine] = None
             try:
-                machine, stats, seconds = pool.run(key, image, run_opts)
+                machine, stats, seconds = pool.run(
+                    key, image, run_opts, resume_from=resume_from)
                 self._counters["completed"] += 1
+                paused = (machine.solution_paused
+                          and not machine.halted and not machine.exhausted)
                 results[index] = ServiceResult(
                     index=index, program=name, query=text,
                     solutions=machine.solutions, stats=stats,
                     output="".join(machine.output),
-                    host_seconds=seconds)
+                    host_seconds=seconds, paused=paused,
+                    session_payload=(pickle.dumps(
+                        MachineCheckpoint.capture(machine),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+                        if paused else None))
             except DeadlineAbandoned as err:
                 self._counters["failed"] += 1
                 self._counters["deadline_abandons"] += 1
@@ -1462,7 +1587,8 @@ class QueryService:
             self._drop_key_now(key)
 
     def _run_pooled(self, queries, prepared, runnable, opts, timeout_s,
-                    results, policy, chaos, batch_deadline) -> None:
+                    results, policy, chaos, batch_deadline,
+                    step_payloads=None) -> None:
         supervisor = self._supervisor
         state = _BatchState(
             queries=queries, prepared=prepared, opts=opts,
@@ -1472,6 +1598,9 @@ class QueryService:
             idle=deque(worker_id for worker_id in range(self.workers)
                        if supervisor is None
                        or not supervisor.retired(worker_id)))
+        if step_payloads:
+            state.resume_payload.update(step_payloads)
+            state.base_payload.update(step_payloads)
         self._batch = state
         try:
             while state.runnable or state.retry_ready or state.inflight:
@@ -1663,13 +1792,16 @@ class QueryService:
         index, attempt, status = outcome[0], outcome[1], outcome[2]
         state.checkpoints.pop(index, None)
         name, text = self._describe(state.queries, index)
-        if status == "ok":
-            _, _, _, solutions, stats, output, seconds = outcome
+        if status in ("ok", "paused"):
+            solutions, stats, output, seconds = outcome[3:7]
+            payload = outcome[7] if status == "paused" else None
             self._counters["completed"] += 1
             state.results[index] = ServiceResult(
                 index=index, program=name, query=text,
                 solutions=solutions, stats=stats, output=output,
-                worker=worker_id, host_seconds=seconds)
+                worker=worker_id, host_seconds=seconds,
+                paused=(status == "paused"), session_payload=payload,
+                attempts=attempt)
             return
         _, _, _, error, partial_stats = outcome
         # Worker-reported machine/compile failures are deterministic
@@ -1845,7 +1977,12 @@ class QueryService:
         if (policy is not None and within_deadline
                 and policy.retryable(error.kind, attempt)):
             self._counters["retries"] += 1
+            # Best resume point first: the live attempt's last mid-run
+            # checkpoint, else the payload the step started from (a
+            # session step must never restart from the query entry).
             payload = state.checkpoints.get(index)
+            if payload is None:
+                payload = state.base_payload.get(index)
             if payload is not None:
                 state.resume_payload[index] = payload
                 self._counters["resumes"] += 1
@@ -1902,6 +2039,8 @@ class QueryService:
         state.attempts[index] = attempt
         self._counters["local_fallbacks"] += 1
         payload = state.resume_payload.pop(index, None)
+        if payload is None:
+            payload = state.base_payload.get(index)
         resume_from = (pickle.loads(payload)
                        if payload is not None else None)
         run_opts, _, _ = self._deadline_opts(
@@ -1911,11 +2050,18 @@ class QueryService:
             machine, stats, seconds = self._fallback_pool.run(
                 key, image, run_opts, resume_from=resume_from)
             self._counters["completed"] += 1
+            paused = (machine.solution_paused
+                      and not machine.halted and not machine.exhausted)
             state.results[index] = ServiceResult(
                 index=index, program=name, query=text,
                 solutions=machine.solutions, stats=stats,
                 output="".join(machine.output),
-                host_seconds=seconds)
+                host_seconds=seconds, paused=paused,
+                session_payload=(pickle.dumps(
+                    MachineCheckpoint.capture(machine),
+                    protocol=pickle.HIGHEST_PROTOCOL)
+                    if paused else None),
+                attempts=attempt)
         except DeadlineAbandoned as err:
             self._counters["failed"] += 1
             self._counters["deadline_abandons"] += 1

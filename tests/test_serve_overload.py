@@ -139,6 +139,49 @@ def test_breaker_cooldown_half_opens():
     assert breaker.quarantined("k", now=14.0)
 
 
+def test_breaker_half_open_recloses_after_clean_probe():
+    """Half-open -> re-close: once the cooldown half-opens the breaker,
+    a clean probe (no fresh strike) leaves it closed for good — the
+    next failure starts a fresh walk to the threshold rather than
+    snapping the breaker back open."""
+    breaker = QuarantineBreaker(
+        QuarantinePolicy(threshold=3, cooldown_s=10.0))
+    for moment in (0.0, 1.0, 2.0):
+        breaker.record("k", "WorkerCrashed", now=moment)
+    assert breaker.quarantined("k", now=5.0)
+    assert not breaker.quarantined("k", now=12.0)     # half-open
+    # The probe attempt succeeded: nothing recorded.  Closed state is
+    # stable — later checks stay closed and the strike slate is clean.
+    assert not breaker.quarantined("k", now=60.0)
+    assert breaker.strikes("k") == 0
+    assert breaker.open_keys == frozenset()
+    # One fresh failure is a first strike again, not a re-open.
+    assert not breaker.record("k", "WorkerCrashed", now=61.0)
+    assert not breaker.quarantined("k", now=61.0)
+    assert breaker.strikes("k") == 1
+
+
+def test_breaker_half_open_reopens_at_threshold_repeatedly():
+    """Half-open -> re-open: after the cooldown, threshold fresh
+    strikes re-open the breaker — and the half-open/re-open cycle
+    repeats on every later cooldown expiry."""
+    breaker = QuarantineBreaker(
+        QuarantinePolicy(threshold=2, cooldown_s=10.0))
+    breaker.record("k", "WorkerCrashed", now=0.0)
+    opened = breaker.record("k", "WallTimeout", now=1.0)
+    assert opened and breaker.quarantined("k", now=2.0)
+    assert not breaker.quarantined("k", now=11.5)     # half-open #1
+    breaker.record("k", "WorkerCrashed", now=12.0)
+    assert not breaker.quarantined("k", now=12.0)     # one strike short
+    assert breaker.record("k", "WorkerCrashed", now=13.0)
+    assert breaker.quarantined("k", now=14.0)         # re-opened
+    assert breaker.open_keys == frozenset({"k"})
+    assert not breaker.quarantined("k", now=23.5)     # half-open #2
+    breaker.record("k", "WorkerCrashed", now=24.0)
+    breaker.record("k", "WorkerCrashed", now=25.0)
+    assert breaker.quarantined("k", now=25.0)         # re-opened again
+
+
 def test_poison_query_quarantined_batchmates_bit_identical():
     """The ISSUE 6 acceptance gate: one query that murders every
     worker it touches is struck out after ``threshold`` kills and

@@ -202,7 +202,36 @@ def _counter_fields(health: ServiceHealth) -> dict:
                          "timeouts", "crashes", "completed", "failed",
                          "checkpoints_received", "quarantines",
                          "deadline_abandons", "local_fallbacks",
-                         "workers_retired")}
+                         "workers_retired", "migrations",
+                         "leases_expired")}
+
+
+def test_session_counters_monotonic_across_session_traffic():
+    """The session-layer lifetime counters (migrations,
+    leases_expired) obey the same monotonicity contract as the
+    service's own, across mixed session traffic including forced
+    lease expiries."""
+    from repro.serve import LeasePolicy, SessionService
+    clock = [0.0]
+    with SessionService(PROGRAMS, workers=0,
+                        lease=LeasePolicy(ttl_s=30.0),
+                        clock=lambda: clock[0]) as service:
+        snapshots = [_counter_fields(service.health())]
+        first = service.open("facts", "colour(C)")
+        service.next_solution(first)
+        snapshots.append(_counter_fields(service.health()))
+        second = service.open("facts", "colour(C)")
+        service.expire_lease(second)
+        service.reap()
+        snapshots.append(_counter_fields(service.health()))
+        service.expire_lease(first)
+        service.reap()
+        snapshots.append(_counter_fields(service.health()))
+    for before, after in zip(snapshots, snapshots[1:]):
+        for name, value in before.items():
+            assert after[name] >= value, \
+                f"counter {name} went backwards: {value} -> {after[name]}"
+    assert snapshots[-1]["leases_expired"] == 2
 
 
 def test_health_counters_are_monotonic_across_batches():

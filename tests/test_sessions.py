@@ -1,0 +1,368 @@
+"""Fault-tolerant session engines (ISSUE 10): first-class engines
+stream bit-identically with pause/pickle/resume, the engine store
+hibernates under a byte budget with verified wakes, and the session
+service survives chaos kills and lease expiries with exactly-once
+accounting."""
+
+import pickle
+
+import pytest
+
+from repro.bench.programs import SUITE
+from repro.serve import (
+    ChaosPolicy, Engine, EngineSnapshot, EngineStore, EngineStoreCorrupt,
+    LeasePolicy, QueryService, RetryPolicy, SessionError, SessionExpired,
+    SessionLoadSpec, SessionReaper, SessionService, UnknownSession,
+    run_session_soak, verify_session_chaos_invariant,
+)
+from repro.serve.session import DONE, EXPIRED, SOLUTION
+
+NAMES = ["queens", "mutest", "con1", "nrev1", "divide10", "query"]
+PROGRAMS = {name: SUITE[name].source_pure for name in NAMES}
+MIX = [(name, SUITE[name].query_pure) for name in NAMES]
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Fault-free in-process all-solutions results, one per MIX slot."""
+    with QueryService(PROGRAMS, workers=0, all_solutions=True) as service:
+        return service.run_many(MIX)
+
+
+def _ref(reference, name):
+    return reference[NAMES.index(name)]
+
+
+def _drain(engine):
+    solutions = []
+    while True:
+        solution = engine.next_solution()
+        if solution is None:
+            return solutions
+        solutions.append(solution)
+
+
+# -- Engine: streamed solutions, pause, resume -------------------------------
+
+class TestEngine:
+    def test_streams_bit_identically(self, reference):
+        expected = _ref(reference, "queens")
+        engine = Engine(PROGRAMS["queens"], SUITE["queens"].query_pure)
+        streamed = []
+        while True:
+            solution = engine.next_solution()
+            if solution is None:
+                break
+            streamed.append(solution)
+        assert streamed == expected.solutions
+        assert engine.solutions == expected.solutions
+        assert engine.stats == expected.stats
+        assert engine.exhausted
+        # Exhausted engines keep answering None without re-running.
+        assert engine.next_solution() is None
+        assert engine.stats == expected.stats
+
+    def test_pause_pickle_resume_mid_stream(self, reference):
+        expected = _ref(reference, "queens")
+        engine = Engine(PROGRAMS["queens"], SUITE["queens"].query_pure)
+        first = [engine.next_solution(), engine.next_solution()]
+        payload = engine.pause().to_bytes()
+        resumed = Engine.resume(
+            EngineSnapshot.from_bytes(pickle.loads(pickle.dumps(payload))))
+        rest = []
+        while True:
+            solution = resumed.next_solution()
+            if solution is None:
+                break
+            rest.append(solution)
+        assert first + rest == expected.solutions
+        assert resumed.stats == expected.stats
+        assert resumed.streamed == len(expected.solutions)
+
+    def test_pause_before_start_resumes_full_stream(self, reference):
+        expected = _ref(reference, "mutest")
+        engine = Engine(PROGRAMS["mutest"], SUITE["mutest"].query_pure)
+        snapshot = engine.pause()
+        assert not snapshot.started
+        resumed = Engine.resume(snapshot)
+        streamed = []
+        while True:
+            solution = resumed.next_solution()
+            if solution is None:
+                break
+            streamed.append(solution)
+        assert streamed == expected.solutions
+        assert resumed.stats == expected.stats
+
+    def test_sliced_mode_checkpoints_and_stays_identical(self, reference):
+        expected = _ref(reference, "queens")
+        checkpoints = []
+        engine = Engine(PROGRAMS["queens"], SUITE["queens"].query_pure,
+                        checkpoint_every=5_000,
+                        on_checkpoint=checkpoints.append)
+        first = [engine.next_solution(), engine.next_solution()]
+        snapshot = engine.pause()
+        resumed = Engine.resume(snapshot, checkpoint_every=5_000)
+        rest = []
+        while True:
+            solution = resumed.next_solution()
+            if solution is None:
+                break
+            rest.append(solution)
+        assert first + rest == expected.solutions
+        assert resumed.stats == expected.stats
+        assert checkpoints, "the cycle grid never fired"
+
+    def test_snapshot_key_mismatch_rejected(self):
+        engine = Engine(PROGRAMS["con1"], SUITE["con1"].query_pure)
+        snapshot = engine.pause()
+        with pytest.raises(ValueError, match="does not match"):
+            Engine.resume(EngineSnapshot(
+                key="bogus", program=snapshot.program,
+                query=snapshot.query, io_mode=snapshot.io_mode,
+                checkpoint=snapshot.checkpoint,
+                streamed=snapshot.streamed, started=snapshot.started))
+
+
+# -- EngineStore: hibernation ------------------------------------------------
+
+class TestEngineStore:
+    def test_budget_spills_lru_and_wakes_verified(self):
+        with EngineStore(budget_bytes=100) as store:
+            store.put("a", b"x" * 80)
+            store.put("b", b"y" * 80)      # "a" hibernates
+            store.put("c", b"z" * 80)      # "b" hibernates
+            assert len(store) == 3
+            assert store.hibernated_count == 2
+            assert store.spills == 2
+            assert "a" in store and "b" in store and "c" in store
+            assert store.get("a") == b"x" * 80
+            assert store.wakes == 1
+            # The wake re-admitted "a" as warmest; "c" went cold.
+            assert store.get("b") == b"y" * 80
+            assert store.wakes == 2
+
+    def test_corrupted_spill_refuses_to_wake(self):
+        with EngineStore(budget_bytes=10) as store:
+            store.put("a", b"x" * 64)
+            store.put("b", b"y" * 64)      # "a" hibernates
+            path = store._hibernated["a"][0]
+            with open(path, "wb") as handle:
+                handle.write(b"garbage")
+            with pytest.raises(EngineStoreCorrupt):
+                store.get("a")
+
+    def test_pop_and_close_balance_to_zero(self, tmp_path):
+        store = EngineStore(budget_bytes=10, directory=str(tmp_path))
+        store.put("a", b"x" * 64)
+        store.put("b", b"y" * 64)
+        assert store.pop("a")
+        assert not store.pop("a")          # already gone
+        assert store.pop("b")
+        assert len(store) == 0 and store.resident_bytes == 0
+        store.close()
+        with pytest.raises(RuntimeError):
+            store.put("c", b"z")
+
+    def test_round_trips_a_real_engine(self, reference):
+        expected = _ref(reference, "con1")
+        engine = Engine(PROGRAMS["con1"], SUITE["con1"].query_pure)
+        with EngineStore(budget_bytes=1) as store:
+            store.put("s1", engine.pause().to_bytes())
+            store.put("s2", b"0" * 32)     # forces "s1" to hibernate
+            assert store.hibernated_count >= 1
+            woken = Engine.resume(
+                EngineSnapshot.from_bytes(store.get("s1")))
+        assert _drain(woken) == expected.solutions
+        assert woken.stats == expected.stats
+
+
+# -- SessionService: streaming, leases, migration ----------------------------
+
+class TestSessionService:
+    def test_interleaved_sessions_match_reference(self, reference):
+        with SessionService(PROGRAMS, workers=0) as service:
+            session_ids = [service.open(name, query)
+                           for name, query in MIX]
+            streams = {sid: [] for sid in session_ids}
+            finals = {}
+            open_ids = list(session_ids)
+            while open_ids:
+                outcomes = service.advance(open_ids)
+                still = []
+                for sid, outcome in zip(open_ids, outcomes):
+                    if outcome.status == SOLUTION:
+                        streams[sid].append(outcome.solution)
+                        still.append(sid)
+                    else:
+                        assert outcome.status == DONE
+                        finals[sid] = outcome
+                open_ids = still
+            for sid, expected in zip(session_ids, reference):
+                assert streams[sid] == expected.solutions
+                assert finals[sid].solutions == expected.solutions
+                assert finals[sid].stats == expected.stats
+            counters = service.counters
+            assert counters["sessions_opened"] == len(MIX)
+            assert counters["sessions_done"] == len(MIX)
+            assert service.active_sessions == 0
+            assert len(service.store) == 0
+
+    def test_single_solution_query_streams_then_finishes(self, reference):
+        # con1's only answer coincides with exhaustion: the stream
+        # must still deliver it as a SOLUTION before reporting DONE.
+        expected = _ref(reference, "con1")
+        with SessionService(PROGRAMS, workers=0) as service:
+            sid = service.open("con1", SUITE["con1"].query_pure)
+            assert service.next_solution(sid) == expected.solutions[0]
+            assert service.next_solution(sid) is None
+            with pytest.raises(UnknownSession):
+                service.next_solution(sid)
+
+    def test_lease_expiry_reaper_and_admission(self):
+        clock = [0.0]
+        with SessionService(PROGRAMS, workers=0,
+                            lease=LeasePolicy(ttl_s=10.0, max_sessions=2),
+                            clock=lambda: clock[0]) as service:
+            reaper = SessionReaper(service, interval_s=5.0, jitter=0.0,
+                                   seed=3)
+            a = service.open("queens", SUITE["queens"].query_pure)
+            b = service.open("mutest", SUITE["mutest"].query_pure)
+            with pytest.raises(SessionError, match="limit"):
+                service.open("con1", SUITE["con1"].query_pure)
+            service.advance([a, b])
+            clock[0] = 4.0
+            service.advance([a])           # renews a's lease only
+            assert reaper.tick() == []     # not sweep time yet
+            clock[0] = 12.0                # b lapsed at 10; a lives to 14
+            assert reaper.tick() == [b]
+            assert reaper.reaped_total == 1
+            health = service.health()
+            assert health.leases_expired == 1
+            assert health.active_sessions == 1
+            with pytest.raises(UnknownSession):
+                service.next_solution(b)
+            clock[0] = 20.0                # a lapsed too
+            with pytest.raises(SessionExpired):
+                service.next_solution(a)
+            assert service.health().leases_expired == 2
+            assert service.active_sessions == 0
+            assert len(service.store) == 0
+
+    def test_renew_and_expire_hook(self):
+        clock = [0.0]
+        with SessionService(PROGRAMS, workers=0,
+                            lease=LeasePolicy(ttl_s=10.0),
+                            clock=lambda: clock[0]) as service:
+            sid = service.open("con1", SUITE["con1"].query_pure)
+            clock[0] = 8.0
+            assert service.renew(sid) == 18.0
+            service.expire_lease(sid)
+            assert service.reap() == [sid]
+            with pytest.raises(UnknownSession):
+                service.renew(sid)
+
+    def test_hibernation_pressure_keeps_streams_identical(self, reference):
+        # A budget far below one checkpoint: every idle session's
+        # resume token hibernates, and every step wakes one.
+        store = EngineStore(budget_bytes=1_024)
+        with SessionService(PROGRAMS, workers=0, store=store) as service:
+            session_ids = [service.open(name, query)
+                           for name, query in MIX]
+            streams = {sid: [] for sid in session_ids}
+            finals = {}
+            open_ids = list(session_ids)
+            while open_ids:
+                hibernated = service.health().hibernated_engines
+                outcomes = service.advance(open_ids)
+                still = []
+                for sid, outcome in zip(open_ids, outcomes):
+                    if outcome.status == SOLUTION:
+                        streams[sid].append(outcome.solution)
+                        still.append(sid)
+                    else:
+                        finals[sid] = outcome
+                open_ids = still
+            assert store.spills > 0
+            assert store.wakes > 0
+            for sid, expected in zip(session_ids, reference):
+                assert streams[sid] == expected.solutions
+                assert finals[sid].stats == expected.stats
+            assert len(store) == 0
+
+    def test_worker_crash_migration_is_bit_identical(self, reference):
+        """The tentpole gate in miniature: every step's first attempt
+        is killed; the service resumes each on another attempt from
+        its checkpoint (or the step's own resume token), and the
+        stream plus final RunStats match the uninterrupted run."""
+        expected = _ref(reference, "queens")
+        chaos = ChaosPolicy(seed=7, kill_rate=1.0,
+                            kill_window=(200, 4_000), kill_relative=True,
+                            max_kills_per_slot=1)
+        retry = RetryPolicy(max_attempts=3, base_delay_s=0.01, seed=7)
+        with SessionService(PROGRAMS, workers=2, chaos=chaos,
+                            retry=retry,
+                            checkpoint_every=2_000) as service:
+            sid = service.open("queens", SUITE["queens"].query_pure)
+            streamed = []
+            while True:
+                outcome = service.advance([sid])[0]
+                if outcome.status == SOLUTION:
+                    streamed.append(outcome.solution)
+                elif outcome.status == DONE:
+                    final = outcome
+                    break
+            health = service.health()
+        assert streamed == expected.solutions
+        assert final.solutions == expected.solutions
+        assert final.stats == expected.stats
+        assert health.migrations > 0
+        assert health.crashes > 0
+
+    def test_session_gauges_in_health(self):
+        with SessionService(PROGRAMS, workers=0) as service:
+            assert service.health().active_sessions == 0
+            sid = service.open("queens", SUITE["queens"].query_pure)
+            assert service.health().active_sessions == 1
+            service.close_session(sid)
+            assert service.health().active_sessions == 0
+            assert service.counters["sessions_closed"] == 1
+
+    def test_advance_rejects_duplicates(self):
+        with SessionService(PROGRAMS, workers=0) as service:
+            sid = service.open("con1", SUITE["con1"].query_pure)
+            with pytest.raises(ValueError, match="duplicate"):
+                service.advance([sid, sid])
+
+
+# -- the chaos invariant and the soak ----------------------------------------
+
+def test_session_chaos_invariant_over_plm_corpus():
+    """ISSUE 10 acceptance: seeded kills plus forced lease expiries
+    mid-stream leave every surviving session's solution sequence and
+    RunStats bit-identical to the fault-free reference, with no engine
+    leaked."""
+    chaos = ChaosPolicy(seed=13, kill_rate=0.5, kill_window=(200, 4_000),
+                        kill_relative=True, max_kills_per_slot=1)
+    report = verify_session_chaos_invariant(
+        PROGRAMS, MIX, chaos, workers=2, checkpoint_every=2_000,
+        seed=13, store_budget=20_000)
+    assert report["ok"], report["mismatches"]
+    assert report["stats_checked"] == len(MIX) - len(report["expired"])
+
+
+def test_session_chaos_invariant_rejects_fault_injection():
+    with pytest.raises(ValueError, match="inject_rate"):
+        verify_session_chaos_invariant(
+            PROGRAMS, MIX, ChaosPolicy(inject_rate=1.0))
+
+
+def test_session_soak_accounts_exactly_once():
+    spec = SessionLoadSpec(sessions=8, seed=5, abandon_rate=0.3)
+    with SessionService(PROGRAMS, workers=0,
+                        store=EngineStore(budget_bytes=20_000)) as service:
+        report = run_session_soak(service, spec, MIX)
+    assert report.accounting_ok, report.mismatches
+    assert report.solutions_ok, report.mismatches
+    assert report.done + report.expired + report.failed == spec.sessions
+    assert report.failed == 0

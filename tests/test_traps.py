@@ -103,3 +103,70 @@ class TestLocalStackDiscipline:
         # bootstrap frame.  (local_top() can still sit high because a
         # live choice point of the final depth(0, _) call protects it.)
         assert machine.e == machine._stack_base[Zone.LOCAL]
+
+
+class TestTrapLogRing:
+    """machine.trap_log is a bounded ring: a long-lived session engine
+    servicing thousands of recovered faults must not grow its audit
+    log — or its checkpoints — without bound."""
+
+    def _report(self, n):
+        from repro.core.traps import TrapReport
+        return TrapReport(kind="PageFault", message=f"fault {n}",
+                          pc=n, cycles=n * 10, instructions=n,
+                          recovered=True)
+
+    def test_ring_caps_and_counts_drops(self):
+        from repro.core.traps import TrapLogRing
+        ring = TrapLogRing(capacity=4)
+        reports = [self._report(n) for n in range(10)]
+        for report in reports:
+            ring.append(report)
+        assert len(ring) == 4
+        assert list(ring) == reports[6:]      # newest win, oldest dropped
+        assert ring.dropped == 6
+        assert ring[0] is reports[6]
+        assert bool(ring)
+        ring.clear()
+        assert len(ring) == 0 and ring.dropped == 0 and not ring
+
+    def test_ring_compares_to_plain_lists_without_drops(self):
+        from repro.core.traps import TrapLogRing
+        ring = TrapLogRing(capacity=4)
+        reports = [self._report(n) for n in range(3)]
+        for report in reports:
+            ring.append(report)
+        assert ring == reports                # no drops: list-equivalent
+        ring.append(self._report(3))
+        ring.append(self._report(4))          # overflow: one dropped
+        assert ring != [self._report(n) for n in range(1, 5)]
+
+    def test_snapshot_restore_roundtrip_and_legacy_list(self):
+        from repro.core.traps import TrapLogRing
+        ring = TrapLogRing(capacity=3)
+        for n in range(7):
+            ring.append(self._report(n))
+        clone = TrapLogRing.restore(ring.snapshot())
+        assert list(clone) == list(ring)
+        assert clone.dropped == ring.dropped == 4
+        assert clone.capacity == 3
+        # Checkpoints written before the ring stored plain lists.
+        legacy = TrapLogRing.restore([self._report(0)])
+        assert len(legacy) == 1 and legacy.dropped == 0
+
+    def test_checkpoint_round_trips_an_overflowed_ring(self):
+        """The regression gate: capture/restore must preserve the ring
+        contents AND the dropped count bit-identically, so a resumed
+        engine's audit trail matches the uninterrupted one's."""
+        from repro.core.traps import MachineCheckpoint, TrapLogRing
+        machine = compile_and_load(INFINITE, "spin")
+        machine.trap_log = TrapLogRing(capacity=3)
+        for n in range(8):
+            machine.trap_log.append(self._report(n))
+        checkpoint = MachineCheckpoint.capture(machine)
+        other = compile_and_load(INFINITE, "spin")
+        checkpoint.restore(other)
+        assert isinstance(other.trap_log, TrapLogRing)
+        assert list(other.trap_log) == list(machine.trap_log)
+        assert other.trap_log.dropped == 5
+        assert other.trap_log.capacity == 3
